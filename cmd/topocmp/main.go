@@ -1,0 +1,93 @@
+// Command topocmp validates topologies against the published AS-map
+// statistics, either for one model or as a full shoot-out across the
+// registry.
+//
+// Usage:
+//
+//	topocmp -model glp -n 11000          # one model vs the AS map
+//	topocmp -all -n 4000                  # rank every model
+//	topocmp -file map.txt -target asplus  # a file vs the AS+ map
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netmodel/internal/compare"
+	"netmodel/internal/core"
+	"netmodel/internal/graphio"
+	"netmodel/internal/refdata"
+	"netmodel/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topocmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topocmp", flag.ContinueOnError)
+	model := fs.String("model", "", "model to generate and compare")
+	file := fs.String("file", "", "edge-list file to compare instead of generating")
+	all := fs.Bool("all", false, "compare every registered model and rank them")
+	n := fs.Int("n", 4000, "generated size")
+	seed := fs.Uint64("seed", 1, "random seed")
+	target := fs.String("target", "as", "reference target: as, asplus")
+	sources := fs.Int("path-sources", 300, "BFS sources for path stats (0 = exact)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tgt := refdata.ASMap2001
+	if *target == "asplus" {
+		tgt = refdata.ASPlusMap2001
+	} else if *target != "as" {
+		return fmt.Errorf("unknown target %q", *target)
+	}
+	switch {
+	case *file != "":
+		f, err := os.Open(*file)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		g, err := graphio.ReadEdgeList(f)
+		if err != nil {
+			return err
+		}
+		rep, err := compare.Against(g, tgt, compare.Options{PathSources: *sources, Rand: rng.New(*seed)})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, rep.String())
+		return nil
+	case *all:
+		p := core.Pipeline{N: *n, Seed: *seed, Target: tgt, PathSources: *sources}
+		results, err := p.RunAll()
+		if err != nil {
+			return err
+		}
+		reports := make(map[string]*compare.Report, len(results))
+		for name, res := range results {
+			reports[name] = res.Report
+		}
+		fmt.Fprintf(stdout, "model ranking against %s (N=%d, lower is better)\n", tgt.Name, *n)
+		for rank, name := range compare.RankModels(reports) {
+			fmt.Fprintf(stdout, "%2d. %-12s score %6.1f%%\n", rank+1, name, 100*reports[name].Score)
+		}
+		return nil
+	case *model != "":
+		p := core.Pipeline{N: *n, Seed: *seed, Target: tgt, PathSources: *sources}
+		res, err := p.Run(*model)
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, res.Report.String())
+		return nil
+	default:
+		return fmt.Errorf("one of -model, -file or -all is required")
+	}
+}

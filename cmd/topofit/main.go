@@ -1,0 +1,91 @@
+// Command topofit calibrates a generator parameter against the
+// published AS-map statistics by derivative-free search over the
+// aggregate comparison score.
+//
+// Supported knobs:
+//
+//	topofit -knob ba-attract   -n 4000   # BA initial attractiveness
+//	topofit -knob glp-beta     -n 4000   # GLP preference shift
+//	topofit -knob waxman-beta  -n 2000   # Waxman distance scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netmodel/internal/compare"
+	"netmodel/internal/fit"
+	"netmodel/internal/gen"
+	"netmodel/internal/refdata"
+	"netmodel/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topofit:", err)
+		os.Exit(1)
+	}
+}
+
+type knob struct {
+	lo, hi float64
+	build  func(n int, x float64) gen.Generator
+}
+
+var knobs = map[string]knob{
+	"ba-attract": {-1.8, 2, func(n int, x float64) gen.Generator {
+		return gen.BA{N: n, M: 2, A: x}
+	}},
+	"glp-beta": {-0.5, 0.95, func(n int, x float64) gen.Generator {
+		return gen.GLP{N: n, M: 1, P: 0.45, Beta: x}
+	}},
+	"waxman-beta": {0.02, 0.6, func(n int, x float64) gen.Generator {
+		return gen.Waxman{N: n, Alpha: 0.12, Beta: x}
+	}},
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topofit", flag.ContinueOnError)
+	name := fs.String("knob", "ba-attract", "parameter to calibrate")
+	n := fs.Int("n", 3000, "generated size per evaluation")
+	seed := fs.Uint64("seed", 1, "random seed")
+	grid := fs.Int("grid", 7, "coarse grid points")
+	refine := fs.Int("refine", 8, "golden-section refinement steps")
+	sources := fs.Int("path-sources", 200, "BFS sources for path stats")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	k, ok := knobs[*name]
+	if !ok {
+		names := make([]string, 0, len(knobs))
+		for kn := range knobs {
+			names = append(names, kn)
+		}
+		return fmt.Errorf("unknown knob %q (have %v)", *name, names)
+	}
+	tgt := refdata.ASMap2001
+	evals := 0
+	obj := func(x float64) (float64, error) {
+		evals++
+		top, err := k.build(*n, x).Generate(rng.New(*seed))
+		if err != nil {
+			return 0, err
+		}
+		rep, err := compare.Against(top.G, tgt,
+			compare.Options{PathSources: *sources, Rand: rng.New(*seed + 1)})
+		if err != nil {
+			return 0, err
+		}
+		fmt.Fprintf(stdout, "  eval %2d: x=%8.4f score=%6.2f%%\n", evals, x, 100*rep.Score)
+		return rep.Score, nil
+	}
+	res, err := fit.Minimize1D(obj, k.lo, k.hi, *grid, *refine)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "best %s = %.4f (score %.2f%%, %d evaluations)\n",
+		*name, res.X, 100*res.Cost, res.Evals)
+	return nil
+}

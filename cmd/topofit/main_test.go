@@ -1,0 +1,30 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFitSmallRun(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-knob", "ba-attract", "-n", "400", "-grid", "3",
+		"-refine", "2", "-path-sources", "50"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "best ba-attract") {
+		t.Fatalf("missing result line:\n%s", s)
+	}
+	if !strings.Contains(s, "eval  1:") {
+		t.Fatalf("missing evaluation trace:\n%s", s)
+	}
+}
+
+func TestFitUnknownKnob(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-knob", "nope"}, &out); err == nil {
+		t.Fatal("unknown knob should fail")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"glp", "waxman", "econ"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestGenerateEdgeListToStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "ba", "-n", "100", "-seed", "2"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "# netmodel edge list: nodes=100") {
+		t.Fatalf("unexpected header: %q", out.String()[:40])
+	}
+}
+
+func TestGenerateJSONToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.json")
+	var out bytes.Buffer
+	if err := run([]string{"-model", "gnp", "-n", "50", "-format", "json", "-o", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"nodes":50`) {
+		t.Fatalf("bad json: %s", data)
+	}
+}
+
+func TestGenerateDOT(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "ws", "-n", "30", "-format", "dot"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "graph \"ws\"") {
+		t.Fatal("missing DOT header")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-model", "nope", "-n", "10"}, &out); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+	if err := run([]string{"-model", "ba", "-n", "10", "-format", "xml"}, &out); err == nil {
+		t.Fatal("unknown format should fail")
+	}
+}

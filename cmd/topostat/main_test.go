@@ -1,0 +1,45 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const tinyMap = "# netmodel edge list: nodes=5 edges=5\n0 1\n0 2\n1 2\n2 3\n3 4\n"
+
+func TestStatFromStdin(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-path-sources", "0", "-"}, strings.NewReader(tinyMap), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"nodes              5", "edges              5", "avg clustering", "max coreness"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestStatCCDF(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-ccdf", "-path-sources", "0", "-"}, strings.NewReader(tinyMap), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# k Pc(k)") {
+		t.Fatal("missing CCDF series")
+	}
+}
+
+func TestStatUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file argument should fail")
+	}
+	if err := run([]string{"/definitely/not/a/file"}, strings.NewReader(""), &out); err == nil {
+		t.Fatal("missing file should fail")
+	}
+	if err := run([]string{"-"}, strings.NewReader("bad input\n"), &out); err == nil {
+		t.Fatal("malformed edge list should fail")
+	}
+}

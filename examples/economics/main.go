@@ -1,0 +1,72 @@
+// economics asks the title question — can you make a living modeling
+// (or rather, being part of) the Internet? It grows an AS market with
+// the demand/supply engine, opens every provider's books under a
+// transit-pricing model, and reports who profits: the answer the
+// rich-get-richer dynamics dictate.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"netmodel/internal/econ"
+	"netmodel/internal/rng"
+)
+
+func main() {
+	model := econ.Default(3000)
+	fmt.Printf("growing an AS market to N=%d (α=%.3f, β=%.3f, δ'=%.3f per month)\n",
+		model.TargetN, model.Alpha, model.Beta, model.DeltaPrime)
+	res, err := model.Run(rng.New(1971))
+	if err != nil {
+		log.Fatal(err)
+	}
+	last := res.History[len(res.History)-1]
+	fmt.Printf("after %d months: %.0f users, %d ASs, %d links, %d bandwidth units\n",
+		last.Month, last.Users, last.Nodes, last.Edges, last.Bandwidth)
+
+	alpha, beta, delta, err := econ.GrowthRates(res.History)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("realized growth rates: users %.4f, ASs %.4f, links %.4f (α > δ ≳ β ✓)\n",
+		alpha, beta, delta)
+
+	rep, err := econ.Market(res, econ.DefaultPricing())
+	if err != nil {
+		log.Fatal(err)
+	}
+	n := len(rep.Accounts)
+	fmt.Printf("\n=== the market after the land grab ===\n")
+	fmt.Printf("profitable ASs:      %d of %d (%.1f%%)\n", rep.Profitable, n,
+		100*float64(rep.Profitable)/float64(n))
+	fmt.Printf("median margin:       %.1f%%\n", 100*rep.MedianMargin)
+	fmt.Printf("customer-base Gini:  %.3f\n", rep.GiniUsers)
+	fmt.Printf("profit Gini:         %.3f\n", rep.GiniProfit)
+
+	fmt.Println("\nthe top of the market:")
+	fmt.Printf("%-6s %12s %8s %8s %14s %10s\n", "rank", "users", "degree", "band", "profit", "margin")
+	for i := 0; i < 5; i++ {
+		a := rep.Accounts[i]
+		fmt.Printf("%-6d %12.0f %8d %8d %14.0f %9.1f%%\n",
+			i+1, a.Users, a.Degree, a.Band, a.Profit, 100*a.Margin)
+	}
+	fmt.Println("...and the bottom:")
+	for i := n - 3; i < n; i++ {
+		a := rep.Accounts[i]
+		fmt.Printf("%-6d %12.0f %8d %8d %14.0f %9.1f%%\n",
+			i+1, a.Users, a.Degree, a.Band, a.Profit, 100*a.Margin)
+	}
+
+	// The punchline: count how many ASs would have been profitable had
+	// they each held the median customer base — i.e. whether the market
+	// outcome is about efficiency or about who got big first.
+	med := rep.Accounts[n/2]
+	fmt.Printf("\na median AS (%d users) runs a %.1f%% margin: modeling the Internet is fun,\n",
+		int(med.Users), 100*med.Margin)
+	if med.Profit > 0 {
+		fmt.Println("and yes — at this pricing you can (just) make a living.")
+	} else {
+		fmt.Println("but at this pricing, only the early movers make a living.")
+	}
+}

@@ -1,0 +1,74 @@
+// growth replays the 1997-2002 Internet growth measurements inside the
+// demand/supply engine: exponential expansion of users, ASs and links,
+// the rate ordering α > δ ≳ β, the scaling relations they imply
+// (E ∝ N^{δ/β}, drifting ⟨k⟩), and the emergence of the k ∝ b^μ
+// degree-bandwidth split.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"netmodel/internal/econ"
+	"netmodel/internal/metrics"
+	"netmodel/internal/refdata"
+	"netmodel/internal/rng"
+	"netmodel/internal/stats"
+)
+
+func main() {
+	model := econ.Default(4000)
+	res, err := model.Run(rng.New(1997))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist := res.History
+
+	fmt.Println("month        users      ASs     links  bandwidth   ⟨k⟩")
+	for _, h := range hist {
+		if h.Month%24 == 0 || h.Month == hist[len(hist)-1].Month {
+			fmt.Printf("%5d %12.0f %8d %9d %10d %5.2f\n",
+				h.Month, h.Users, h.Nodes, h.Edges, h.Bandwidth,
+				2*float64(h.Edges)/float64(h.Nodes))
+		}
+	}
+
+	alpha, beta, delta, err := econ.GrowthRates(hist)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := refdata.GrowthRates
+	fmt.Printf("\nrealized rates (month⁻¹):  α=%.4f  δ=%.4f  β=%.4f\n", alpha, delta, beta)
+	fmt.Printf("measured 1997-2002:        α=%.4f  δ=%.4f  β=%.4f\n", g.Alpha, g.Delta, g.Beta)
+
+	// Scaling relation E ∝ N^{δ/β}: fit it directly from the history.
+	var lx, ly []float64
+	for _, h := range hist {
+		if h.Nodes > 10 && h.Edges > 10 {
+			lx = append(lx, float64(h.Nodes))
+			ly = append(ly, float64(h.Edges))
+		}
+	}
+	f, err := stats.LogLogFit(lx, ly)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nE ∝ N^x: fitted x = %.3f, predicted δ/β = %.3f (R²=%.3f)\n",
+		f.Slope, delta/beta, f.R2)
+
+	// Degree-bandwidth scaling k ∝ b^μ.
+	ks, bs := metrics.DegreeStrengthPairs(res.G)
+	var kb, bb []float64
+	for i := range ks {
+		if bs[i] >= 4 { // the scaling regime is the upper range
+			kb = append(kb, math.Log(ks[i]))
+			bb = append(bb, math.Log(bs[i]))
+		}
+	}
+	mu, err := stats.LinearFit(bb, kb)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("k ∝ b^μ: fitted μ = %.3f (weighted maps require μ < 1)\n", mu.Slope)
+}

@@ -1,0 +1,225 @@
+package aspolicy
+
+import (
+	"testing"
+
+	"netmodel/internal/graph"
+)
+
+// hierarchy builds a 3-tier test topology:
+//
+//	     0 ——— 1        tier 1 (peers)
+//	    / \     \
+//	   2   3     4      tier 2 (customers of tier 1); 2—3 peer
+//	  / \   \   / \
+//	 5   6   7 8   9    tier 3 (customers of tier 2)
+func hierarchy(t *testing.T) *Annotated {
+	t.Helper()
+	g := graph.New(10)
+	edges := [][2]int{{0, 1}, {0, 2}, {0, 3}, {1, 4}, {2, 3},
+		{2, 5}, {2, 6}, {3, 7}, {4, 8}, {4, 9}}
+	for _, e := range edges {
+		g.MustAddEdge(e[0], e[1])
+	}
+	a := NewAnnotated(g)
+	set := func(u, v int, r Rel) {
+		t.Helper()
+		if err := a.SetRel(u, v, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set(0, 1, Peer)
+	set(2, 3, Peer)
+	set(0, 2, P2C)
+	set(0, 3, P2C)
+	set(1, 4, P2C)
+	set(2, 5, P2C)
+	set(2, 6, P2C)
+	set(3, 7, P2C)
+	set(4, 8, P2C)
+	set(4, 9, P2C)
+	return a
+}
+
+func TestRelSymmetry(t *testing.T) {
+	a := hierarchy(t)
+	if a.RelOf(0, 2) != P2C {
+		t.Fatalf("RelOf(0,2) = %v, want p2c", a.RelOf(0, 2))
+	}
+	if a.RelOf(2, 0) != C2P {
+		t.Fatalf("RelOf(2,0) = %v, want c2p", a.RelOf(2, 0))
+	}
+	if a.RelOf(0, 1) != Peer || a.RelOf(1, 0) != Peer {
+		t.Fatal("peer must be symmetric")
+	}
+	if a.RelOf(5, 9) != 0 {
+		t.Fatal("non-edge must be unannotated")
+	}
+}
+
+func TestSetRelRequiresEdge(t *testing.T) {
+	a := NewAnnotated(graph.New(3))
+	if err := a.SetRel(0, 1, Peer); err == nil {
+		t.Fatal("SetRel on missing edge should fail")
+	}
+}
+
+func TestSetRelReversedOrder(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	a := NewAnnotated(g)
+	if err := a.SetRel(1, 0, P2C); err != nil { // 1 is provider of 0
+		t.Fatal(err)
+	}
+	if a.RelOf(1, 0) != P2C || a.RelOf(0, 1) != C2P {
+		t.Fatal("reversed SetRel stored wrong relationship")
+	}
+}
+
+func TestCompleteAndCounts(t *testing.T) {
+	a := hierarchy(t)
+	if !a.Complete() {
+		t.Fatal("hierarchy should be completely annotated")
+	}
+	p2c, peer := a.Counts()
+	if p2c != 8 || peer != 2 {
+		t.Fatalf("counts = %d p2c, %d peer; want 8, 2", p2c, peer)
+	}
+	// Remove an annotation.
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	if NewAnnotated(g).Complete() {
+		t.Fatal("unannotated edge must make Complete false")
+	}
+}
+
+func TestProvidersCustomersTier1(t *testing.T) {
+	a := hierarchy(t)
+	prov := a.Providers(5)
+	if len(prov) != 1 || prov[0] != 2 {
+		t.Fatalf("Providers(5) = %v, want [2]", prov)
+	}
+	cust := a.Customers(2)
+	if len(cust) != 2 || cust[0] != 5 || cust[1] != 6 {
+		t.Fatalf("Customers(2) = %v, want [5 6]", cust)
+	}
+	t1 := a.Tier1s()
+	if len(t1) != 2 || t1[0] != 0 || t1[1] != 1 {
+		t.Fatalf("Tier1s = %v, want [0 1]", t1)
+	}
+}
+
+func TestAnnotateByDegree(t *testing.T) {
+	// Star: hub is provider of all leaves.
+	g := graph.New(5)
+	for i := 1; i < 5; i++ {
+		g.MustAddEdge(0, i)
+	}
+	a, err := AnnotateByDegree(g, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < 5; i++ {
+		if a.RelOf(0, i) != P2C {
+			t.Fatalf("hub must be provider of %d, got %v", i, a.RelOf(0, i))
+		}
+	}
+	if !a.Complete() {
+		t.Fatal("degree annotation must be complete")
+	}
+}
+
+func TestAnnotateByDegreePeersEqualDegrees(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	a, err := AnnotateByDegree(g, 1.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.RelOf(0, 1) != Peer {
+		t.Fatal("equal degrees must peer")
+	}
+}
+
+func TestAnnotateByDegreeValidation(t *testing.T) {
+	if _, err := AnnotateByDegree(graph.New(2), 0.5); err == nil {
+		t.Fatal("peerRatio < 1 should fail")
+	}
+}
+
+func TestInferGaoRecoversHierarchy(t *testing.T) {
+	// Gao's heuristic takes the highest-degree AS on a path as the top of
+	// the hill, so it needs a topology where degree tracks tier: two
+	// tier-1 peers (degree 5 each) over four tier-2 ASs (degree 4) over
+	// eight tier-3 leaves.
+	g := graph.New(14)
+	a := NewAnnotated(g)
+	set := func(u, v int, r Rel) {
+		t.Helper()
+		g.MustAddEdge(u, v)
+		if err := a.SetRel(u, v, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set(0, 1, Peer)
+	for t2 := 2; t2 <= 5; t2++ {
+		set(0, t2, P2C)
+		set(1, t2, P2C)
+	}
+	leaf := 6
+	for t2 := 2; t2 <= 5; t2++ {
+		set(t2, leaf, P2C)
+		set(t2, leaf+1, P2C)
+		leaf += 2
+	}
+	paths := [][]int{
+		{6, 2, 0, 3, 8},
+		{7, 2, 1, 4, 10},
+		{9, 3, 0, 5, 12},
+		{11, 4, 1, 5, 13},
+		{8, 3, 1, 2, 6},
+		{13, 5, 0, 4, 11},
+		{12, 5, 1, 3, 9},
+		{10, 4, 0, 2, 7},
+		{6, 2, 0, 1, 4, 10}, // crosses the tier-1 peering
+		{13, 5, 1, 0, 2, 6}, // crosses it the other way
+	}
+	for _, p := range paths {
+		if !a.ValleyFree(p) {
+			t.Fatalf("test path %v is not valley-free under ground truth", p)
+		}
+	}
+	inferred, err := InferGao(g, paths, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree, total := 0, 0
+	g.Edges(func(u, v, w int) bool {
+		r := inferred.RelOf(u, v)
+		if r == 0 {
+			return true // not traversed by any path
+		}
+		total++
+		if r == a.RelOf(u, v) {
+			agree++
+		}
+		return true
+	})
+	if total < 10 {
+		t.Fatalf("only %d edges inferred", total)
+	}
+	if agree != total {
+		t.Fatalf("inference agreed on %d of %d traversed edges", agree, total)
+	}
+}
+
+func TestInferGaoErrors(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	if _, err := InferGao(g, [][]int{{0, 2}}, 0.1); err == nil {
+		t.Fatal("path over non-edge should fail")
+	}
+	if _, err := InferGao(g, nil, -0.1); err == nil {
+		t.Fatal("negative tie should fail")
+	}
+}

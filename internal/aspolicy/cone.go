@@ -1,0 +1,98 @@
+package aspolicy
+
+import "sort"
+
+// CustomerCone returns, for every AS, the size of its customer cone:
+// the number of ASs reachable by walking provider→customer links only,
+// including the AS itself. The cone is the standard measure of an AS's
+// market footprint (CAIDA AS-rank): tier-1 cones span most of the
+// network while stub cones are singletons.
+//
+// Each cone is computed by its own provider→customer DFS. Memoizing
+// across nodes is unsound because cones overlap under multi-homing
+// (union sizes do not compose), so each node pays its own traversal;
+// cones are small for the vast majority of ASs, keeping the total cost
+// near O(M·depth) in practice. Provider cycles are handled naturally by
+// the per-traversal visited marks.
+func (a *Annotated) CustomerCone() []int {
+	n := a.G.N()
+	cone := make([]int, n)
+	mark := make([]int, n)
+	for i := range mark {
+		mark[i] = -1
+	}
+	var stack []int
+	for u := 0; u < n; u++ {
+		size := 0
+		stack = stack[:0]
+		stack = append(stack, u)
+		mark[u] = u
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			a.G.Neighbors(v, func(w, _ int) bool {
+				if a.RelOf(v, w) == P2C && mark[w] != u {
+					mark[w] = u
+					stack = append(stack, w)
+				}
+				return true
+			})
+		}
+		cone[u] = size
+	}
+	return cone
+}
+
+// ConeDistribution returns the sorted distinct cone sizes with their
+// frequencies — heavy-tailed on AS-like hierarchies.
+func ConeDistribution(cones []int) (sizes []int, counts []int) {
+	freq := make(map[int]int)
+	for _, c := range cones {
+		freq[c]++
+	}
+	for s := range freq {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	counts = make([]int, len(sizes))
+	for i, s := range sizes {
+		counts[i] = freq[s]
+	}
+	return sizes, counts
+}
+
+// HierarchyDepth returns the length of the longest provider chain above
+// each AS (0 for ASs with no providers) and the maximum over the
+// network. Provider cycles are broken at the point of re-entry (the
+// re-entered AS counts as a root), so the walk always terminates.
+func (a *Annotated) HierarchyDepth() (depth []int, max int) {
+	n := a.G.N()
+	depth = make([]int, n)
+	state := make([]int8, n) // 0 unvisited, 1 in progress, 2 done
+	var visit func(u int) int
+	visit = func(u int) int {
+		if state[u] == 2 {
+			return depth[u]
+		}
+		if state[u] == 1 {
+			return 0 // provider cycle: treat as root
+		}
+		state[u] = 1
+		best := 0
+		for _, p := range a.Providers(u) {
+			if d := visit(p) + 1; d > best {
+				best = d
+			}
+		}
+		depth[u] = best
+		state[u] = 2
+		return best
+	}
+	for u := 0; u < n; u++ {
+		if d := visit(u); d > max {
+			max = d
+		}
+	}
+	return depth, max
+}

@@ -1,0 +1,193 @@
+package aspolicy
+
+import (
+	"errors"
+
+	"netmodel/internal/rng"
+)
+
+// Valley-free routing is a BFS over an expanded state space: each AS is
+// visited in one of two phases. Phase up ("still climbing"): the path so
+// far used only customer→provider links. Phase down ("over the top"):
+// the path crossed a peer link or a provider→customer link; from here
+// only provider→customer links may follow. This encodes Gao's export
+// rule exactly and finds the shortest policy-compliant path.
+
+const (
+	phaseUp = iota
+	phaseDown
+	numPhases
+)
+
+// ValleyFreeDistances returns the length of the shortest valley-free
+// path from src to every node, -1 where no policy-compliant path
+// exists. The annotation must be complete.
+func (a *Annotated) ValleyFreeDistances(src int) ([]int, error) {
+	n := a.G.N()
+	if src < 0 || src >= n {
+		return nil, errors.New("aspolicy: source out of range")
+	}
+	dist := make([]int, numPhases*n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src*numPhases+phaseUp] = 0
+	queue := []int{src*numPhases + phaseUp}
+	for len(queue) > 0 {
+		state := queue[0]
+		queue = queue[1:]
+		u, phase := state/numPhases, state%numPhases
+		d := dist[state]
+		var stop bool
+		a.G.Neighbors(u, func(v, _ int) bool {
+			r := a.RelOf(u, v)
+			if r == 0 {
+				stop = true
+				return false
+			}
+			var next int
+			switch {
+			case phase == phaseUp && r == C2P:
+				next = v*numPhases + phaseUp
+			case r == P2C:
+				next = v*numPhases + phaseDown
+			case phase == phaseUp && r == Peer:
+				next = v*numPhases + phaseDown
+			default:
+				return true // policy forbids this step
+			}
+			if dist[next] < 0 {
+				dist[next] = d + 1
+				queue = append(queue, next)
+			}
+			return true
+		})
+		if stop {
+			return nil, errors.New("aspolicy: annotation incomplete")
+		}
+	}
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		du := dist[v*numPhases+phaseUp]
+		dd := dist[v*numPhases+phaseDown]
+		switch {
+		case du < 0:
+			out[v] = dd
+		case dd < 0:
+			out[v] = du
+		case du < dd:
+			out[v] = du
+		default:
+			out[v] = dd
+		}
+	}
+	return out, nil
+}
+
+// ValleyFree reports whether an explicit AS path complies with the
+// export rules under the annotation.
+func (a *Annotated) ValleyFree(path []int) bool {
+	phase := phaseUp
+	for i := 0; i+1 < len(path); i++ {
+		r := a.RelOf(path[i], path[i+1])
+		switch {
+		case r == C2P && phase == phaseUp:
+			// keep climbing
+		case r == Peer && phase == phaseUp:
+			phase = phaseDown
+		case r == P2C:
+			phase = phaseDown
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Inflation summarizes policy path stretch relative to shortest paths.
+type Inflation struct {
+	Pairs       int     // sampled reachable pairs
+	Unreachable int     // pairs reachable topologically but not by policy
+	AvgShortest float64 // mean hop count ignoring policy
+	AvgPolicy   float64 // mean valley-free hop count over policy-reachable pairs
+	Ratio       float64 // AvgPolicy / AvgShortest over pairs reachable both ways
+	MaxStretch  int     // worst per-pair additive stretch observed
+}
+
+// MeasureInflation samples `sources` BFS roots (all nodes when <= 0) and
+// compares plain shortest paths with valley-free paths from each root.
+func (a *Annotated) MeasureInflation(r *rng.Rand, sources int) (Inflation, error) {
+	n := a.G.N()
+	if n < 2 {
+		return Inflation{}, errors.New("aspolicy: need at least two nodes")
+	}
+	var srcs []int
+	if sources <= 0 || sources >= n {
+		srcs = make([]int, n)
+		for i := range srcs {
+			srcs[i] = i
+		}
+	} else {
+		if r == nil {
+			return Inflation{}, errors.New("aspolicy: sampling requires a generator")
+		}
+		perm := r.Perm(n)
+		srcs = perm[:sources]
+	}
+	var inf Inflation
+	var sumS, sumP float64
+	var both int
+	for _, s := range srcs {
+		plain := bfsPlain(a, s)
+		policy, err := a.ValleyFreeDistances(s)
+		if err != nil {
+			return Inflation{}, err
+		}
+		for v := 0; v < n; v++ {
+			if v == s || plain[v] < 0 {
+				continue
+			}
+			inf.Pairs++
+			if policy[v] < 0 {
+				inf.Unreachable++
+				continue
+			}
+			both++
+			sumS += float64(plain[v])
+			sumP += float64(policy[v])
+			if st := policy[v] - plain[v]; st > inf.MaxStretch {
+				inf.MaxStretch = st
+			}
+		}
+	}
+	if both > 0 {
+		inf.AvgShortest = sumS / float64(both)
+		inf.AvgPolicy = sumP / float64(both)
+		if inf.AvgShortest > 0 {
+			inf.Ratio = inf.AvgPolicy / inf.AvgShortest
+		}
+	}
+	return inf, nil
+}
+
+func bfsPlain(a *Annotated, src int) []int {
+	n := a.G.N()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		a.G.Neighbors(u, func(v, _ int) bool {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+			return true
+		})
+	}
+	return dist
+}

@@ -1,0 +1,178 @@
+// Package core is the front door of netmodel: a registry of every
+// topology model the toolkit implements, each with a sensible default
+// parameterization at any target size, and a pipeline that takes a model
+// name through generation, measurement and validation against the
+// published AS-map statistics in one call.
+//
+// The registry is the "generator shoot-out" surface: experiments and
+// command-line tools iterate over it so that every comparison
+// automatically covers every implemented family.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"netmodel/internal/compare"
+	"netmodel/internal/econ"
+	"netmodel/internal/gen"
+	"netmodel/internal/metrics"
+	"netmodel/internal/refdata"
+	"netmodel/internal/rng"
+)
+
+// Model is a registered topology model family.
+type Model struct {
+	// Name is the stable registry key (lowercase).
+	Name string
+	// Description is a one-line summary shown by the tools.
+	Description string
+	// Build returns the family's default parameterization targeting
+	// roughly n nodes.
+	Build func(n int) gen.Generator
+}
+
+// econAdapter exposes the econ growth engine through the Generator
+// interface (discarding the history, which pipeline users don't need).
+type econAdapter struct {
+	m econ.Model
+}
+
+func (e econAdapter) Name() string { return "econ" }
+
+func (e econAdapter) Generate(r *rng.Rand) (*gen.Topology, error) {
+	res, err := e.m.Run(r)
+	if err != nil {
+		return nil, err
+	}
+	return &gen.Topology{G: res.G, Pos: res.Pos}, nil
+}
+
+// econDistAdapter is econAdapter with the geographic constraint.
+type econDistAdapter struct{ econAdapter }
+
+func (e econDistAdapter) Name() string { return "econ-dist" }
+
+// registry holds every model family, keyed by name.
+var registry = map[string]Model{}
+
+func register(m Model) {
+	if _, dup := registry[m.Name]; dup {
+		panic("core: duplicate model " + m.Name)
+	}
+	registry[m.Name] = m
+}
+
+func init() {
+	register(Model{"gnp", "Erdős–Rényi G(n,p) random graph",
+		func(n int) gen.Generator { return gen.GNP{N: n, P: 4.2 / float64(n-1)} }})
+	register(Model{"gnm", "Erdős–Rényi G(n,m) random graph",
+		func(n int) gen.Generator { return gen.GNM{N: n, M: 2 * n} }})
+	register(Model{"ws", "Watts–Strogatz small world",
+		func(n int) gen.Generator { return gen.WS{N: n, K: 4, Beta: 0.1} }})
+	register(Model{"waxman", "Waxman distance-probability graph",
+		func(n int) gen.Generator {
+			return gen.Waxman{N: n, Alpha: 0.12, Beta: 0.15}
+		}})
+	register(Model{"rgg", "random geometric graph",
+		func(n int) gen.Generator {
+			// mean degree ~ n*pi*r^2 = 4.2
+			return gen.RGG{N: n, Radius: 1.16 / math.Sqrt(float64(n))}
+		}})
+	register(Model{"ba", "Barabási–Albert preferential attachment (γ=3)",
+		func(n int) gen.Generator { return gen.BA{N: n, M: 2} }})
+	register(Model{"gba", "BA with initial attractiveness tuned to γ≈2.2",
+		func(n int) gen.Generator { return gen.BA{N: n, M: 2, A: -1.6} }})
+	register(Model{"glp", "Generalized Linear Preference (Bu–Towsley)",
+		func(n int) gen.Generator { return gen.GLP{N: n, M: 1, P: 0.45, Beta: 0.64} }})
+	register(Model{"pfp", "Positive-Feedback Preference (Zhou–Mondragón)",
+		func(n int) gen.Generator { return gen.DefaultPFP(n) }})
+	register(Model{"fkp", "FKP/HOT optimization-driven tree",
+		func(n int) gen.Generator { return gen.FKP{N: n, Alpha: 8} }})
+	register(Model{"inet", "Inet-style degree-targeted synthesis",
+		func(n int) gen.Generator { return gen.Inet{N: n, Gamma: 2.2, MinDeg: 1} }})
+	register(Model{"brite", "BRITE-style degree+distance hybrid growth",
+		func(n int) gen.Generator { return gen.BRITE{N: n, M: 2, Beta: 0.15} }})
+	register(Model{"transitstub", "GT-ITM-style transit-stub hierarchy",
+		func(n int) gen.Generator { return gen.DefaultTransitStub(n) }})
+	register(Model{"econ", "demand/supply competition-adaptation growth",
+		func(n int) gen.Generator { return econAdapter{econ.Default(n)} }})
+	register(Model{"econ-dist", "econ with geographic link costs",
+		func(n int) gen.Generator { return econDistAdapter{econAdapter{econ.DefaultDistance(n)}} }})
+}
+
+// Names returns all registered model names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns the model registered under name.
+func Lookup(name string) (Model, error) {
+	m, ok := registry[name]
+	if !ok {
+		return Model{}, fmt.Errorf("core: unknown model %q (have %v)", name, Names())
+	}
+	return m, nil
+}
+
+// PipelineResult bundles the outputs of a full model run.
+type PipelineResult struct {
+	Model    string
+	Topology *gen.Topology
+	Snapshot metrics.Snapshot
+	Report   *compare.Report
+}
+
+// Pipeline configures a run.
+type Pipeline struct {
+	N           int            // target size
+	Seed        uint64         // generation seed
+	Target      refdata.Target // reference to validate against
+	PathSources int            // BFS sampling for path metrics (0 = exact)
+}
+
+// Run generates the named model and validates it.
+func (p Pipeline) Run(name string) (*PipelineResult, error) {
+	m, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if p.N <= 0 {
+		return nil, fmt.Errorf("core: pipeline needs a positive size, got %d", p.N)
+	}
+	r := rng.New(p.Seed)
+	top, err := m.Build(p.N).Generate(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: generating %s: %w", name, err)
+	}
+	mr := rng.New(p.Seed + 1)
+	snap, err := metrics.Measure(top.G, mr, p.PathSources)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuring %s: %w", name, err)
+	}
+	rep, err := compare.Against(top.G, p.Target, compare.Options{PathSources: p.PathSources, Rand: rng.New(p.Seed + 2)})
+	if err != nil {
+		return nil, fmt.Errorf("core: comparing %s: %w", name, err)
+	}
+	return &PipelineResult{Model: name, Topology: top, Snapshot: snap, Report: rep}, nil
+}
+
+// RunAll runs the pipeline for every registered model and returns the
+// results keyed by name. Individual failures abort the sweep.
+func (p Pipeline) RunAll() (map[string]*PipelineResult, error) {
+	out := make(map[string]*PipelineResult, len(registry))
+	for _, name := range Names() {
+		res, err := p.Run(name)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = res
+	}
+	return out, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"netmodel/internal/refdata"
+	"netmodel/internal/rng"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	names := Names()
+	want := []string{"ba", "brite", "econ", "econ-dist", "fkp", "gba",
+		"glp", "gnm", "gnp", "inet", "pfp", "rgg", "transitstub", "waxman", "ws"}
+	if len(names) != len(want) {
+		t.Fatalf("registry has %d models: %v", len(names), names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("registry = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, err := Lookup("nope"); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Fatalf("want unknown-model error, got %v", err)
+	}
+}
+
+func TestEveryModelBuildsAtSmallSize(t *testing.T) {
+	for _, name := range Names() {
+		m, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Description == "" {
+			t.Fatalf("%s: missing description", name)
+		}
+		top, err := m.Build(250).Generate(rng.New(5))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if top.G.N() < 100 {
+			t.Fatalf("%s: produced only %d nodes for target 250", name, top.G.N())
+		}
+		if err := top.G.CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestPipelineRun(t *testing.T) {
+	p := Pipeline{N: 800, Seed: 11, Target: refdata.ASMap2001, PathSources: 100}
+	res, err := p.Run("glp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Model != "glp" || res.Topology == nil || res.Report == nil {
+		t.Fatalf("incomplete result %+v", res)
+	}
+	if res.Snapshot.N != res.Topology.G.N() {
+		t.Fatal("snapshot does not match topology")
+	}
+	if res.Report.Score <= 0 {
+		t.Fatalf("score = %v, expected positive imperfection", res.Report.Score)
+	}
+}
+
+func TestPipelineRunErrors(t *testing.T) {
+	p := Pipeline{N: 0, Seed: 1, Target: refdata.ASMap2001}
+	if _, err := p.Run("ba"); err == nil {
+		t.Fatal("zero size should fail")
+	}
+	p.N = 100
+	if _, err := p.Run("unknown"); err == nil {
+		t.Fatal("unknown model should fail")
+	}
+}
+
+func TestPipelineDeterministic(t *testing.T) {
+	p := Pipeline{N: 400, Seed: 21, Target: refdata.ASMap2001, PathSources: 50}
+	a, err := p.Run("pfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run("pfp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Snapshot != b.Snapshot {
+		t.Fatalf("pipeline not deterministic:\n%+v\n%+v", a.Snapshot, b.Snapshot)
+	}
+}
+
+func TestRunAllCoversRegistry(t *testing.T) {
+	p := Pipeline{N: 250, Seed: 3, Target: refdata.ASMap2001, PathSources: 40}
+	out, err := p.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(Names()) {
+		t.Fatalf("RunAll returned %d results for %d models", len(out), len(Names()))
+	}
+	for name, res := range out {
+		if res == nil || res.Report == nil {
+			t.Fatalf("%s: nil result", name)
+		}
+	}
+}

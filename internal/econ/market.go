@@ -1,0 +1,180 @@
+package econ
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Pricing parameterizes the ISP market accounting: how customer demand
+// turns into revenue and how connectivity turns into cost.
+type Pricing struct {
+	RevenuePerUser float64 // monthly access revenue per customer
+	CostPerLink    float64 // monthly cost of one unit of bandwidth (paid by each peer)
+	FixedCost      float64 // monthly operating floor per AS
+}
+
+// DefaultPricing returns a calibration under which the median AS roughly
+// breaks even — the interesting regime for the "can you make a living?"
+// question.
+func DefaultPricing() Pricing {
+	return Pricing{RevenuePerUser: 1, CostPerLink: 900, FixedCost: 3000}
+}
+
+// Account is one AS's monthly books.
+type Account struct {
+	AS      int
+	Users   float64
+	Degree  int
+	Band    int // bandwidth units (edge multiplicity sum)
+	Revenue float64
+	Cost    float64
+	Profit  float64
+	Margin  float64 // Profit / Revenue, 0 when Revenue is 0
+}
+
+// MarketReport aggregates the market outcome of a grown topology.
+type MarketReport struct {
+	Accounts     []Account // sorted by Users descending
+	TotalRevenue float64
+	TotalProfit  float64
+	Profitable   int     // ASs with positive profit
+	MedianMargin float64 // median profit margin
+	GiniUsers    float64 // inequality of the customer base
+	GiniProfit   float64 // inequality of profit (losses clamped to 0 for the index)
+}
+
+// Market computes the books of every AS in a growth result.
+func Market(res *Result, p Pricing) (*MarketReport, error) {
+	if res == nil || res.G == nil {
+		return nil, errors.New("econ: nil result")
+	}
+	if p.RevenuePerUser < 0 || p.CostPerLink < 0 || p.FixedCost < 0 {
+		return nil, errors.New("econ: negative pricing")
+	}
+	n := res.G.N()
+	if n == 0 {
+		return nil, errors.New("econ: empty topology")
+	}
+	rep := &MarketReport{Accounts: make([]Account, 0, n)}
+	margins := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		a := Account{
+			AS:     i,
+			Users:  res.Users[i],
+			Degree: res.G.Degree(i),
+			Band:   res.G.Strength(i),
+		}
+		a.Revenue = a.Users * p.RevenuePerUser
+		a.Cost = float64(a.Band)*p.CostPerLink + p.FixedCost
+		a.Profit = a.Revenue - a.Cost
+		if a.Revenue > 0 {
+			a.Margin = a.Profit / a.Revenue
+		}
+		rep.TotalRevenue += a.Revenue
+		rep.TotalProfit += a.Profit
+		if a.Profit > 0 {
+			rep.Profitable++
+		}
+		margins = append(margins, a.Margin)
+		rep.Accounts = append(rep.Accounts, a)
+	}
+	sort.Slice(rep.Accounts, func(i, j int) bool { return rep.Accounts[i].Users > rep.Accounts[j].Users })
+	sort.Float64s(margins)
+	rep.MedianMargin = margins[len(margins)/2]
+
+	userSizes := make([]float64, n)
+	profits := make([]float64, n)
+	for i, a := range rep.Accounts {
+		userSizes[i] = a.Users
+		profits[i] = math.Max(0, a.Profit)
+	}
+	rep.GiniUsers = Gini(userSizes)
+	rep.GiniProfit = Gini(profits)
+	return rep, nil
+}
+
+// Gini returns the Gini inequality index of a non-negative sample, in
+// [0,1): 0 is perfect equality. Negative values are clamped to zero; an
+// all-zero sample returns 0.
+func Gini(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := make([]float64, len(xs))
+	for i, x := range xs {
+		if x > 0 {
+			s[i] = x
+		}
+	}
+	sort.Float64s(s)
+	var cum, total float64
+	for _, x := range s {
+		total += x
+	}
+	if total == 0 {
+		return 0
+	}
+	var weighted float64
+	for i, x := range s {
+		cum += x
+		weighted += cum
+		_ = i
+	}
+	n := float64(len(s))
+	// G = (n + 1 - 2·Σ cum_i / total) / n
+	return (n + 1 - 2*weighted/total) / n
+}
+
+// GrowthRates fits exponential growth rates to a history by regressing
+// log-quantities on time: returned values estimate Alpha (users), Beta
+// (nodes) and Delta (edges), the E10 experiment's observables.
+func GrowthRates(hist []MonthStats) (alpha, beta, delta float64, err error) {
+	if len(hist) < 3 {
+		return 0, 0, 0, errors.New("econ: history too short")
+	}
+	fit := func(val func(MonthStats) float64) (float64, error) {
+		var num, den float64
+		var sx, sy float64
+		var pts int
+		for _, h := range hist {
+			v := val(h)
+			if v <= 0 {
+				continue
+			}
+			x := float64(h.Month)
+			y := math.Log(v)
+			sx += x
+			sy += y
+			pts++
+			_ = num
+			_ = den
+		}
+		if pts < 3 {
+			return 0, errors.New("econ: too few positive samples")
+		}
+		mx, my := sx/float64(pts), sy/float64(pts)
+		var sxx, sxy float64
+		for _, h := range hist {
+			v := val(h)
+			if v <= 0 {
+				continue
+			}
+			x := float64(h.Month) - mx
+			sxx += x * x
+			sxy += x * (math.Log(v) - my)
+		}
+		if sxx == 0 {
+			return 0, errors.New("econ: degenerate history")
+		}
+		return sxy / sxx, nil
+	}
+	if alpha, err = fit(func(h MonthStats) float64 { return h.Users }); err != nil {
+		return
+	}
+	if beta, err = fit(func(h MonthStats) float64 { return float64(h.Nodes) }); err != nil {
+		return
+	}
+	delta, err = fit(func(h MonthStats) float64 { return float64(h.Edges) })
+	return
+}

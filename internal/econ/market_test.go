@@ -1,0 +1,121 @@
+package econ
+
+import (
+	"math"
+	"testing"
+
+	"netmodel/internal/rng"
+)
+
+func TestGiniKnownValues(t *testing.T) {
+	if g := Gini([]float64{1, 1, 1, 1}); math.Abs(g) > 1e-12 {
+		t.Fatalf("equal sample Gini = %v, want 0", g)
+	}
+	// One owner of everything among n: G = (n-1)/n.
+	if g := Gini([]float64{0, 0, 0, 10}); math.Abs(g-0.75) > 1e-12 {
+		t.Fatalf("concentrated Gini = %v, want 0.75", g)
+	}
+	if g := Gini(nil); g != 0 {
+		t.Fatalf("empty Gini = %v", g)
+	}
+	if g := Gini([]float64{0, 0}); g != 0 {
+		t.Fatalf("all-zero Gini = %v", g)
+	}
+}
+
+func TestGiniOrdering(t *testing.T) {
+	even := Gini([]float64{5, 5, 6, 4})
+	skew := Gini([]float64{1, 1, 1, 17})
+	if skew <= even {
+		t.Fatalf("skewed sample should have higher Gini: %v vs %v", skew, even)
+	}
+}
+
+func TestMarketBooks(t *testing.T) {
+	res, err := Default(600).Run(rng.New(29))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultPricing()
+	rep, err := Market(res, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Accounts) != res.G.N() {
+		t.Fatalf("accounts %d for %d ASs", len(rep.Accounts), res.G.N())
+	}
+	// Books must be internally consistent.
+	var rev, prof float64
+	for _, a := range rep.Accounts {
+		wantRev := a.Users * p.RevenuePerUser
+		wantCost := float64(a.Band)*p.CostPerLink + p.FixedCost
+		if math.Abs(a.Revenue-wantRev) > 1e-9 || math.Abs(a.Cost-wantCost) > 1e-9 {
+			t.Fatalf("account %d books wrong: %+v", a.AS, a)
+		}
+		if math.Abs(a.Profit-(a.Revenue-a.Cost)) > 1e-9 {
+			t.Fatalf("profit identity violated: %+v", a)
+		}
+		rev += a.Revenue
+		prof += a.Profit
+	}
+	if math.Abs(rev-rep.TotalRevenue) > 1e-6 || math.Abs(prof-rep.TotalProfit) > 1e-6 {
+		t.Fatal("totals do not match account sum")
+	}
+	// Sorted by size.
+	for i := 1; i < len(rep.Accounts); i++ {
+		if rep.Accounts[i].Users > rep.Accounts[i-1].Users {
+			t.Fatal("accounts not sorted by users")
+		}
+	}
+}
+
+func TestMarketBigGetRicher(t *testing.T) {
+	res, err := Default(1500).Run(rng.New(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Market(res, DefaultPricing())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The top decile by users should be overwhelmingly profitable while
+	// the bottom decile hovers at or below break-even — the "can you
+	// make a living?" asymmetry.
+	n := len(rep.Accounts)
+	topProfit, botProfit := 0.0, 0.0
+	for i := 0; i < n/10; i++ {
+		topProfit += rep.Accounts[i].Profit
+		botProfit += rep.Accounts[n-1-i].Profit
+	}
+	if topProfit <= botProfit {
+		t.Fatalf("top decile profit %v not above bottom decile %v", topProfit, botProfit)
+	}
+	if rep.GiniUsers < 0.3 {
+		t.Fatalf("user Gini %v suspiciously equal for a rich-get-richer market", rep.GiniUsers)
+	}
+	if rep.GiniProfit < rep.GiniUsers {
+		t.Fatalf("profit inequality %v should exceed user inequality %v", rep.GiniProfit, rep.GiniUsers)
+	}
+}
+
+func TestMarketErrors(t *testing.T) {
+	if _, err := Market(nil, DefaultPricing()); err == nil {
+		t.Fatal("nil result should fail")
+	}
+	res, err := Default(300).Run(rng.New(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Market(res, Pricing{RevenuePerUser: -1}); err == nil {
+		t.Fatal("negative pricing should fail")
+	}
+}
+
+func TestGrowthRatesErrors(t *testing.T) {
+	if _, _, _, err := GrowthRates(nil); err == nil {
+		t.Fatal("empty history should fail")
+	}
+	if _, _, _, err := GrowthRates([]MonthStats{{Month: 1}, {Month: 2}}); err == nil {
+		t.Fatal("short history should fail")
+	}
+}

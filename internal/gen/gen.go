@@ -1,0 +1,55 @@
+// Package gen implements the published Internet topology generator
+// families: flat random models (Erdős–Rényi, Watts–Strogatz, random
+// geometric), the distance-driven Waxman model, degree-driven growth
+// models (Barabási–Albert and its initial-attractiveness extension, GLP,
+// PFP), optimization-driven FKP/HOT trees, degree-targeted Inet-style
+// synthesis, BRITE-style hybrid growth and GT-ITM-style transit-stub
+// hierarchies.
+//
+// Every generator is a value type holding its parameters, produces a
+// Topology from an explicit random source, and is fully deterministic
+// given a seed. Parameter validation happens at generation time so
+// zero-value misconfigurations fail loudly rather than silently
+// producing degenerate maps.
+package gen
+
+import (
+	"errors"
+	"fmt"
+
+	"netmodel/internal/geom"
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// Topology is the output of a generator: the graph plus, for geographic
+// models, the node embedding (nil otherwise).
+type Topology struct {
+	G   *graph.Graph
+	Pos []geom.Point
+}
+
+// Generator produces synthetic topologies.
+type Generator interface {
+	// Name identifies the model family (stable, lowercase).
+	Name() string
+	// Generate builds a topology from the random source.
+	Generate(r *rng.Rand) (*Topology, error)
+}
+
+// errPositive formats a standard validation error.
+func errPositive(model, field string) error {
+	return fmt.Errorf("gen/%s: %s must be positive", model, field)
+}
+
+// validateN rejects non-positive node counts.
+func validateN(model string, n int) error {
+	if n <= 0 {
+		return errPositive(model, "N")
+	}
+	return nil
+}
+
+// ErrTooDense is returned when a model's edge demand exceeds what a
+// simple graph on its node count can host.
+var ErrTooDense = errors.New("gen: requested density exceeds simple-graph capacity")

@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// GLP is the Generalized Linear Preference model (Bu–Towsley 2002),
+// designed specifically to match AS-map statistics that plain BA misses.
+// At each step, with probability P the network adds M new links between
+// existing nodes; otherwise a new node joins with M links. Targets are
+// drawn with probability proportional to k − Beta, where Beta < 1 shifts
+// preference toward high-degree nodes and tunes the exponent to
+// γ ≈ 2.2 while the internal-link steps raise clustering to AS-map
+// levels — the combination that made GLP the reference "Internet-like"
+// degree-driven generator.
+type GLP struct {
+	N    int
+	M    int     // links per step
+	P    float64 // probability of an internal-link step
+	Beta float64 // preference shift, < 1
+}
+
+// Name implements Generator.
+func (GLP) Name() string { return "glp" }
+
+// Generate implements Generator.
+func (m GLP) Generate(r *rng.Rand) (*Topology, error) {
+	if err := validateN(m.Name(), m.N); err != nil {
+		return nil, err
+	}
+	if m.M <= 0 {
+		return nil, errPositive(m.Name(), "M")
+	}
+	if m.P < 0 || m.P >= 1 {
+		return nil, errPositive(m.Name(), "P in [0,1)")
+	}
+	if m.Beta >= 1 {
+		return nil, errPositive(m.Name(), "1 - Beta")
+	}
+	seed := m.M + 2
+	if seed > m.N {
+		seed = m.N
+	}
+	g := graph.New(seed)
+	f := rng.NewFenwick(r, m.N)
+	for u := 1; u < seed; u++ {
+		g.MustAddEdge(u-1, u)
+	}
+	weight := func(u int) float64 { return float64(g.Degree(u)) - m.Beta }
+	for u := 0; u < seed; u++ {
+		f.Set(u, weight(u))
+	}
+	for g.N() < m.N {
+		if r.Float64() < m.P && g.N() >= 2 {
+			// Internal links: M pairs of distinct preferential endpoints.
+			for i := 0; i < m.M; i++ {
+				pair := f.SampleDistinct(2)
+				if len(pair) < 2 {
+					break
+				}
+				u, v := pair[0], pair[1]
+				if g.HasEdge(u, v) {
+					continue // GLP discards duplicate internal links
+				}
+				g.MustAddEdge(u, v)
+				f.Set(u, weight(u))
+				f.Set(v, weight(v))
+			}
+			continue
+		}
+		u := g.AddNode()
+		targets := f.SampleDistinct(m.M)
+		for _, v := range targets {
+			g.MustAddEdge(u, v)
+			f.Set(v, weight(v))
+		}
+		f.Set(u, weight(u))
+	}
+	return &Topology{G: g}, nil
+}

@@ -1,0 +1,148 @@
+package gen
+
+import (
+	"sort"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// Inet is a degree-targeted generator in the style of Inet-3.0 (Jin,
+// Chen, Jamin 2000): instead of growing the network, it first draws a
+// power-law degree sequence with exponent Gamma and minimum MinDeg,
+// then wires it Internet-style:
+//
+//  1. a spanning tree is built over nodes with target degree >= 2,
+//     attaching each node preferentially by remaining stubs;
+//  2. degree-1 nodes attach to the tree preferentially;
+//  3. remaining stubs are matched from the highest-degree node down,
+//     each to a distinct preferential partner.
+//
+// The approach guarantees connectivity and an exact-by-construction
+// heavy tail, at the price of having no growth story — its role in the
+// comparison matrix is "static fit" versus the dynamic models.
+type Inet struct {
+	N      int
+	Gamma  float64 // target degree exponent, > 1
+	MinDeg int     // minimum target degree, >= 1
+}
+
+// Name implements Generator.
+func (Inet) Name() string { return "inet" }
+
+// Generate implements Generator.
+func (m Inet) Generate(r *rng.Rand) (*Topology, error) {
+	if err := validateN(m.Name(), m.N); err != nil {
+		return nil, err
+	}
+	if m.Gamma <= 1 {
+		return nil, errPositive(m.Name(), "Gamma - 1")
+	}
+	if m.MinDeg < 1 {
+		return nil, errPositive(m.Name(), "MinDeg")
+	}
+	// Draw the target degree sequence from a discrete power law capped
+	// at N-1 (simple-graph bound).
+	target := make([]int, m.N)
+	for i := range target {
+		d := int(r.Pareto(float64(m.MinDeg), m.Gamma-1))
+		if d < m.MinDeg {
+			d = m.MinDeg
+		}
+		if d > m.N-1 {
+			d = m.N - 1
+		}
+		target[i] = d
+	}
+	// Ensure even stub total by bumping one node.
+	total := 0
+	for _, d := range target {
+		total += d
+	}
+	if total%2 == 1 {
+		target[0]++
+	}
+	g := graph.New(m.N)
+	remaining := make([]float64, m.N)
+	f := rng.NewFenwick(r, m.N)
+
+	// Phase 1: spanning tree over nodes with target >= 2.
+	var core []int
+	for u, d := range target {
+		if d >= 2 {
+			core = append(core, u)
+		}
+	}
+	if len(core) == 0 {
+		core = []int{0}
+	}
+	r.Shuffle(len(core), func(i, j int) { core[i], core[j] = core[j], core[i] })
+	for idx, u := range core {
+		if idx == 0 {
+			remaining[u] = float64(target[u])
+			f.Set(u, remaining[u])
+			continue
+		}
+		v := f.Sample()
+		if v >= 0 {
+			g.MustAddEdge(u, v)
+			remaining[v]--
+			f.Set(v, remaining[v])
+		}
+		remaining[u] = float64(target[u]) - 1
+		f.Set(u, remaining[u])
+	}
+	// Phase 2: attach degree-1 nodes preferentially.
+	for u, d := range target {
+		if d != 1 {
+			continue
+		}
+		v := f.Sample()
+		if v < 0 {
+			v = core[0]
+			if v == u {
+				continue
+			}
+			g.MustAddEdge(u, v)
+			continue
+		}
+		g.MustAddEdge(u, v)
+		remaining[v]--
+		f.Set(v, remaining[v])
+	}
+	// Phase 3: fill remaining stubs from the largest node down.
+	order := make([]int, 0, len(core))
+	order = append(order, core...)
+	sort.Slice(order, func(a, b int) bool { return remaining[order[a]] > remaining[order[b]] })
+	for _, u := range order {
+		for remaining[u] >= 1 {
+			// Sample a partner that is not u and not already adjacent.
+			saved := f.Weight(u)
+			f.Set(u, 0)
+			v := -1
+			for try := 0; try < 30; try++ {
+				cand := f.Sample()
+				if cand < 0 {
+					break
+				}
+				if !g.HasEdge(u, cand) {
+					v = cand
+					break
+				}
+			}
+			f.Set(u, saved)
+			if v < 0 {
+				// No compatible partner remains; drop u's leftover stubs.
+				remaining[u] = 0
+				f.Set(u, 0)
+				break
+			}
+			g.MustAddEdge(u, v)
+			remaining[u]--
+			remaining[v]--
+			f.Set(u, remaining[u])
+			f.Set(v, remaining[v])
+		}
+	}
+	return &Topology{G: g}, nil
+}

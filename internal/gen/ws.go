@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// WS is the Watts–Strogatz small-world model: a ring lattice where each
+// node connects to its K nearest neighbors (K even), with every edge
+// rewired to a uniform random endpoint with probability Beta. It
+// interpolates between order (Beta=0) and G(n,m)-like randomness
+// (Beta=1) and demonstrates that short paths and high clustering can
+// coexist — but, unlike the Internet, with a homogeneous degree
+// distribution.
+type WS struct {
+	N    int
+	K    int     // even neighborhood size
+	Beta float64 // rewiring probability
+}
+
+// Name implements Generator.
+func (WS) Name() string { return "ws" }
+
+// Generate implements Generator.
+func (m WS) Generate(r *rng.Rand) (*Topology, error) {
+	if err := validateN(m.Name(), m.N); err != nil {
+		return nil, err
+	}
+	if m.K <= 0 || m.K%2 != 0 {
+		return nil, errPositive(m.Name(), "even K")
+	}
+	if m.K >= m.N {
+		return nil, ErrTooDense
+	}
+	if m.Beta < 0 || m.Beta > 1 {
+		return nil, errPositive(m.Name(), "Beta in [0,1]")
+	}
+	g := graph.New(m.N)
+	for u := 0; u < m.N; u++ {
+		for j := 1; j <= m.K/2; j++ {
+			g.MustAddEdge(u, (u+j)%m.N)
+		}
+	}
+	// Rewire each lattice edge (u, u+j) with probability Beta, keeping u
+	// and drawing a fresh endpoint; skip when the rewire would create a
+	// self-loop or duplicate.
+	for u := 0; u < m.N; u++ {
+		for j := 1; j <= m.K/2; j++ {
+			if r.Float64() >= m.Beta {
+				continue
+			}
+			v := (u + j) % m.N
+			if !g.HasEdge(u, v) {
+				continue // already rewired away by the other endpoint
+			}
+			w := r.Intn(m.N)
+			if w == u || g.HasEdge(u, w) {
+				continue
+			}
+			if err := g.RemoveEdge(u, v); err != nil {
+				return nil, err
+			}
+			g.MustAddEdge(u, w)
+		}
+	}
+	return &Topology{G: g}, nil
+}

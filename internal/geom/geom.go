@@ -1,0 +1,283 @@
+// Package geom provides the geographic substrate for topology generation:
+// 2-D points, distance metrics on the plane and on the torus, point
+// processes (uniform Poisson and box-fractal with tunable fractal
+// dimension), and a uniform-grid spatial index.
+//
+// Internet modeling needs geography because link formation costs grow
+// with distance: Waxman-family generators and distance-constrained
+// preferential attachment both take per-pair distances as input. Router
+// locations are known to be fractally distributed with dimension ≈ 1.5
+// (Yook-Jeong-Barabási), which the Fractal point process reproduces.
+package geom
+
+import (
+	"errors"
+	"math"
+
+	"netmodel/internal/rng"
+)
+
+// Point is a location on the unit square [0,1)².
+type Point struct {
+	X, Y float64
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// TorusDist returns the distance between p and q on the unit torus, i.e.
+// with wraparound on both axes. It is never larger than Dist and bounded
+// by sqrt(2)/2.
+func (p Point) TorusDist(q Point) float64 {
+	dx := math.Abs(p.X - q.X)
+	dy := math.Abs(p.Y - q.Y)
+	if dx > 0.5 {
+		dx = 1 - dx
+	}
+	if dy > 0.5 {
+		dy = 1 - dy
+	}
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// MaxDist is the largest possible Euclidean distance on the unit square.
+var MaxDist = math.Sqrt2
+
+// Uniform places n points independently and uniformly on the unit square.
+func Uniform(r *rng.Rand, n int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{X: r.Float64(), Y: r.Float64()}
+	}
+	return pts
+}
+
+// Fractal places n points on a box fractal of dimension df in (0,2].
+//
+// The construction recursively subdivides the unit square into a b×b grid
+// (b=3) and retains m ≈ b^df cells chosen at random at each level — a
+// single shared random Cantor-like set of dimension log(m)/log(b). Points
+// are placed by descending the retained-cell hierarchy to a fixed depth
+// and jittering uniformly inside the final cell. df=2 degenerates to the
+// uniform process; df≈1.5 reproduces the measured router distribution.
+func Fractal(r *rng.Rand, n int, df float64) ([]Point, error) {
+	if df <= 0 || df > 2 {
+		return nil, errors.New("geom: fractal dimension must be in (0,2]")
+	}
+	if df == 2 {
+		return Uniform(r, n), nil
+	}
+	const b = 3
+	const depth = 5
+	// Number of retained cells per level: df = log(m)/log(b) -> m = b^df.
+	// m is fractional; realize it stochastically per node so the expected
+	// dimension matches df.
+	mExact := math.Pow(b, df)
+	mLow := int(math.Floor(mExact))
+	frac := mExact - float64(mLow)
+	drawM := func() int {
+		m := mLow
+		if r.Float64() < frac {
+			m++
+		}
+		if m < 1 {
+			m = 1
+		}
+		if m > b*b {
+			m = b * b
+		}
+		return m
+	}
+	// Build the shared retained-cell tree once. Each node stores the grid
+	// slots of its retained children; the tree is identical for every
+	// sampled point, which is what makes the union fractal rather than
+	// space filling.
+	type node struct {
+		slots    []int
+		children []int // indices into the node arena, -1 below max depth
+	}
+	arena := []node{}
+	var build func(level int) int
+	build = func(level int) int {
+		m := drawM()
+		perm := r.Perm(b * b)
+		nd := node{slots: perm[:m]}
+		if level < depth-1 {
+			nd.children = make([]int, m)
+			idx := len(arena)
+			arena = append(arena, nd)
+			for i := 0; i < m; i++ {
+				arena[idx].children = append([]int{}, arena[idx].children...)
+				arena[idx].children[i] = build(level + 1)
+			}
+			return idx
+		}
+		arena = append(arena, nd)
+		return len(arena) - 1
+	}
+	root := build(0)
+	pts := make([]Point, n)
+	for i := range pts {
+		x, y := 0.0, 0.0
+		size := 1.0
+		cur := root
+		for d := 0; d < depth; d++ {
+			nd := arena[cur]
+			c := r.Intn(len(nd.slots))
+			slot := nd.slots[c]
+			size /= b
+			x += float64(slot%b) * size
+			y += float64(slot/b) * size
+			if nd.children != nil {
+				cur = nd.children[c]
+			}
+		}
+		pts[i] = Point{X: x + r.Float64()*size, Y: y + r.Float64()*size}
+	}
+	return pts, nil
+}
+
+// BoxCountDimension estimates the fractal (box-counting) dimension of a
+// point set by regressing log N(ε) on log 1/ε over a ladder of grid sizes.
+// It needs at least a few hundred points for a stable estimate.
+func BoxCountDimension(pts []Point) float64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	var logs, counts []float64
+	for _, g := range []int{4, 8, 16, 32, 64} {
+		occ := make(map[int]struct{})
+		for _, p := range pts {
+			cx := int(p.X * float64(g))
+			cy := int(p.Y * float64(g))
+			if cx >= g {
+				cx = g - 1
+			}
+			if cy >= g {
+				cy = g - 1
+			}
+			occ[cy*g+cx] = struct{}{}
+		}
+		logs = append(logs, math.Log(float64(g)))
+		counts = append(counts, math.Log(float64(len(occ))))
+	}
+	// least squares slope
+	n := float64(len(logs))
+	var sx, sy, sxx, sxy float64
+	for i := range logs {
+		sx += logs[i]
+		sy += counts[i]
+		sxx += logs[i] * logs[i]
+		sxy += logs[i] * counts[i]
+	}
+	return (n*sxy - sx*sy) / (n*sxx - sx*sx)
+}
+
+// Grid is a uniform-grid spatial index over points on the unit square,
+// supporting range queries used by distance-constrained generators.
+type Grid struct {
+	cells map[int][]int
+	pts   []Point
+	g     int
+}
+
+// NewGrid indexes pts with roughly sqrt(n) cells per axis.
+func NewGrid(pts []Point) *Grid {
+	g := int(math.Sqrt(float64(len(pts)))) + 1
+	if g < 1 {
+		g = 1
+	}
+	grid := &Grid{cells: make(map[int][]int), pts: pts, g: g}
+	for i, p := range pts {
+		grid.cells[grid.key(p)] = append(grid.cells[grid.key(p)], i)
+	}
+	return grid
+}
+
+func (gr *Grid) key(p Point) int {
+	cx := int(p.X * float64(gr.g))
+	cy := int(p.Y * float64(gr.g))
+	if cx >= gr.g {
+		cx = gr.g - 1
+	}
+	if cy >= gr.g {
+		cy = gr.g - 1
+	}
+	if cx < 0 {
+		cx = 0
+	}
+	if cy < 0 {
+		cy = 0
+	}
+	return cy*gr.g + cx
+}
+
+// Within returns the indices of all points at Euclidean distance <= d
+// from p, excluding any index in skip.
+func (gr *Grid) Within(p Point, d float64, skip int) []int {
+	var out []int
+	reach := int(d*float64(gr.g)) + 1
+	pcx := int(p.X * float64(gr.g))
+	pcy := int(p.Y * float64(gr.g))
+	for cy := pcy - reach; cy <= pcy+reach; cy++ {
+		if cy < 0 || cy >= gr.g {
+			continue
+		}
+		for cx := pcx - reach; cx <= pcx+reach; cx++ {
+			if cx < 0 || cx >= gr.g {
+				continue
+			}
+			for _, i := range gr.cells[cy*gr.g+cx] {
+				if i == skip {
+					continue
+				}
+				if p.Dist(gr.pts[i]) <= d {
+					out = append(out, i)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Nearest returns the index of the point closest to p, excluding skip.
+// It returns -1 if the index holds no other point.
+func (gr *Grid) Nearest(p Point, skip int) int {
+	best, bestD := -1, math.Inf(1)
+	// Expand ring by ring until a hit is found, then one extra ring to be
+	// sure nothing closer hides in a diagonal cell.
+	pcx := int(p.X * float64(gr.g))
+	pcy := int(p.Y * float64(gr.g))
+	for radius := 0; radius <= gr.g; radius++ {
+		found := best >= 0
+		for cy := pcy - radius; cy <= pcy+radius; cy++ {
+			if cy < 0 || cy >= gr.g {
+				continue
+			}
+			for cx := pcx - radius; cx <= pcx+radius; cx++ {
+				if cx < 0 || cx >= gr.g {
+					continue
+				}
+				// only the boundary of the ring
+				if radius > 0 && cx != pcx-radius && cx != pcx+radius && cy != pcy-radius && cy != pcy+radius {
+					continue
+				}
+				for _, i := range gr.cells[cy*gr.g+cx] {
+					if i == skip {
+						continue
+					}
+					if d := p.Dist(gr.pts[i]); d < bestD {
+						best, bestD = i, d
+					}
+				}
+			}
+		}
+		if found {
+			break
+		}
+	}
+	return best
+}

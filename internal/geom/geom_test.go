@@ -1,0 +1,189 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netmodel/internal/rng"
+)
+
+func TestDistSymmetricNonNegative(t *testing.T) {
+	prop := func(a, b, c, d float64) bool {
+		p := Point{math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)}
+		q := Point{math.Mod(math.Abs(c), 1), math.Mod(math.Abs(d), 1)}
+		return p.Dist(q) >= 0 && math.Abs(p.Dist(q)-q.Dist(p)) < 1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistKnownValues(t *testing.T) {
+	p := Point{0, 0}
+	q := Point{3.0 / 5, 4.0 / 5}
+	if d := p.Dist(q); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("Dist = %v, want 1", d)
+	}
+	if d := p.Dist(p); d != 0 {
+		t.Fatalf("self-distance = %v", d)
+	}
+}
+
+func TestTorusDistWraps(t *testing.T) {
+	p := Point{0.05, 0.5}
+	q := Point{0.95, 0.5}
+	if d := p.TorusDist(q); math.Abs(d-0.1) > 1e-12 {
+		t.Fatalf("TorusDist = %v, want 0.1", d)
+	}
+}
+
+func TestTorusDistBounded(t *testing.T) {
+	r := rng.New(5)
+	max := math.Sqrt(0.5)
+	for i := 0; i < 10000; i++ {
+		p := Point{r.Float64(), r.Float64()}
+		q := Point{r.Float64(), r.Float64()}
+		d := p.TorusDist(q)
+		if d > max+1e-12 {
+			t.Fatalf("TorusDist %v exceeds bound %v", d, max)
+		}
+		if d > p.Dist(q)+1e-12 {
+			t.Fatal("TorusDist exceeds planar Dist")
+		}
+	}
+}
+
+func TestUniformInSquare(t *testing.T) {
+	pts := Uniform(rng.New(1), 5000)
+	if len(pts) != 5000 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	var sx, sy float64
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+			t.Fatalf("point outside unit square: %+v", p)
+		}
+		sx += p.X
+		sy += p.Y
+	}
+	if math.Abs(sx/5000-0.5) > 0.02 || math.Abs(sy/5000-0.5) > 0.02 {
+		t.Fatal("uniform points not centered")
+	}
+}
+
+func TestUniformDimensionIsTwo(t *testing.T) {
+	pts := Uniform(rng.New(2), 20000)
+	d := BoxCountDimension(pts)
+	if d < 1.8 || d > 2.1 {
+		t.Fatalf("uniform box-count dimension %v, want ~2", d)
+	}
+}
+
+func TestFractalDimension(t *testing.T) {
+	pts, err := Fractal(rng.New(3), 20000, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.X >= 1.0001 || p.Y < 0 || p.Y >= 1.0001 {
+			t.Fatalf("fractal point outside unit square: %+v", p)
+		}
+	}
+	d := BoxCountDimension(pts)
+	// The stochastic construction gives dimension near the target; accept
+	// a generous band since box counting on finite samples is noisy.
+	if d < 1.2 || d > 1.8 {
+		t.Fatalf("fractal box-count dimension %v, want ~1.5", d)
+	}
+}
+
+func TestFractalLowerDimensionIsSparser(t *testing.T) {
+	hi, _ := Fractal(rng.New(4), 20000, 1.9)
+	lo, _ := Fractal(rng.New(4), 20000, 1.1)
+	if BoxCountDimension(lo) >= BoxCountDimension(hi) {
+		t.Fatalf("dimension ordering violated: d(1.1)=%v >= d(1.9)=%v",
+			BoxCountDimension(lo), BoxCountDimension(hi))
+	}
+}
+
+func TestFractalErrors(t *testing.T) {
+	if _, err := Fractal(rng.New(1), 10, 0); err == nil {
+		t.Fatal("df=0 should fail")
+	}
+	if _, err := Fractal(rng.New(1), 10, 2.5); err == nil {
+		t.Fatal("df>2 should fail")
+	}
+}
+
+func TestFractalDfTwoIsUniform(t *testing.T) {
+	pts, err := Fractal(rng.New(6), 10000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := BoxCountDimension(pts)
+	if d < 1.8 {
+		t.Fatalf("df=2 dimension %v, want ~2", d)
+	}
+}
+
+func TestGridWithinMatchesBruteForce(t *testing.T) {
+	r := rng.New(7)
+	pts := Uniform(r, 500)
+	g := NewGrid(pts)
+	for trial := 0; trial < 50; trial++ {
+		p := Point{r.Float64(), r.Float64()}
+		d := 0.05 + 0.2*r.Float64()
+		got := map[int]bool{}
+		for _, i := range g.Within(p, d, -1) {
+			got[i] = true
+		}
+		for i, q := range pts {
+			want := p.Dist(q) <= d
+			if got[i] != want {
+				t.Fatalf("Within mismatch at point %d: got %v want %v", i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestGridWithinSkips(t *testing.T) {
+	pts := []Point{{0.5, 0.5}, {0.51, 0.5}}
+	g := NewGrid(pts)
+	res := g.Within(pts[0], 0.1, 0)
+	for _, i := range res {
+		if i == 0 {
+			t.Fatal("Within returned skipped index")
+		}
+	}
+	if len(res) != 1 || res[0] != 1 {
+		t.Fatalf("Within = %v, want [1]", res)
+	}
+}
+
+func TestGridNearestMatchesBruteForce(t *testing.T) {
+	r := rng.New(9)
+	pts := Uniform(r, 300)
+	g := NewGrid(pts)
+	for trial := 0; trial < 100; trial++ {
+		p := Point{r.Float64(), r.Float64()}
+		got := g.Nearest(p, -1)
+		best, bestD := -1, math.Inf(1)
+		for i, q := range pts {
+			if d := p.Dist(q); d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if got != best && math.Abs(p.Dist(pts[got])-bestD) > 1e-12 {
+			t.Fatalf("Nearest = %d (d=%v), brute force = %d (d=%v)",
+				got, p.Dist(pts[got]), best, bestD)
+		}
+	}
+}
+
+func TestGridNearestEmpty(t *testing.T) {
+	g := NewGrid([]Point{{0.5, 0.5}})
+	if got := g.Nearest(Point{0.1, 0.1}, 0); got != -1 {
+		t.Fatalf("Nearest with all points skipped = %d, want -1", got)
+	}
+}

@@ -1,0 +1,357 @@
+// Package graph implements the topology substrate of netmodel: an
+// undirected weighted multigraph over densely numbered nodes.
+//
+// The representation follows the conventions of the AS-level modeling
+// literature: nodes are autonomous systems (or routers), simple edges are
+// adjacencies, and an integer edge multiplicity models link bandwidth —
+// a single high-capacity connection is equivalent to multiple parallel
+// unit connections. The "degree" of a node counts distinct neighbors
+// (the topological degree k); its "strength" sums multiplicities (the
+// weighted degree, bandwidth b).
+//
+// Self-loops are rejected: neither AS adjacencies nor router links are
+// self-referential at this level of abstraction.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected weighted multigraph. The zero value is not
+// usable; create instances with New.
+type Graph struct {
+	adj      []map[int]int // neighbor -> multiplicity
+	m        int           // number of simple edges
+	strength int           // total multiplicity over simple edges (counted once per edge)
+}
+
+// Edge is a simple edge with its multiplicity; U < V always holds for
+// edges returned by this package.
+type Edge struct {
+	U, V, W int
+}
+
+// New returns a graph with n isolated nodes.
+func New(n int) *Graph {
+	if n < 0 {
+		n = 0
+	}
+	g := &Graph{adj: make([]map[int]int, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]int)
+	}
+	return g
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.adj) }
+
+// M returns the number of simple edges (distinct adjacent pairs).
+func (g *Graph) M() int { return g.m }
+
+// TotalStrength returns the sum of multiplicities over all simple edges —
+// the total bandwidth B of the network. TotalStrength >= M always.
+func (g *Graph) TotalStrength() int { return g.strength }
+
+// AddNode appends an isolated node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, make(map[int]int))
+	return len(g.adj) - 1
+}
+
+// valid reports whether u is an existing node index.
+func (g *Graph) valid(u int) bool { return u >= 0 && u < len(g.adj) }
+
+// AddEdge adds one unit of multiplicity between u and v, creating the
+// simple edge if absent. It returns true when the simple edge is new.
+func (g *Graph) AddEdge(u, v int) (created bool, err error) {
+	if !g.valid(u) || !g.valid(v) {
+		return false, fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, len(g.adj))
+	}
+	if u == v {
+		return false, errors.New("graph: self-loops are not allowed")
+	}
+	_, existed := g.adj[u][v]
+	g.adj[u][v]++
+	g.adj[v][u]++
+	g.strength++
+	if !existed {
+		g.m++
+	}
+	return !existed, nil
+}
+
+// MustAddEdge is AddEdge for callers that have already validated their
+// indices (generators on their own nodes); it panics on error.
+func (g *Graph) MustAddEdge(u, v int) bool {
+	created, err := g.AddEdge(u, v)
+	if err != nil {
+		panic(err)
+	}
+	return created
+}
+
+// RemoveEdge removes one unit of multiplicity between u and v, deleting
+// the simple edge when the multiplicity reaches zero. It returns an error
+// if the edge does not exist.
+func (g *Graph) RemoveEdge(u, v int) error {
+	if !g.valid(u) || !g.valid(v) || g.adj[u][v] == 0 {
+		return fmt.Errorf("graph: edge (%d,%d) does not exist", u, v)
+	}
+	g.adj[u][v]--
+	g.adj[v][u]--
+	g.strength--
+	if g.adj[u][v] == 0 {
+		delete(g.adj[u], v)
+		delete(g.adj[v], u)
+		g.m--
+	}
+	return nil
+}
+
+// HasEdge reports whether the simple edge (u,v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if !g.valid(u) || !g.valid(v) {
+		return false
+	}
+	return g.adj[u][v] > 0
+}
+
+// EdgeWeight returns the multiplicity of (u,v), zero if absent.
+func (g *Graph) EdgeWeight(u, v int) int {
+	if !g.valid(u) || !g.valid(v) {
+		return 0
+	}
+	return g.adj[u][v]
+}
+
+// Degree returns the topological degree of u: its number of distinct
+// neighbors.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Strength returns the weighted degree (bandwidth) of u: the sum of
+// multiplicities of its incident edges.
+func (g *Graph) Strength(u int) int {
+	s := 0
+	for _, w := range g.adj[u] {
+		s += w
+	}
+	return s
+}
+
+// Neighbors calls fn for every neighbor v of u with the edge multiplicity
+// w, stopping early if fn returns false. Iteration order is unspecified;
+// use NeighborList when deterministic order matters.
+func (g *Graph) Neighbors(u int, fn func(v, w int) bool) {
+	for v, w := range g.adj[u] {
+		if !fn(v, w) {
+			return
+		}
+	}
+}
+
+// NeighborList returns the neighbors of u sorted ascending.
+func (g *Graph) NeighborList(u int) []int {
+	out := make([]int, 0, len(g.adj[u]))
+	for v := range g.adj[u] {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges calls fn for every simple edge with u < v and multiplicity w,
+// stopping early if fn returns false. Order is unspecified.
+func (g *Graph) Edges(fn func(u, v, w int) bool) {
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if u < v {
+				if !fn(u, v, w) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// EdgeList returns all simple edges sorted by (U,V), deterministic for a
+// given topology.
+func (g *Graph) EdgeList() []Edge {
+	out := make([]Edge, 0, g.m)
+	g.Edges(func(u, v, w int) bool {
+		out = append(out, Edge{U: u, V: v, W: w})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].U != out[j].U {
+			return out[i].U < out[j].U
+		}
+		return out[i].V < out[j].V
+	})
+	return out
+}
+
+// DegreeSequence returns the topological degree of every node.
+func (g *Graph) DegreeSequence() []int {
+	out := make([]int, len(g.adj))
+	for u := range g.adj {
+		out[u] = len(g.adj[u])
+	}
+	return out
+}
+
+// AvgDegree returns the mean topological degree 2M/N, zero for an empty
+// graph.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.adj) == 0 {
+		return 0
+	}
+	return 2 * float64(g.m) / float64(len(g.adj))
+}
+
+// MaxDegree returns the largest topological degree, zero for an empty
+// graph.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := range g.adj {
+		if d := len(g.adj[u]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Copy returns a deep copy of g.
+func (g *Graph) Copy() *Graph {
+	c := &Graph{adj: make([]map[int]int, len(g.adj)), m: g.m, strength: g.strength}
+	for u, nb := range g.adj {
+		c.adj[u] = make(map[int]int, len(nb))
+		for v, w := range nb {
+			c.adj[u][v] = w
+		}
+	}
+	return c
+}
+
+// InducedSubgraph returns the subgraph induced by the given nodes and a
+// mapping from new indices to original ones. Duplicate or invalid node
+// indices yield an error.
+func (g *Graph) InducedSubgraph(nodes []int) (*Graph, []int, error) {
+	toNew := make(map[int]int, len(nodes))
+	toOld := make([]int, len(nodes))
+	for i, u := range nodes {
+		if !g.valid(u) {
+			return nil, nil, fmt.Errorf("graph: node %d out of range", u)
+		}
+		if _, dup := toNew[u]; dup {
+			return nil, nil, fmt.Errorf("graph: duplicate node %d", u)
+		}
+		toNew[u] = i
+		toOld[i] = u
+	}
+	sub := New(len(nodes))
+	for i, u := range toOld {
+		for v, w := range g.adj[u] {
+			j, ok := toNew[v]
+			if !ok || j <= i {
+				continue
+			}
+			for x := 0; x < w; x++ {
+				sub.MustAddEdge(i, j)
+			}
+		}
+	}
+	return sub, toOld, nil
+}
+
+// Components returns the connected components as slices of node indices,
+// largest first; ties broken by smallest contained index. Each component
+// slice is sorted.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, len(g.adj))
+	var comps [][]int
+	queue := make([]int, 0, len(g.adj))
+	for s := range g.adj {
+		if seen[s] {
+			continue
+		}
+		queue = queue[:0]
+		queue = append(queue, s)
+		seen[s] = true
+		var comp []int
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// GiantComponent returns the subgraph induced by the largest connected
+// component together with the new-to-old index mapping. An empty graph
+// returns an empty graph.
+func (g *Graph) GiantComponent() (*Graph, []int) {
+	comps := g.Components()
+	if len(comps) == 0 {
+		return New(0), nil
+	}
+	sub, mapping, err := g.InducedSubgraph(comps[0])
+	if err != nil {
+		panic("graph: internal error extracting giant component: " + err.Error())
+	}
+	return sub, mapping
+}
+
+// IsConnected reports whether the graph has exactly one connected
+// component (the empty graph is considered connected).
+func (g *Graph) IsConnected() bool {
+	return len(g.adj) == 0 || len(g.Components()) == 1
+}
+
+// CheckInvariants verifies internal consistency (symmetry of the
+// adjacency structure, edge and strength counters). It is intended for
+// tests and returns the first violation found.
+func (g *Graph) CheckInvariants() error {
+	m, s := 0, 0
+	for u := range g.adj {
+		for v, w := range g.adj[u] {
+			if w <= 0 {
+				return fmt.Errorf("graph: non-positive multiplicity on (%d,%d)", u, v)
+			}
+			if u == v {
+				return fmt.Errorf("graph: self-loop on %d", u)
+			}
+			if g.adj[v][u] != w {
+				return fmt.Errorf("graph: asymmetric edge (%d,%d): %d vs %d", u, v, w, g.adj[v][u])
+			}
+			if u < v {
+				m++
+				s += w
+			}
+		}
+	}
+	if m != g.m {
+		return fmt.Errorf("graph: edge counter %d, recount %d", g.m, m)
+	}
+	if s != g.strength {
+		return fmt.Errorf("graph: strength counter %d, recount %d", g.strength, s)
+	}
+	return nil
+}

@@ -1,0 +1,314 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"netmodel/internal/rng"
+)
+
+func mustEdge(t *testing.T, g *Graph, u, v int) {
+	t.Helper()
+	if _, err := g.AddEdge(u, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := New(0)
+	if g.N() != 0 || g.M() != 0 || g.AvgDegree() != 0 || g.MaxDegree() != 0 {
+		t.Fatal("empty graph has non-zero counters")
+	}
+	if !g.IsConnected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestAddEdgeBasics(t *testing.T) {
+	g := New(3)
+	created, err := g.AddEdge(0, 1)
+	if err != nil || !created {
+		t.Fatalf("first AddEdge: created=%v err=%v", created, err)
+	}
+	created, err = g.AddEdge(1, 0)
+	if err != nil || created {
+		t.Fatalf("reinforcing AddEdge should not create: created=%v err=%v", created, err)
+	}
+	if g.M() != 1 {
+		t.Fatalf("M = %d, want 1", g.M())
+	}
+	if g.EdgeWeight(0, 1) != 2 || g.EdgeWeight(1, 0) != 2 {
+		t.Fatalf("multiplicity = %d, want 2", g.EdgeWeight(0, 1))
+	}
+	if g.TotalStrength() != 2 {
+		t.Fatalf("TotalStrength = %d, want 2", g.TotalStrength())
+	}
+	if g.Degree(0) != 1 || g.Strength(0) != 2 {
+		t.Fatalf("degree/strength = %d/%d, want 1/2", g.Degree(0), g.Strength(0))
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2)
+	if _, err := g.AddEdge(0, 0); err == nil {
+		t.Fatal("self-loop should fail")
+	}
+	if _, err := g.AddEdge(0, 2); err == nil {
+		t.Fatal("out-of-range should fail")
+	}
+	if _, err := g.AddEdge(-1, 0); err == nil {
+		t.Fatal("negative index should fail")
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(2)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 1)
+	if err := g.RemoveEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 1 || g.EdgeWeight(0, 1) != 1 {
+		t.Fatal("removing one unit should keep the simple edge")
+	}
+	if err := g.RemoveEdge(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 0 || g.HasEdge(0, 1) {
+		t.Fatal("edge should be gone")
+	}
+	if err := g.RemoveEdge(0, 1); err == nil {
+		t.Fatal("removing absent edge should fail")
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := New(1)
+	id := g.AddNode()
+	if id != 1 || g.N() != 2 {
+		t.Fatalf("AddNode returned %d, N=%d", id, g.N())
+	}
+	mustEdge(t, g, 0, 1)
+	if g.Degree(1) != 1 {
+		t.Fatal("new node unusable")
+	}
+}
+
+func TestNeighborListSorted(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 2, 4)
+	mustEdge(t, g, 2, 0)
+	mustEdge(t, g, 2, 3)
+	nl := g.NeighborList(2)
+	want := []int{0, 3, 4}
+	if len(nl) != 3 {
+		t.Fatalf("NeighborList = %v", nl)
+	}
+	for i := range want {
+		if nl[i] != want[i] {
+			t.Fatalf("NeighborList = %v, want %v", nl, want)
+		}
+	}
+}
+
+func TestNeighborsEarlyStop(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 0, 3)
+	count := 0
+	g.Neighbors(0, func(v, w int) bool {
+		count++
+		return false
+	})
+	if count != 1 {
+		t.Fatalf("early stop visited %d neighbors", count)
+	}
+}
+
+func TestEdgeListDeterministicSorted(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 3, 1)
+	mustEdge(t, g, 0, 2)
+	mustEdge(t, g, 1, 0)
+	el := g.EdgeList()
+	if len(el) != 3 {
+		t.Fatalf("EdgeList length %d", len(el))
+	}
+	for i := 1; i < len(el); i++ {
+		if el[i-1].U > el[i].U || (el[i-1].U == el[i].U && el[i-1].V >= el[i].V) {
+			t.Fatalf("EdgeList unsorted: %v", el)
+		}
+	}
+	for _, e := range el {
+		if e.U >= e.V {
+			t.Fatalf("edge not normalized: %+v", e)
+		}
+	}
+}
+
+func TestDegreeSequenceAndAvg(t *testing.T) {
+	g := New(4)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 2, 3)
+	ds := g.DegreeSequence()
+	want := []int{1, 2, 2, 1}
+	for i := range want {
+		if ds[i] != want[i] {
+			t.Fatalf("DegreeSequence = %v", ds)
+		}
+	}
+	if g.AvgDegree() != 1.5 {
+		t.Fatalf("AvgDegree = %v", g.AvgDegree())
+	}
+	if g.MaxDegree() != 2 {
+		t.Fatalf("MaxDegree = %v", g.MaxDegree())
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	g := New(3)
+	mustEdge(t, g, 0, 1)
+	c := g.Copy()
+	mustEdge(t, c, 1, 2)
+	if g.M() != 1 || c.M() != 2 {
+		t.Fatal("copy is not independent")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 1, 2) // multiplicity 2
+	mustEdge(t, g, 3, 4)
+	sub, mapping, err := g.InducedSubgraph([]int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.M() != 1 {
+		t.Fatalf("subgraph N=%d M=%d", sub.N(), sub.M())
+	}
+	// edge (1,2) must survive with multiplicity 2
+	i1, i2 := -1, -1
+	for newIdx, old := range mapping {
+		if old == 1 {
+			i1 = newIdx
+		}
+		if old == 2 {
+			i2 = newIdx
+		}
+	}
+	if sub.EdgeWeight(i1, i2) != 2 {
+		t.Fatalf("subgraph lost multiplicity: %d", sub.EdgeWeight(i1, i2))
+	}
+	if err := sub.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := New(3)
+	if _, _, err := g.InducedSubgraph([]int{0, 0}); err == nil {
+		t.Fatal("duplicate nodes should fail")
+	}
+	if _, _, err := g.InducedSubgraph([]int{5}); err == nil {
+		t.Fatal("out-of-range should fail")
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(6)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	comps := g.Components()
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	if len(comps[0]) != 3 || comps[0][0] != 0 {
+		t.Fatalf("largest component = %v", comps[0])
+	}
+	if len(comps[2]) != 1 || comps[2][0] != 5 {
+		t.Fatalf("isolated node component = %v", comps[2])
+	}
+	if g.IsConnected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+}
+
+func TestGiantComponent(t *testing.T) {
+	g := New(5)
+	mustEdge(t, g, 0, 1)
+	mustEdge(t, g, 1, 2)
+	mustEdge(t, g, 3, 4)
+	giant, mapping := g.GiantComponent()
+	if giant.N() != 3 || giant.M() != 2 {
+		t.Fatalf("giant N=%d M=%d", giant.N(), giant.M())
+	}
+	if len(mapping) != 3 {
+		t.Fatalf("mapping = %v", mapping)
+	}
+	if !giant.IsConnected() {
+		t.Fatal("giant component not connected")
+	}
+}
+
+func TestInvariantsUnderRandomOps(t *testing.T) {
+	r := rng.New(99)
+	prop := func(seed uint32) bool {
+		r.Seed(uint64(seed))
+		g := New(10)
+		type pair struct{ u, v int }
+		var present []pair
+		for op := 0; op < 200; op++ {
+			u, v := r.Intn(10), r.Intn(10)
+			if r.Float64() < 0.7 {
+				if u != v {
+					g.MustAddEdge(u, v)
+					present = append(present, pair{u, v})
+				}
+			} else if len(present) > 0 {
+				i := r.Intn(len(present))
+				p := present[i]
+				if err := g.RemoveEdge(p.u, p.v); err != nil {
+					return false
+				}
+				present = append(present[:i], present[i+1:]...)
+			}
+		}
+		return g.CheckInvariants() == nil
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandshakeLemma(t *testing.T) {
+	r := rng.New(7)
+	g := New(50)
+	for i := 0; i < 200; i++ {
+		u, v := r.Intn(50), r.Intn(50)
+		if u != v {
+			g.MustAddEdge(u, v)
+		}
+	}
+	sumDeg, sumStr := 0, 0
+	for u := 0; u < g.N(); u++ {
+		sumDeg += g.Degree(u)
+		sumStr += g.Strength(u)
+	}
+	if sumDeg != 2*g.M() {
+		t.Fatalf("sum of degrees %d != 2M %d", sumDeg, 2*g.M())
+	}
+	if sumStr != 2*g.TotalStrength() {
+		t.Fatalf("sum of strengths %d != 2B %d", sumStr, 2*g.TotalStrength())
+	}
+}

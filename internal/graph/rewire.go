@@ -1,0 +1,113 @@
+package graph
+
+import (
+	"errors"
+
+	"netmodel/internal/rng"
+)
+
+// DoubleEdgeSwap performs up to nswaps degree-preserving edge swaps: two
+// simple edges (a,b) and (c,d) are replaced by (a,d) and (c,b) when
+// neither replacement creates a self-loop or an existing edge. The swap
+// randomizes the wiring while keeping every node's topological degree
+// fixed — the 1K-randomization of the dK-series framework, used as the
+// null model for correlation and rich-club measurements.
+//
+// Multiplicities are collapsed to 1 on swapped edges, so the method is
+// intended for simple graphs (multigraphs lose bandwidth information).
+// It returns the number of successful swaps.
+func DoubleEdgeSwap(g *Graph, r *rng.Rand, nswaps int) (int, error) {
+	edges := g.EdgeList()
+	if len(edges) < 2 {
+		return 0, errors.New("graph: need at least two edges to swap")
+	}
+	done := 0
+	attempts := 0
+	maxAttempts := nswaps * 20
+	for done < nswaps && attempts < maxAttempts {
+		attempts++
+		i := r.Intn(len(edges))
+		j := r.Intn(len(edges))
+		if i == j {
+			continue
+		}
+		a, b := edges[i].U, edges[i].V
+		c, d := edges[j].U, edges[j].V
+		// Randomize orientation of the second edge so both pairings occur.
+		if r.Float64() < 0.5 {
+			c, d = d, c
+		}
+		if a == d || c == b || a == c || b == d {
+			continue
+		}
+		if g.HasEdge(a, d) || g.HasEdge(c, b) {
+			continue
+		}
+		if err := g.RemoveEdge(a, b); err != nil {
+			return done, err
+		}
+		if err := g.RemoveEdge(c, d); err != nil {
+			return done, err
+		}
+		g.MustAddEdge(a, d)
+		g.MustAddEdge(c, b)
+		edges[i] = ordered(a, d)
+		edges[j] = ordered(c, b)
+		done++
+	}
+	return done, nil
+}
+
+func ordered(u, v int) Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return Edge{U: u, V: v, W: 1}
+}
+
+// FromDegreeSequence builds a random simple graph with (approximately)
+// the given degree sequence via the configuration model with rejection
+// of self-loops and multi-edges: stubs are paired uniformly at random;
+// forbidden pairings are retried a bounded number of times and finally
+// dropped, so high-degree heads may end slightly below their target.
+// The sum of degrees must be even.
+func FromDegreeSequence(r *rng.Rand, degrees []int) (*Graph, error) {
+	total := 0
+	for _, d := range degrees {
+		if d < 0 {
+			return nil, errors.New("graph: negative degree")
+		}
+		total += d
+	}
+	if total%2 != 0 {
+		return nil, errors.New("graph: degree sum must be even")
+	}
+	g := New(len(degrees))
+	stubs := make([]int, 0, total)
+	for u, d := range degrees {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, u)
+		}
+	}
+	r.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	// Pair consecutive stubs; on a forbidden pairing, swap in a stub from
+	// a random later position and retry a few times.
+	for i := 0; i+1 < len(stubs); i += 2 {
+		ok := false
+		for try := 0; try < 50; try++ {
+			u, v := stubs[i], stubs[i+1]
+			if u != v && !g.HasEdge(u, v) {
+				g.MustAddEdge(u, v)
+				ok = true
+				break
+			}
+			if i+2 >= len(stubs) {
+				break
+			}
+			j := i + 2 + r.Intn(len(stubs)-i-2)
+			stubs[i+1], stubs[j] = stubs[j], stubs[i+1]
+		}
+		_ = ok // unconnectable stub pairs are dropped
+	}
+	return g, nil
+}

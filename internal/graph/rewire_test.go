@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"testing"
+
+	"netmodel/internal/rng"
+)
+
+// ring builds a cycle graph on n nodes.
+func ring(n int) *Graph {
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+func TestDoubleEdgeSwapPreservesDegrees(t *testing.T) {
+	r := rng.New(5)
+	g := ring(50)
+	before := g.DegreeSequence()
+	done, err := DoubleEdgeSwap(g, r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done == 0 {
+		t.Fatal("no swaps performed on a ring")
+	}
+	after := g.DegreeSequence()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("degree of %d changed: %d -> %d", i, before[i], after[i])
+		}
+	}
+	if g.M() != 50 {
+		t.Fatalf("edge count changed to %d", g.M())
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleEdgeSwapChangesWiring(t *testing.T) {
+	r := rng.New(9)
+	g := ring(100)
+	orig := g.Copy()
+	if _, err := DoubleEdgeSwap(g, r, 200); err != nil {
+		t.Fatal(err)
+	}
+	differs := false
+	g.Edges(func(u, v, w int) bool {
+		if !orig.HasEdge(u, v) {
+			differs = true
+			return false
+		}
+		return true
+	})
+	if !differs {
+		t.Fatal("rewiring left the graph identical")
+	}
+}
+
+func TestDoubleEdgeSwapTooFewEdges(t *testing.T) {
+	g := New(2)
+	g.MustAddEdge(0, 1)
+	if _, err := DoubleEdgeSwap(g, rng.New(1), 10); err == nil {
+		t.Fatal("single edge should fail")
+	}
+}
+
+func TestFromDegreeSequenceRegular(t *testing.T) {
+	r := rng.New(11)
+	deg := make([]int, 100)
+	for i := range deg {
+		deg[i] = 4
+	}
+	g, err := FromDegreeSequence(r, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Fatalf("N = %d", g.N())
+	}
+	// Rejection may drop a few stubs; degrees must not exceed targets and
+	// nearly all should hit them.
+	low := 0
+	for u := 0; u < g.N(); u++ {
+		if g.Degree(u) > 4 {
+			t.Fatalf("node %d exceeded target degree: %d", u, g.Degree(u))
+		}
+		if g.Degree(u) < 4 {
+			low++
+		}
+	}
+	if low > 5 {
+		t.Fatalf("%d nodes fell below target degree", low)
+	}
+	if err := g.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromDegreeSequenceErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, err := FromDegreeSequence(r, []int{1, 1, 1}); err == nil {
+		t.Fatal("odd degree sum should fail")
+	}
+	if _, err := FromDegreeSequence(r, []int{-1, 1}); err == nil {
+		t.Fatal("negative degree should fail")
+	}
+}
+
+func TestFromDegreeSequenceSimpleGraph(t *testing.T) {
+	r := rng.New(13)
+	deg := []int{5, 3, 3, 2, 2, 2, 2, 1}
+	g, err := FromDegreeSequence(r, deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Edges(func(u, v, w int) bool {
+		if w != 1 {
+			t.Fatalf("multi-edge (%d,%d) weight %d in configuration model", u, v, w)
+		}
+		return true
+	})
+}

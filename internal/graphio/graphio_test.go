@@ -1,0 +1,152 @@
+package graphio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+func sample(t *testing.T) *graph.Graph {
+	t.Helper()
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 1) // multiplicity 2
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(3, 4)
+	return g
+}
+
+func equalGraphs(a, b *graph.Graph) bool {
+	if a.N() != b.N() || a.M() != b.M() || a.TotalStrength() != b.TotalStrength() {
+		return false
+	}
+	ea, eb := a.EdgeList(), b.EdgeList()
+	for i := range ea {
+		if ea[i] != eb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := sample(t)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(g, got) {
+		t.Fatalf("round trip changed graph:\n%v", buf.String())
+	}
+}
+
+func TestEdgeListRoundTripLargeGenerated(t *testing.T) {
+	top, err := gen.BA{N: 2000, M: 2}.Generate(rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, top.G); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(top.G, got) {
+		t.Fatal("large round trip changed graph")
+	}
+}
+
+func TestEdgeListPreservesIsolatedNodes(t *testing.T) {
+	g := graph.New(10)
+	g.MustAddEdge(0, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 10 {
+		t.Fatalf("isolated nodes lost: N = %d", got.N())
+	}
+}
+
+func TestReadEdgeListWithoutHeader(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 3 || g.M() != 2 || g.EdgeWeight(1, 2) != 3 {
+		t.Fatalf("parsed N=%d M=%d w(1,2)=%d", g.N(), g.M(), g.EdgeWeight(1, 2))
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0\n",          // too few fields
+		"0 1 2 3\n",    // too many fields
+		"a b\n",        // not numbers
+		"0 -1\n",       // negative id
+		"0 1 0\n",      // zero multiplicity
+		"1 1\n",        // self-loop
+	}
+	for _, c := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q should fail", c)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := sample(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalGraphs(g, got) {
+		t.Fatalf("JSON round trip changed graph: %s", buf.String())
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	bad := []string{
+		`not json`,
+		`{"nodes": -1, "edges": []}`,
+		`{"nodes": 2, "edges": [[0,1,0]]}`,
+		`{"nodes": 2, "edges": [[0,5,1]]}`,
+	}
+	for _, c := range bad {
+		if _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Fatalf("input %q should fail", c)
+		}
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	g := sample(t)
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, g, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`graph "test"`, "0 -- 1 [penwidth=2]", "3 -- 4 [penwidth=1]", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+func TestTrianglesComplete(t *testing.T) {
+	g := complete(5)
+	tri := TrianglesPerNode(g)
+	for u, ti := range tri {
+		if ti != 6 { // C(4,2) triangles through each node of K5
+			t.Fatalf("T(%d) = %d, want 6", u, ti)
+		}
+	}
+	if total := TotalTriangles(g); total != 10 {
+		t.Fatalf("K5 triangles = %d, want 10", total)
+	}
+}
+
+func TestTrianglesTriangleWithTail(t *testing.T) {
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	tri := TrianglesPerNode(g)
+	want := []int{1, 1, 1, 0}
+	for u := range want {
+		if tri[u] != want[u] {
+			t.Fatalf("T = %v, want %v", tri, want)
+		}
+	}
+}
+
+func TestTrianglesIgnoreMultiplicity(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	if total := TotalTriangles(g); total != 1 {
+		t.Fatalf("triangles = %d, want 1 (multiplicity must not matter)", total)
+	}
+}
+
+// bruteTriangles counts triangles by full enumeration.
+func bruteTriangles(g *graph.Graph) int {
+	n := g.N()
+	c := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !g.HasEdge(i, j) {
+				continue
+			}
+			for k := j + 1; k < n; k++ {
+				if g.HasEdge(i, k) && g.HasEdge(j, k) {
+					c++
+				}
+			}
+		}
+	}
+	return c
+}
+
+func TestTrianglesMatchBruteForce(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(r, 40, 0.15)
+		if got, want := TotalTriangles(g), bruteTriangles(g); got != want {
+			t.Fatalf("trial %d: triangles = %d, brute force = %d", trial, got, want)
+		}
+	}
+}
+
+func TestLocalClusteringComplete(t *testing.T) {
+	c := LocalClustering(complete(6))
+	for u, cu := range c {
+		if math.Abs(cu-1) > 1e-12 {
+			t.Fatalf("c(%d) = %v, want 1", u, cu)
+		}
+	}
+}
+
+func TestLocalClusteringPath(t *testing.T) {
+	c := LocalClustering(path(5))
+	for u, cu := range c {
+		if cu != 0 {
+			t.Fatalf("c(%d) = %v on a path, want 0", u, cu)
+		}
+	}
+}
+
+func TestAvgClusteringSkipsLowDegree(t *testing.T) {
+	// Triangle plus isolated pendant: average should be over the three
+	// triangle nodes only.
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(3, 4)
+	if avg := AvgClustering(g); math.Abs(avg-1) > 1e-12 {
+		t.Fatalf("avg clustering = %v, want 1 (degree-1 nodes excluded)", avg)
+	}
+}
+
+func TestTransitivityKnown(t *testing.T) {
+	if tr := Transitivity(complete(4)); math.Abs(tr-1) > 1e-12 {
+		t.Fatalf("K4 transitivity = %v, want 1", tr)
+	}
+	if tr := Transitivity(star(10)); tr != 0 {
+		t.Fatalf("star transitivity = %v, want 0", tr)
+	}
+	// Triangle with tail: 1 triangle, triples: deg 2,2,3,1 ->
+	// 1+1+3+0 = 5 triples, transitivity 3/5.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	if tr := Transitivity(g); math.Abs(tr-0.6) > 1e-12 {
+		t.Fatalf("transitivity = %v, want 0.6", tr)
+	}
+}
+
+func TestClusteringSpectrum(t *testing.T) {
+	// Triangle with tail: nodes of degree 2 have c=1, node of degree 3
+	// has c = 1/3.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	spec := ClusteringSpectrum(g)
+	if math.Abs(spec[2]-1) > 1e-12 {
+		t.Fatalf("c(k=2) = %v, want 1", spec[2])
+	}
+	if math.Abs(spec[3]-1.0/3) > 1e-12 {
+		t.Fatalf("c(k=3) = %v, want 1/3", spec[3])
+	}
+	if _, ok := spec[1]; ok {
+		t.Fatal("degree-1 nodes must not appear in the spectrum")
+	}
+}
+
+func TestERClusteringMatchesP(t *testing.T) {
+	// For G(n,p), expected clustering is p.
+	g := randomGraph(rng.New(13), 800, 0.02)
+	avg := AvgClustering(g)
+	if math.Abs(avg-0.02) > 0.01 {
+		t.Fatalf("ER clustering = %v, want ~0.02", avg)
+	}
+}

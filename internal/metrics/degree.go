@@ -1,0 +1,172 @@
+// Package metrics implements the measurement toolkit of the Internet
+// topology literature: degree distributions and correlations, clustering
+// spectra, betweenness centrality, k-core decomposition, rich-club
+// connectivity, short-cycle counts and shortest-path statistics.
+//
+// All measures treat the graph as simple (multiplicities are ignored)
+// unless explicitly stated: the published AS-map statistics are defined
+// on the simple adjacency structure, with bandwidth analyzed separately
+// through node strengths.
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"netmodel/internal/graph"
+)
+
+// DegreeDistribution returns P(k), the fraction of nodes with each
+// occurring topological degree, keyed by degree.
+func DegreeDistribution(g *graph.Graph) map[int]float64 {
+	out := make(map[int]float64)
+	n := g.N()
+	if n == 0 {
+		return out
+	}
+	for u := 0; u < n; u++ {
+		out[g.Degree(u)]++
+	}
+	for k := range out {
+		out[k] /= float64(n)
+	}
+	return out
+}
+
+// DegreeCCDF returns the cumulative degree distribution
+// Pc(k) = Σ_{k' >= k} P(k') as (k, Pc) pairs sorted by k. This is the
+// curve plotted in every AS-map degree figure.
+func DegreeCCDF(g *graph.Graph) (ks []int, pc []float64) {
+	dist := DegreeDistribution(g)
+	for k := range dist {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	pc = make([]float64, len(ks))
+	cum := 0.0
+	for i := len(ks) - 1; i >= 0; i-- {
+		cum += dist[ks[i]]
+		pc[i] = cum
+	}
+	return ks, pc
+}
+
+// DegreeMoments returns ⟨k⟩ and ⟨k²⟩ of the degree sequence.
+func DegreeMoments(g *graph.Graph) (k1, k2 float64) {
+	n := g.N()
+	if n == 0 {
+		return 0, 0
+	}
+	for u := 0; u < n; u++ {
+		d := float64(g.Degree(u))
+		k1 += d
+		k2 += d * d
+	}
+	return k1 / float64(n), k2 / float64(n)
+}
+
+// DegreesAsFloats returns the degree sequence as float64 for the stats
+// package (power-law fitting).
+func DegreesAsFloats(g *graph.Graph) []float64 {
+	out := make([]float64, g.N())
+	for u := range out {
+		out[u] = float64(g.Degree(u))
+	}
+	return out
+}
+
+// StrengthsAsFloats returns the node strengths (bandwidths) as float64.
+func StrengthsAsFloats(g *graph.Graph) []float64 {
+	out := make([]float64, g.N())
+	for u := range out {
+		out[u] = float64(g.Strength(u))
+	}
+	return out
+}
+
+// Knn returns the average nearest-neighbor degree spectrum k̄nn(k): for
+// each occurring degree k, the mean over nodes of degree k of the mean
+// degree of their neighbors. A decreasing spectrum is the signature of
+// the Internet's disassortativity (Pastor-Satorras et al. 2001).
+func Knn(g *graph.Graph) map[int]float64 {
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for u := 0; u < g.N(); u++ {
+		k := g.Degree(u)
+		if k == 0 {
+			continue
+		}
+		nsum := 0.0
+		g.Neighbors(u, func(v, w int) bool {
+			nsum += float64(g.Degree(v))
+			return true
+		})
+		sum[k] += nsum / float64(k)
+		cnt[k]++
+	}
+	out := make(map[int]float64, len(sum))
+	for k, s := range sum {
+		out[k] = s / float64(cnt[k])
+	}
+	return out
+}
+
+// KnnNormalized returns k̄nn(k)·⟨k⟩/⟨k²⟩, the normalization under which
+// an uncorrelated network is flat at 1.
+func KnnNormalized(g *graph.Graph) map[int]float64 {
+	k1, k2 := DegreeMoments(g)
+	if k2 == 0 {
+		return map[int]float64{}
+	}
+	knn := Knn(g)
+	out := make(map[int]float64, len(knn))
+	for k, v := range knn {
+		out[k] = v * k1 / k2
+	}
+	return out
+}
+
+// Assortativity returns the Pearson degree-degree correlation coefficient
+// over edges (Newman's r). Negative values mean disassortative mixing;
+// the AS-level Internet measures r ≈ -0.19. It returns 0 for graphs with
+// fewer than 2 edges or zero variance.
+func Assortativity(g *graph.Graph) float64 {
+	var n, sx, sy, sxx, syy, sxy float64
+	g.Edges(func(u, v, w int) bool {
+		// Count each edge in both orientations so r is symmetric.
+		du, dv := float64(g.Degree(u)), float64(g.Degree(v))
+		for _, p := range [2][2]float64{{du, dv}, {dv, du}} {
+			n++
+			sx += p[0]
+			sy += p[1]
+			sxx += p[0] * p[0]
+			syy += p[1] * p[1]
+			sxy += p[0] * p[1]
+		}
+		return true
+	})
+	if n < 2 {
+		return 0
+	}
+	num := sxy/n - (sx/n)*(sy/n)
+	den := math.Sqrt((sxx/n - (sx/n)*(sx/n)) * (syy/n - (sy/n)*(sy/n)))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// DegreeStrengthPairs returns (k_i, b_i) for every node with k_i > 0,
+// used to verify the k ∝ b^μ scaling between topological degree and
+// bandwidth in weighted models.
+func DegreeStrengthPairs(g *graph.Graph) (ks, bs []float64) {
+	for u := 0; u < g.N(); u++ {
+		k := g.Degree(u)
+		if k == 0 {
+			continue
+		}
+		ks = append(ks, float64(k))
+		bs = append(bs, float64(g.Strength(u)))
+	}
+	return ks, bs
+}

@@ -1,0 +1,176 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// star builds a star graph: node 0 connected to 1..n-1.
+func star(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 1; i < n; i++ {
+		g.MustAddEdge(0, i)
+	}
+	return g
+}
+
+// path builds a path graph 0-1-...-n-1.
+func path(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+// complete builds K_n.
+func complete(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.MustAddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// cycleGraph builds C_n.
+func cycleGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(i, (i+1)%n)
+	}
+	return g
+}
+
+// randomGraph builds an Erdős–Rényi-ish graph for cross-checks.
+func randomGraph(r *rng.Rand, n int, p float64) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < p {
+				g.MustAddEdge(i, j)
+			}
+		}
+	}
+	return g
+}
+
+func TestDegreeDistributionStar(t *testing.T) {
+	g := star(10)
+	d := DegreeDistribution(g)
+	if math.Abs(d[9]-0.1) > 1e-12 {
+		t.Fatalf("P(9) = %v, want 0.1", d[9])
+	}
+	if math.Abs(d[1]-0.9) > 1e-12 {
+		t.Fatalf("P(1) = %v, want 0.9", d[1])
+	}
+	sum := 0.0
+	for _, p := range d {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("distribution sums to %v", sum)
+	}
+}
+
+func TestDegreeCCDF(t *testing.T) {
+	g := star(10)
+	ks, pc := DegreeCCDF(g)
+	if len(ks) != 2 || ks[0] != 1 || ks[1] != 9 {
+		t.Fatalf("ks = %v", ks)
+	}
+	if math.Abs(pc[0]-1) > 1e-12 {
+		t.Fatalf("Pc(1) = %v, want 1", pc[0])
+	}
+	if math.Abs(pc[1]-0.1) > 1e-12 {
+		t.Fatalf("Pc(9) = %v, want 0.1", pc[1])
+	}
+}
+
+func TestDegreeMoments(t *testing.T) {
+	g := path(3) // degrees 1,2,1
+	k1, k2 := DegreeMoments(g)
+	if math.Abs(k1-4.0/3) > 1e-12 || math.Abs(k2-2) > 1e-12 {
+		t.Fatalf("moments %v %v, want 4/3, 2", k1, k2)
+	}
+}
+
+func TestKnnStar(t *testing.T) {
+	g := star(5) // hub degree 4, leaves degree 1
+	knn := Knn(g)
+	if math.Abs(knn[4]-1) > 1e-12 {
+		t.Fatalf("knn(hub) = %v, want 1", knn[4])
+	}
+	if math.Abs(knn[1]-4) > 1e-12 {
+		t.Fatalf("knn(leaf) = %v, want 4", knn[1])
+	}
+}
+
+func TestKnnNormalizedUncorrelated(t *testing.T) {
+	// On a large ER graph knn(k) normalized should be ~1 for common k.
+	g := randomGraph(rng.New(3), 2000, 0.005)
+	norm := KnnNormalized(g)
+	// check at the mode of the degree distribution (~np = 10)
+	v, ok := norm[10]
+	if !ok {
+		t.Skip("no nodes of degree 10")
+	}
+	if math.Abs(v-1) > 0.1 {
+		t.Fatalf("normalized knn(10) = %v, want ~1", v)
+	}
+}
+
+func TestAssortativityStar(t *testing.T) {
+	// A star is maximally disassortative: every edge joins degree 1 to
+	// degree n-1, giving zero variance at each end -> r defined as 0 by
+	// our convention (degenerate), so use a double star instead.
+	g := graph.New(6)
+	g.MustAddEdge(0, 1) // two hubs joined
+	for i := 2; i < 4; i++ {
+		g.MustAddEdge(0, i)
+	}
+	for i := 4; i < 6; i++ {
+		g.MustAddEdge(1, i)
+	}
+	r := Assortativity(g)
+	if r >= 0 {
+		t.Fatalf("double star assortativity = %v, want negative", r)
+	}
+}
+
+func TestAssortativityRegularIsDegenerate(t *testing.T) {
+	if r := Assortativity(cycleGraph(10)); r != 0 {
+		t.Fatalf("cycle assortativity = %v, want 0 (degenerate)", r)
+	}
+}
+
+func TestAssortativityBounds(t *testing.T) {
+	g := randomGraph(rng.New(7), 500, 0.02)
+	r := Assortativity(g)
+	if r < -1 || r > 1 {
+		t.Fatalf("assortativity %v out of [-1,1]", r)
+	}
+	// ER graphs are uncorrelated.
+	if math.Abs(r) > 0.1 {
+		t.Fatalf("ER assortativity %v, want ~0", r)
+	}
+}
+
+func TestDegreeStrengthPairs(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 1) // multiplicity 2
+	g.MustAddEdge(0, 2)
+	ks, bs := DegreeStrengthPairs(g)
+	if len(ks) != 3 {
+		t.Fatalf("pairs for %d nodes, want 3", len(ks))
+	}
+	// node 0: k=2, b=3
+	if ks[0] != 2 || bs[0] != 3 {
+		t.Fatalf("node 0 (k,b) = (%v,%v), want (2,3)", ks[0], bs[0])
+	}
+}

@@ -1,0 +1,100 @@
+package metrics
+
+import (
+	"netmodel/internal/graph"
+)
+
+// KCoreResult holds the k-core decomposition of a graph.
+type KCoreResult struct {
+	Coreness []int // shell index of each node
+	MaxCore  int   // the coreness of the innermost shell (the "coreness" of the map)
+}
+
+// KCore computes the k-core decomposition with the Batagelj-Zaversnik
+// bucket algorithm, O(M). The coreness of node u is the largest k such
+// that u belongs to a maximal subgraph of minimum degree k. The
+// decomposition exposes the Internet's hierarchical shell structure
+// (LANET-VI style analyses).
+func KCore(g *graph.Graph) KCoreResult {
+	n := g.N()
+	res := KCoreResult{Coreness: make([]int, n)}
+	if n == 0 {
+		return res
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = g.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	// Bucket sort nodes by degree.
+	binStart := make([]int, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for i := 1; i < len(binStart); i++ {
+		binStart[i] += binStart[i-1]
+	}
+	pos := make([]int, n)   // position of node in vert
+	vert := make([]int, n)  // nodes sorted by current degree
+	fill := make([]int, maxDeg+1)
+	copy(fill, binStart[:maxDeg+1])
+	for u := 0; u < n; u++ {
+		pos[u] = fill[deg[u]]
+		vert[pos[u]] = u
+		fill[deg[u]]++
+	}
+	bin := make([]int, maxDeg+1)
+	copy(bin, binStart[:maxDeg+1])
+
+	cur := make([]int, n)
+	copy(cur, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		res.Coreness[v] = cur[v]
+		if cur[v] > res.MaxCore {
+			res.MaxCore = cur[v]
+		}
+		g.Neighbors(v, func(u, w int) bool {
+			if cur[u] > cur[v] {
+				du := cur[u]
+				pu := pos[u]
+				pw := bin[du] // first node of the du-bucket
+				nw := vert[pw]
+				if u != nw {
+					vert[pu], vert[pw] = nw, u
+					pos[u], pos[nw] = pw, pu
+				}
+				bin[du]++
+				cur[u]--
+			}
+			return true
+		})
+	}
+	return res
+}
+
+// ShellSizes returns the number of nodes in each k-shell, indexed by
+// shell number 0..MaxCore.
+func (r KCoreResult) ShellSizes() []int {
+	out := make([]int, r.MaxCore+1)
+	for _, c := range r.Coreness {
+		out[c]++
+	}
+	return out
+}
+
+// CoreSizes returns the number of nodes in each k-core (the cumulative
+// shells from k upward), indexed by k in 0..MaxCore.
+func (r KCoreResult) CoreSizes() []int {
+	shells := r.ShellSizes()
+	out := make([]int, len(shells))
+	cum := 0
+	for k := len(shells) - 1; k >= 0; k-- {
+		cum += shells[k]
+		out[k] = cum
+	}
+	return out
+}

@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"errors"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// BFS returns the hop distance from src to every node, with -1 for
+// unreachable nodes.
+func BFS(g *graph.Graph, src int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.N() {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		g.Neighbors(u, func(v, w int) bool {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+			return true
+		})
+	}
+	return dist
+}
+
+// PathStats summarizes shortest-path structure.
+type PathStats struct {
+	Distribution map[int]float64 // P(d): fraction of reachable ordered pairs at distance d >= 1
+	Avg          float64         // mean distance over reachable pairs
+	Diameter     int             // maximum observed distance
+	Sources      int             // number of BFS sources used
+}
+
+// PathLengths measures shortest-path statistics by BFS from every node
+// (sources <= 0 or >= N) or from a uniform sample of `sources` nodes.
+// Sampling makes the N² cost tractable on large maps; the distribution
+// estimate is unbiased for connected graphs.
+func PathLengths(g *graph.Graph, r *rng.Rand, sources int) (PathStats, error) {
+	n := g.N()
+	if n == 0 {
+		return PathStats{}, errors.New("metrics: empty graph")
+	}
+	var srcs []int
+	if sources <= 0 || sources >= n {
+		srcs = make([]int, n)
+		for i := range srcs {
+			srcs[i] = i
+		}
+	} else {
+		if r == nil {
+			return PathStats{}, errors.New("metrics: sampling requires a generator")
+		}
+		perm := r.Perm(n)
+		srcs = perm[:sources]
+	}
+	counts := make(map[int]int)
+	total := 0
+	sum := 0.0
+	diam := 0
+	for _, s := range srcs {
+		dist := BFS(g, s)
+		for v, d := range dist {
+			if v == s || d <= 0 {
+				continue
+			}
+			counts[d]++
+			total++
+			sum += float64(d)
+			if d > diam {
+				diam = d
+			}
+		}
+	}
+	st := PathStats{Distribution: make(map[int]float64, len(counts)), Diameter: diam, Sources: len(srcs)}
+	if total > 0 {
+		st.Avg = sum / float64(total)
+		for d, c := range counts {
+			st.Distribution[d] = float64(c) / float64(total)
+		}
+	}
+	return st, nil
+}
+
+// Eccentricity returns the maximum BFS distance from u to any reachable
+// node, or 0 when u reaches nothing.
+func Eccentricity(g *graph.Graph, u int) int {
+	max := 0
+	for _, d := range BFS(g, u) {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

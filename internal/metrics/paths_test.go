@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+func TestBFSPath(t *testing.T) {
+	g := path(5)
+	d := BFS(g, 0)
+	for i := 0; i < 5; i++ {
+		if d[i] != i {
+			t.Fatalf("dist[%d] = %d, want %d", i, d[i], i)
+		}
+	}
+}
+
+func TestBFSUnreachable(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	d := BFS(g, 0)
+	if d[2] != -1 {
+		t.Fatalf("unreachable node distance = %d, want -1", d[2])
+	}
+}
+
+func TestBFSInvalidSource(t *testing.T) {
+	g := path(3)
+	d := BFS(g, 10)
+	for _, v := range d {
+		if v != -1 {
+			t.Fatal("invalid source should reach nothing")
+		}
+	}
+}
+
+func TestPathLengthsCycle(t *testing.T) {
+	g := cycleGraph(6)
+	st, err := PathLengths(g, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Diameter != 3 {
+		t.Fatalf("C6 diameter = %d, want 3", st.Diameter)
+	}
+	// C6 distances from any node: 1,1,2,2,3 -> avg = 9/5
+	if math.Abs(st.Avg-1.8) > 1e-12 {
+		t.Fatalf("C6 avg path = %v, want 1.8", st.Avg)
+	}
+	sum := 0.0
+	for _, p := range st.Distribution {
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("distance distribution sums to %v", sum)
+	}
+	if math.Abs(st.Distribution[1]-0.4) > 1e-12 {
+		t.Fatalf("P(d=1) = %v, want 0.4", st.Distribution[1])
+	}
+}
+
+func TestPathLengthsComplete(t *testing.T) {
+	st, err := PathLengths(complete(10), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Avg != 1 || st.Diameter != 1 {
+		t.Fatalf("K10 avg=%v diam=%d, want 1,1", st.Avg, st.Diameter)
+	}
+}
+
+func TestPathLengthsSampledApproximatesExact(t *testing.T) {
+	r := rng.New(17)
+	g := randomGraph(r, 500, 0.02)
+	giant, _ := g.GiantComponent()
+	exact, err := PathLengths(giant, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampled, err := PathLengths(giant, r, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sampled.Sources != 100 {
+		t.Fatalf("sources = %d", sampled.Sources)
+	}
+	if math.Abs(sampled.Avg-exact.Avg) > 0.1 {
+		t.Fatalf("sampled avg %v vs exact %v", sampled.Avg, exact.Avg)
+	}
+}
+
+func TestPathLengthsSamplingNeedsRand(t *testing.T) {
+	g := path(10)
+	if _, err := PathLengths(g, nil, 3); err == nil {
+		t.Fatal("sampling without generator should fail")
+	}
+}
+
+func TestPathLengthsEmpty(t *testing.T) {
+	if _, err := PathLengths(graph.New(0), nil, 0); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+}
+
+func TestEccentricity(t *testing.T) {
+	g := path(5)
+	if e := Eccentricity(g, 0); e != 4 {
+		t.Fatalf("ecc(end) = %d, want 4", e)
+	}
+	if e := Eccentricity(g, 2); e != 2 {
+		t.Fatalf("ecc(middle) = %d, want 2", e)
+	}
+}

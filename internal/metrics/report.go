@@ -1,0 +1,63 @@
+package metrics
+
+import (
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+	"netmodel/internal/stats"
+)
+
+// Snapshot is the full metric vector of a topology — the set of numbers
+// the validation literature compares between synthetic and measured
+// maps. Expensive measures (betweenness, cycles) are computed on demand
+// by their own functions and are not part of the snapshot.
+type Snapshot struct {
+	N, M          int
+	AvgDegree     float64
+	MaxDegree     int
+	Gamma         float64 // power-law exponent of the degree tail (MLE), 0 if no fit
+	GammaKS       float64 // KS distance of the tail fit
+	AvgClustering float64
+	Transitivity  float64
+	Assortativity float64
+	AvgPathLen    float64
+	Diameter      int
+	MaxCore       int
+	GiantFrac     float64 // fraction of nodes in the giant component
+}
+
+// Measure computes a Snapshot. Path statistics use BFS sampling with the
+// given number of sources (0 = all nodes); pass a generator when
+// sampling. Path and core statistics are measured on the giant
+// component, matching how published AS-map numbers are reported.
+func Measure(g *graph.Graph, r *rng.Rand, pathSources int) (Snapshot, error) {
+	s := Snapshot{
+		N:         g.N(),
+		M:         g.M(),
+		AvgDegree: g.AvgDegree(),
+		MaxDegree: g.MaxDegree(),
+	}
+	if g.N() == 0 {
+		s.GiantFrac = 1
+		return s, nil
+	}
+	if fit, err := stats.FitPowerLawDiscrete(DegreesAsFloats(g)); err == nil {
+		s.Gamma = fit.Alpha
+		s.GammaKS = fit.KS
+	}
+	s.AvgClustering = AvgClustering(g)
+	s.Transitivity = Transitivity(g)
+	s.Assortativity = Assortativity(g)
+
+	giant, _ := g.GiantComponent()
+	s.GiantFrac = float64(giant.N()) / float64(g.N())
+	if giant.N() > 1 {
+		ps, err := PathLengths(giant, r, pathSources)
+		if err != nil {
+			return s, err
+		}
+		s.AvgPathLen = ps.Avg
+		s.Diameter = ps.Diameter
+	}
+	s.MaxCore = KCore(g).MaxCore
+	return s, nil
+}

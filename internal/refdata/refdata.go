@@ -1,0 +1,109 @@
+// Package refdata encodes the published reference statistics of the
+// measured AS-level Internet that this toolkit validates against.
+//
+// The original artifacts — Oregon RouteViews BGP table dumps and the
+// extended AS+ maps — are not redistributable inside this repository,
+// and more importantly are not what the validation literature actually
+// compares against: every generator paper reduces the maps to a small
+// vector of summary statistics. This package records those published
+// numbers (May-2001 era maps, the standard benchmark snapshot) as Go
+// values, so a synthetic topology can be scored against the measured
+// Internet without the raw data. Each field cites the measurement it
+// comes from in the field comment.
+package refdata
+
+// Target is a reference statistic vector for a measured map.
+type Target struct {
+	Name          string
+	N             int     // number of ASs
+	M             int     // number of inter-AS links
+	AvgDegree     float64 // 2M/N
+	Gamma         float64 // degree-distribution power-law exponent
+	MaxDegreeFrac float64 // max degree / N (linear scaling observed)
+	AvgClustering float64 // mean local clustering
+	Assortativity float64 // Newman's r
+	AvgPathLen    float64 // mean AS hop distance
+	Diameter      int     // maximum hop distance
+	MaxCore       int     // depth of the k-core decomposition
+	KnnSlope      float64 // log-log slope of knn(k)
+	CkSlope       float64 // log-log slope of the clustering spectrum c(k)
+}
+
+// ASMap2001 is the Oregon RouteViews AS map, May 2001 snapshot: the
+// benchmark map of the 2001-2005 validation literature.
+//
+// Sources: N, M and γ from Pastor-Satorras & Vespignani (2004), ch. 4;
+// γ also Faloutsos³ (1999) and Vázquez et al. (2002); clustering,
+// knn slope and assortativity from Vázquez-Pastor-Satorras-Vespignani
+// (2002); path statistics from the same; coreness from the LANET-VI
+// k-core analyses (Alvarez-Hamelin et al. 2005).
+var ASMap2001 = Target{
+	Name:          "AS map (RouteViews, May 2001)",
+	N:             11174,
+	M:             23409,
+	AvgDegree:     4.19,
+	Gamma:         2.2,
+	MaxDegreeFrac: 0.21, // k_max ≈ 2390 of 11174
+	AvgClustering: 0.30,
+	Assortativity: -0.19,
+	AvgPathLen:    3.62,
+	Diameter:      10,
+	MaxCore:       18,
+	KnnSlope:      -0.55,
+	CkSlope:       -0.75,
+}
+
+// ASPlusMap2001 is the extended AS+ map (Chen et al. 2002), which adds
+// non-RouteViews vantage points and uncovers roughly 40% more links,
+// mostly peering edges low in the hierarchy.
+var ASPlusMap2001 = Target{
+	Name:          "AS+ extended map (2001)",
+	N:             11461,
+	M:             32730,
+	AvgDegree:     5.71,
+	Gamma:         2.2,
+	MaxDegreeFrac: 0.23,
+	AvgClustering: 0.35,
+	Assortativity: -0.19,
+	AvgPathLen:    3.56,
+	Diameter:      9,
+	MaxCore:       20,
+	KnnSlope:      -0.55,
+	CkSlope:       -0.75,
+}
+
+// GrowthRates are the measured exponential growth rates of the Internet
+// between November 1997 and May 2002 (units: month⁻¹): hosts from the
+// Hobbes Internet Timeline, ASs and links from daily RouteViews
+// snapshots. The ordering Alpha ≳ Delta ≳ Beta is the demand/supply
+// consistency condition of the growth analysis.
+var GrowthRates = struct {
+	Alpha      float64 // hosts (users)
+	Beta       float64 // ASs (nodes)
+	Delta      float64 // inter-AS links (edges)
+	AlphaError float64
+	BetaError  float64
+	DeltaError float64
+}{
+	Alpha: 0.036, Beta: 0.0304, Delta: 0.0330,
+	AlphaError: 0.001, BetaError: 0.0003, DeltaError: 0.0002,
+}
+
+// LoopExponents are the measured scaling exponents ξ(h) of the number
+// of h-cycles with system size, N_h(N) ∝ N^ξ(h) (Bianconi-Caldarelli-
+// Capocci 2005), with the values reported for the growing AS maps.
+var LoopExponents = struct {
+	Xi3, Xi4, Xi5          float64
+	Xi3Err, Xi4Err, Xi5Err float64
+}{
+	Xi3: 1.45, Xi4: 2.07, Xi5: 2.45,
+	Xi3Err: 0.07, Xi4Err: 0.01, Xi5Err: 0.08,
+}
+
+// PolicyInflation is the measured AS-path stretch of valley-free policy
+// routing over hypothetical shortest paths (Gao-Wang 2002 era analyses):
+// roughly 10-20% of pairs are inflated, with mean stretch well under one
+// hop.
+var PolicyInflation = struct {
+	MeanRatioLo, MeanRatioHi float64
+}{MeanRatioLo: 1.0, MeanRatioHi: 1.25}

@@ -1,0 +1,71 @@
+package refdata
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTargetsInternallyConsistent(t *testing.T) {
+	for _, tgt := range []Target{ASMap2001, ASPlusMap2001} {
+		if tgt.N <= 0 || tgt.M <= 0 {
+			t.Fatalf("%s: empty target", tgt.Name)
+		}
+		want := 2 * float64(tgt.M) / float64(tgt.N)
+		if math.Abs(want-tgt.AvgDegree) > 0.05 {
+			t.Fatalf("%s: AvgDegree %v inconsistent with N,M (%v)", tgt.Name, tgt.AvgDegree, want)
+		}
+		if tgt.Gamma < 2 || tgt.Gamma > 2.5 {
+			t.Fatalf("%s: Gamma %v outside the published AS range", tgt.Name, tgt.Gamma)
+		}
+		if tgt.Assortativity >= 0 {
+			t.Fatalf("%s: AS maps are disassortative", tgt.Name)
+		}
+		if tgt.AvgPathLen < 2 || tgt.AvgPathLen > 6 {
+			t.Fatalf("%s: implausible path length %v", tgt.Name, tgt.AvgPathLen)
+		}
+		if tgt.MaxDegreeFrac <= 0 || tgt.MaxDegreeFrac >= 1 {
+			t.Fatalf("%s: MaxDegreeFrac %v out of (0,1)", tgt.Name, tgt.MaxDegreeFrac)
+		}
+	}
+}
+
+func TestASPlusSupersetOfAS(t *testing.T) {
+	// The extended map adds links, not (many) nodes.
+	if ASPlusMap2001.M <= ASMap2001.M {
+		t.Fatal("AS+ must contain more links than the RouteViews map")
+	}
+	if ASPlusMap2001.N < ASMap2001.N {
+		t.Fatal("AS+ cannot have fewer ASs")
+	}
+	if ASPlusMap2001.AvgClustering <= ASMap2001.AvgClustering {
+		t.Fatal("extra peering links must raise clustering")
+	}
+}
+
+func TestGrowthRateOrdering(t *testing.T) {
+	g := GrowthRates
+	if !(g.Alpha > g.Delta && g.Delta > g.Beta) {
+		t.Fatalf("rate ordering alpha > delta > beta violated: %+v", g)
+	}
+	if g.AlphaError <= 0 || g.BetaError <= 0 || g.DeltaError <= 0 {
+		t.Fatal("missing error bars")
+	}
+}
+
+func TestLoopExponentOrdering(t *testing.T) {
+	l := LoopExponents
+	if !(l.Xi3 < l.Xi4 && l.Xi4 < l.Xi5) {
+		t.Fatalf("loop exponents must increase with cycle length: %+v", l)
+	}
+	// Higher loops cannot outgrow the h-th power of edges: xi(h) < h.
+	if l.Xi3 >= 3 || l.Xi4 >= 4 || l.Xi5 >= 5 {
+		t.Fatalf("loop exponents exceed combinatorial bounds: %+v", l)
+	}
+}
+
+func TestPolicyInflationBand(t *testing.T) {
+	p := PolicyInflation
+	if p.MeanRatioLo < 1 || p.MeanRatioHi <= p.MeanRatioLo {
+		t.Fatalf("bad inflation band %+v", p)
+	}
+}

@@ -1,0 +1,221 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestAliasMatchesWeights(t *testing.T) {
+	r := New(101)
+	weights := []float64{1, 2, 3, 4}
+	a, err := NewAlias(r, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 400000
+	counts := make([]float64, len(weights))
+	for i := 0; i < n; i++ {
+		counts[a.Next()]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := counts[i] / n
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("index %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasSingleWeight(t *testing.T) {
+	a, err := NewAlias(New(1), []float64{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if a.Next() != 0 {
+			t.Fatal("single-weight alias must always return 0")
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverDrawn(t *testing.T) {
+	a, err := NewAlias(New(3), []float64{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10000; i++ {
+		v := a.Next()
+		if v == 0 || v == 2 {
+			t.Fatalf("drew zero-weight index %d", v)
+		}
+	}
+}
+
+func TestAliasErrors(t *testing.T) {
+	r := New(1)
+	if _, err := NewAlias(r, nil); err == nil {
+		t.Fatal("empty weights should fail")
+	}
+	if _, err := NewAlias(r, []float64{0, 0}); err == nil {
+		t.Fatal("all-zero weights should fail")
+	}
+	if _, err := NewAlias(r, []float64{-1, 2}); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+}
+
+func TestFenwickTotalInvariant(t *testing.T) {
+	f := NewFenwick(New(7), 50)
+	prop := func(idx uint8, w uint16) bool {
+		i := int(idx) % 50
+		f.Set(i, float64(w))
+		sum := 0.0
+		for j := 0; j < f.Len(); j++ {
+			sum += f.Weight(j)
+		}
+		return math.Abs(sum-f.Total()) < 1e-6
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFenwickSampleProportional(t *testing.T) {
+	r := New(11)
+	f := NewFenwick(r, 4)
+	ws := []float64{1, 2, 3, 4}
+	for i, w := range ws {
+		f.Set(i, w)
+	}
+	const n = 400000
+	counts := make([]float64, 4)
+	for i := 0; i < n; i++ {
+		counts[f.Sample()]++
+	}
+	for i, w := range ws {
+		want := w / 10
+		got := counts[i] / n
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("index %d frequency %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestFenwickZeroWeightNeverSampled(t *testing.T) {
+	r := New(13)
+	f := NewFenwick(r, 5)
+	f.Set(1, 3)
+	f.Set(3, 7)
+	for i := 0; i < 20000; i++ {
+		v := f.Sample()
+		if v != 1 && v != 3 {
+			t.Fatalf("sampled zero-weight index %d", v)
+		}
+	}
+}
+
+func TestFenwickEmptySample(t *testing.T) {
+	f := NewFenwick(New(1), 10)
+	if got := f.Sample(); got != -1 {
+		t.Fatalf("empty sampler returned %d, want -1", got)
+	}
+}
+
+func TestFenwickDynamicUpdates(t *testing.T) {
+	r := New(17)
+	f := NewFenwick(r, 3)
+	f.Set(0, 10)
+	f.Set(1, 10)
+	f.Set(2, 10)
+	f.Set(0, 0) // remove index 0
+	f.Add(2, 20)
+	const n = 100000
+	counts := make([]float64, 3)
+	for i := 0; i < n; i++ {
+		counts[f.Sample()]++
+	}
+	if counts[0] != 0 {
+		t.Fatalf("sampled removed index %v times", counts[0])
+	}
+	// weights now 0,10,30 -> index 2 should be ~75%
+	got := counts[2] / n
+	if math.Abs(got-0.75) > 0.01 {
+		t.Fatalf("index 2 frequency %v, want 0.75", got)
+	}
+}
+
+func TestFenwickGrow(t *testing.T) {
+	r := New(19)
+	f := NewFenwick(r, 2)
+	f.Set(0, 1)
+	f.Set(1, 2)
+	f.Grow(5)
+	if f.Len() != 5 {
+		t.Fatalf("Len = %d, want 5", f.Len())
+	}
+	if f.Weight(0) != 1 || f.Weight(1) != 2 {
+		t.Fatal("Grow lost existing weights")
+	}
+	if math.Abs(f.Total()-3) > 1e-9 {
+		t.Fatalf("Total = %v, want 3", f.Total())
+	}
+	f.Set(4, 3)
+	counts := make([]int, 5)
+	for i := 0; i < 60000; i++ {
+		counts[f.Sample()]++
+	}
+	if counts[2] != 0 || counts[3] != 0 {
+		t.Fatal("sampled zero-weight grown indices")
+	}
+	if counts[4] == 0 {
+		t.Fatal("never sampled grown index with weight")
+	}
+}
+
+func TestFenwickSampleDistinct(t *testing.T) {
+	r := New(23)
+	f := NewFenwick(r, 6)
+	for i := 0; i < 6; i++ {
+		f.Set(i, float64(i+1))
+	}
+	before := f.Total()
+	got := f.SampleDistinct(4)
+	if len(got) != 4 {
+		t.Fatalf("got %d indices, want 4", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate index %d in %v", v, got)
+		}
+		seen[v] = true
+	}
+	if math.Abs(f.Total()-before) > 1e-9 {
+		t.Fatalf("SampleDistinct did not restore weights: %v vs %v", f.Total(), before)
+	}
+}
+
+func TestFenwickSampleDistinctExhausts(t *testing.T) {
+	r := New(29)
+	f := NewFenwick(r, 5)
+	f.Set(1, 1)
+	f.Set(3, 1)
+	got := f.SampleDistinct(4)
+	if len(got) != 2 {
+		t.Fatalf("got %d indices, want 2 (only 2 positive weights)", len(got))
+	}
+}
+
+func TestFenwickNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative weight did not panic")
+		}
+	}()
+	NewFenwick(New(1), 2).Set(0, -1)
+}

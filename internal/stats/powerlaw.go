@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"netmodel/internal/rng"
+)
+
+// PowerLawFit is the result of a maximum-likelihood power-law tail fit
+// following Clauset-Shalizi-Newman: P(x) ∝ x^-Alpha for x >= Xmin.
+type PowerLawFit struct {
+	Alpha float64 // tail exponent (γ in the degree-distribution notation)
+	Xmin  float64 // start of the power-law regime
+	KS    float64 // Kolmogorov-Smirnov distance of the fit over the tail
+	NTail int     // number of samples in the tail
+}
+
+// FitPowerLawDiscrete fits a discrete power law to integer-valued samples
+// (degrees), scanning candidate xmin values and keeping the one whose
+// MLE exponent minimizes the KS distance. The discrete MLE uses the
+// standard approximation alpha = 1 + n / Σ ln(x_i/(xmin-0.5)), accurate
+// for xmin >= 2.
+func FitPowerLawDiscrete(xs []float64) (PowerLawFit, error) {
+	var pos []float64
+	for _, x := range xs {
+		if x >= 1 {
+			pos = append(pos, math.Round(x))
+		}
+	}
+	if len(pos) < 10 {
+		return PowerLawFit{}, errors.New("stats: too few samples for power-law fit")
+	}
+	sort.Float64s(pos)
+	// Candidate xmins: distinct values up to the point where the tail
+	// keeps at least 10 samples.
+	best := PowerLawFit{KS: math.Inf(1)}
+	seen := map[float64]bool{}
+	for i, xm := range pos {
+		if seen[xm] || xm < 1 {
+			continue
+		}
+		seen[xm] = true
+		tail := pos[i:]
+		if len(tail) < 10 {
+			break
+		}
+		alpha := discreteMLE(tail, xm)
+		if alpha <= 1 || math.IsNaN(alpha) {
+			continue
+		}
+		ks := ksDiscrete(tail, alpha, xm)
+		if ks < best.KS {
+			best = PowerLawFit{Alpha: alpha, Xmin: xm, KS: ks, NTail: len(tail)}
+		}
+	}
+	if math.IsInf(best.KS, 1) {
+		return PowerLawFit{}, errors.New("stats: no valid power-law regime found")
+	}
+	return best, nil
+}
+
+func discreteMLE(tail []float64, xmin float64) float64 {
+	var s float64
+	for _, x := range tail {
+		s += math.Log(x / (xmin - 0.5))
+	}
+	if s <= 0 {
+		return math.NaN()
+	}
+	return 1 + float64(len(tail))/s
+}
+
+// ksDiscrete computes the KS distance between the empirical tail CDF and
+// the fitted discrete power law, approximating the discrete zeta CDF by
+// the continuous form with the usual -0.5 offset.
+func ksDiscrete(tail []float64, alpha, xmin float64) float64 {
+	n := float64(len(tail))
+	maxD := 0.0
+	for i, x := range tail {
+		emp := float64(i+1) / n
+		model := 1 - math.Pow((x+0.5)/(xmin-0.5), 1-alpha)
+		if d := math.Abs(emp - model); d > maxD {
+			maxD = d
+		}
+	}
+	return maxD
+}
+
+// FitPowerLawContinuous fits a continuous power law with fixed xmin by
+// maximum likelihood: alpha = 1 + n / Σ ln(x_i/xmin).
+func FitPowerLawContinuous(xs []float64, xmin float64) (PowerLawFit, error) {
+	if xmin <= 0 {
+		return PowerLawFit{}, errors.New("stats: xmin must be positive")
+	}
+	var tail []float64
+	for _, x := range xs {
+		if x >= xmin {
+			tail = append(tail, x)
+		}
+	}
+	if len(tail) < 5 {
+		return PowerLawFit{}, errors.New("stats: too few tail samples")
+	}
+	var s float64
+	for _, x := range tail {
+		s += math.Log(x / xmin)
+	}
+	if s <= 0 {
+		return PowerLawFit{}, errors.New("stats: degenerate tail")
+	}
+	alpha := 1 + float64(len(tail))/s
+	sort.Float64s(tail)
+	n := float64(len(tail))
+	maxD := 0.0
+	for i, x := range tail {
+		emp := float64(i+1) / n
+		model := 1 - math.Pow(x/xmin, 1-alpha)
+		if d := math.Abs(emp - model); d > maxD {
+			maxD = d
+		}
+	}
+	return PowerLawFit{Alpha: alpha, Xmin: xmin, KS: maxD, NTail: len(tail)}, nil
+}
+
+// Hill returns the Hill estimator of the tail index using the k largest
+// samples: gamma_hat = 1 + 1/mean(ln(x_(i)/x_(k+1))). The returned value
+// is on the same scale as the power-law exponent alpha.
+func Hill(xs []float64, k int) (float64, error) {
+	if k < 1 || k >= len(xs) {
+		return 0, errors.New("stats: Hill k out of range")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+	ref := sorted[k]
+	if ref <= 0 {
+		return 0, errors.New("stats: Hill requires positive order statistics")
+	}
+	var s float64
+	for i := 0; i < k; i++ {
+		s += math.Log(sorted[i] / ref)
+	}
+	if s <= 0 {
+		return 0, errors.New("stats: degenerate Hill sample")
+	}
+	return 1 + float64(k)/s, nil
+}
+
+// KSTwoSample returns the two-sample Kolmogorov-Smirnov statistic between
+// samples a and b: the maximum distance between their empirical CDFs.
+func KSTwoSample(a, b []float64) (float64, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return 0, errors.New("stats: KS needs non-empty samples")
+	}
+	sa := append([]float64(nil), a...)
+	sb := append([]float64(nil), b...)
+	sort.Float64s(sa)
+	sort.Float64s(sb)
+	i, j := 0, 0
+	maxD := 0.0
+	for i < len(sa) && j < len(sb) {
+		var x float64
+		if sa[i] <= sb[j] {
+			x = sa[i]
+		} else {
+			x = sb[j]
+		}
+		for i < len(sa) && sa[i] <= x {
+			i++
+		}
+		for j < len(sb) && sb[j] <= x {
+			j++
+		}
+		d := math.Abs(float64(i)/float64(len(sa)) - float64(j)/float64(len(sb)))
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, nil
+}
+
+// Bootstrap resamples xs with replacement nboot times, applies f to each
+// resample, and returns the lo and hi quantiles (e.g. 0.025, 0.975) of
+// the statistic along with its point estimate on the original sample.
+func Bootstrap(r *rng.Rand, xs []float64, nboot int, lo, hi float64, f func([]float64) float64) (point, qlo, qhi float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, 0, errors.New("stats: bootstrap of empty sample")
+	}
+	if nboot < 10 {
+		return 0, 0, 0, errors.New("stats: need at least 10 bootstrap replicates")
+	}
+	point = f(xs)
+	reps := make([]float64, nboot)
+	buf := make([]float64, len(xs))
+	for b := 0; b < nboot; b++ {
+		for i := range buf {
+			buf[i] = xs[r.Intn(len(xs))]
+		}
+		reps[b] = f(buf)
+	}
+	sort.Float64s(reps)
+	return point, Quantile(reps, lo), Quantile(reps, hi), nil
+}

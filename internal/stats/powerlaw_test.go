@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"netmodel/internal/rng"
+)
+
+// paretoSample draws n continuous power-law samples with exponent alpha
+// and minimum xmin.
+func paretoSample(r *rng.Rand, n int, xmin, alpha float64) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Pareto(xmin, alpha-1)
+	}
+	return xs
+}
+
+func TestFitPowerLawContinuousRecoversAlpha(t *testing.T) {
+	r := rng.New(11)
+	for _, alpha := range []float64{1.8, 2.2, 3.0} {
+		xs := paretoSample(r, 20000, 1, alpha)
+		fit, err := FitPowerLawContinuous(xs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fit.Alpha-alpha) > 0.05 {
+			t.Fatalf("alpha %v fitted as %v", alpha, fit.Alpha)
+		}
+		if fit.KS > 0.02 {
+			t.Fatalf("KS %v too large for a true power law", fit.KS)
+		}
+	}
+}
+
+func TestFitPowerLawDiscreteRecoversAlpha(t *testing.T) {
+	r := rng.New(13)
+	// Discretized Pareto: rounding continuous samples yields an
+	// approximately discrete power law for x >> 1.
+	raw := paretoSample(r, 30000, 1, 2.2)
+	xs := make([]float64, len(raw))
+	for i, x := range raw {
+		xs[i] = math.Round(x)
+	}
+	fit, err := FitPowerLawDiscrete(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Alpha-2.2) > 0.15 {
+		t.Fatalf("discrete alpha fitted as %v, want ~2.2", fit.Alpha)
+	}
+	if fit.NTail < 100 {
+		t.Fatalf("tail too small: %d", fit.NTail)
+	}
+}
+
+func TestFitPowerLawDiscreteRejectsUniform(t *testing.T) {
+	r := rng.New(17)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = float64(1 + r.Intn(50))
+	}
+	fit, err := FitPowerLawDiscrete(xs)
+	if err != nil {
+		return // acceptable: no regime found
+	}
+	// A uniform sample has no power-law tail; the KS distance of the best
+	// "fit" should be clearly worse than for a genuine power law.
+	if fit.KS < 0.02 {
+		t.Fatalf("uniform data fitted with KS %v — fit should be poor", fit.KS)
+	}
+}
+
+func TestFitPowerLawErrors(t *testing.T) {
+	if _, err := FitPowerLawDiscrete([]float64{1, 2}); err == nil {
+		t.Fatal("tiny sample should fail")
+	}
+	if _, err := FitPowerLawContinuous([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("xmin=0 should fail")
+	}
+	if _, err := FitPowerLawContinuous([]float64{1, 2, 3}, 100); err == nil {
+		t.Fatal("empty tail should fail")
+	}
+}
+
+func TestHillRecoversTailIndex(t *testing.T) {
+	r := rng.New(19)
+	xs := paretoSample(r, 50000, 1, 2.5)
+	h, err := Hill(xs, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h-2.5) > 0.15 {
+		t.Fatalf("Hill estimate %v, want ~2.5", h)
+	}
+}
+
+func TestHillErrors(t *testing.T) {
+	if _, err := Hill([]float64{1, 2, 3}, 0); err == nil {
+		t.Fatal("k=0 should fail")
+	}
+	if _, err := Hill([]float64{1, 2, 3}, 3); err == nil {
+		t.Fatal("k=len should fail")
+	}
+}
+
+func TestKSTwoSampleIdentical(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	d, err := KSTwoSample(xs, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("KS of identical samples = %v", d)
+	}
+}
+
+func TestKSTwoSampleDisjoint(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 11, 12}
+	d, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 1 {
+		t.Fatalf("KS of disjoint samples = %v, want 1", d)
+	}
+}
+
+func TestKSTwoSampleSameDistribution(t *testing.T) {
+	r := rng.New(23)
+	a := make([]float64, 5000)
+	b := make([]float64, 5000)
+	for i := range a {
+		a[i] = r.Normal(0, 1)
+		b[i] = r.Normal(0, 1)
+	}
+	d, err := KSTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.05 {
+		t.Fatalf("KS between same-law samples = %v, want small", d)
+	}
+}
+
+func TestKSTwoSampleEmpty(t *testing.T) {
+	if _, err := KSTwoSample(nil, []float64{1}); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+}
+
+func TestBootstrapCoversTruth(t *testing.T) {
+	r := rng.New(29)
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = r.Normal(10, 2)
+	}
+	point, lo, hi, err := Bootstrap(r, xs, 200, 0.025, 0.975, Mean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo > point || point > hi {
+		t.Fatalf("point %v outside CI [%v,%v]", point, lo, hi)
+	}
+	if lo > 10 || hi < 10 {
+		t.Fatalf("CI [%v,%v] misses true mean 10", lo, hi)
+	}
+	if hi-lo > 0.5 {
+		t.Fatalf("CI width %v implausibly wide", hi-lo)
+	}
+}
+
+func TestBootstrapErrors(t *testing.T) {
+	r := rng.New(1)
+	if _, _, _, err := Bootstrap(r, nil, 100, 0.1, 0.9, Mean); err == nil {
+		t.Fatal("empty sample should fail")
+	}
+	if _, _, _, err := Bootstrap(r, []float64{1}, 5, 0.1, 0.9, Mean); err == nil {
+		t.Fatal("too few replicates should fail")
+	}
+}

@@ -1,0 +1,211 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netmodel/internal/rng"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if !almostEqual(s.Mean, 5, 1e-12) {
+		t.Fatalf("Mean = %v", s.Mean)
+	}
+	if !almostEqual(s.Std, 2, 1e-12) {
+		t.Fatalf("Std = %v, want 2", s.Std)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEqual(s.Median, 4.5, 1e-12) {
+		t.Fatalf("Median = %v", s.Median)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestQuantileEndpoints(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if Quantile(sorted, 0) != 1 || Quantile(sorted, 1) != 5 {
+		t.Fatal("quantile endpoints wrong")
+	}
+	if !almostEqual(Quantile(sorted, 0.5), 3, 1e-12) {
+		t.Fatal("median wrong")
+	}
+	if !almostEqual(Quantile(sorted, 0.25), 2, 1e-12) {
+		t.Fatalf("q25 = %v", Quantile(sorted, 0.25))
+	}
+}
+
+func TestMomentMatchesMean(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if !almostEqual(Moment(xs, 1), Mean(xs), 1e-12) {
+		t.Fatal("first moment != mean")
+	}
+	if !almostEqual(Moment(xs, 2), 7.5, 1e-12) {
+		t.Fatalf("second moment = %v, want 7.5", Moment(xs, 2))
+	}
+}
+
+func TestCCDFProperties(t *testing.T) {
+	xs := []float64{1, 1, 2, 3, 3, 3}
+	c := CCDF(xs)
+	if len(c) != 3 {
+		t.Fatalf("distinct values = %d, want 3", len(c))
+	}
+	if c[0].X != 1 || !almostEqual(c[0].P, 1, 1e-12) {
+		t.Fatalf("CCDF at min = %+v, want P=1", c[0])
+	}
+	if c[2].X != 3 || !almostEqual(c[2].P, 0.5, 1e-12) {
+		t.Fatalf("CCDF at 3 = %+v, want P=0.5", c[2])
+	}
+	// monotone non-increasing
+	for i := 1; i < len(c); i++ {
+		if c[i].P > c[i-1].P {
+			t.Fatal("CCDF not monotone")
+		}
+	}
+}
+
+func TestCCDFMonotoneProperty(t *testing.T) {
+	r := rng.New(1)
+	prop := func(seed uint32) bool {
+		r.Seed(uint64(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = math.Floor(r.Float64() * 10)
+		}
+		c := CCDF(xs)
+		if len(c) == 0 || c[0].P != 1 {
+			return false
+		}
+		for i := 1; i < len(c); i++ {
+			if c[i].P >= c[i-1].P || c[i].X <= c[i-1].X {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogBinsCountPreserved(t *testing.T) {
+	r := rng.New(3)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Pareto(1, 1.5)
+	}
+	bins, err := LogBins(xs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+		if b.Lo >= b.Hi {
+			t.Fatalf("bad bin edges %+v", b)
+		}
+		if b.Center < b.Lo || b.Center > b.Hi {
+			t.Fatalf("center outside bin %+v", b)
+		}
+	}
+	if total != len(xs) {
+		t.Fatalf("binned %d of %d samples", total, len(xs))
+	}
+}
+
+func TestLogBinsIgnoresNonPositive(t *testing.T) {
+	bins, err := LogBins([]float64{-1, 0, 1, 10}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 2 {
+		t.Fatalf("binned %d, want 2", total)
+	}
+}
+
+func TestLogBinsBadRatio(t *testing.T) {
+	if _, err := LogBins([]float64{1}, 1); err == nil {
+		t.Fatal("ratio=1 should fail")
+	}
+}
+
+func TestLinearFitExact(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	f, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 2, 1e-12) || !almostEqual(f.Intercept, 1, 1e-12) {
+		t.Fatalf("fit %+v, want slope 2 intercept 1", f)
+	}
+	if !almostEqual(f.R2, 1, 1e-12) {
+		t.Fatalf("R2 = %v, want 1", f.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	r := rng.New(5)
+	var xs, ys []float64
+	for i := 0; i < 1000; i++ {
+		x := r.Float64() * 10
+		xs = append(xs, x)
+		ys = append(ys, 3*x-2+r.Normal(0, 0.5))
+	}
+	f, err := LinearFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, 3, 0.05) || !almostEqual(f.Intercept, -2, 0.1) {
+		t.Fatalf("noisy fit %+v", f)
+	}
+	if f.R2 < 0.95 {
+		t.Fatalf("R2 = %v too low", f.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point should fail")
+	}
+	if _, err := LinearFit([]float64{1, 1}, []float64{1, 2}); err == nil {
+		t.Fatal("zero x-variance should fail")
+	}
+	if _, err := LinearFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("length mismatch should fail")
+	}
+}
+
+func TestLogLogFitRecoversExponent(t *testing.T) {
+	var xs, ys []float64
+	for x := 1.0; x <= 1000; x *= 1.3 {
+		xs = append(xs, x)
+		ys = append(ys, 5*math.Pow(x, -2.2))
+	}
+	f, err := LogLogFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(f.Slope, -2.2, 1e-9) {
+		t.Fatalf("slope %v, want -2.2", f.Slope)
+	}
+}

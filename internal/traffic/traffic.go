@@ -1,0 +1,236 @@
+// Package traffic turns topologies into load: gravity-model traffic
+// matrices, shortest-path routing of demand onto links, and the
+// utilization statistics that close the loop between topology and the
+// capacity planning an ISP actually pays for.
+//
+// The gravity model is the standard traffic-matrix synthesis of the
+// measurement literature: demand between u and v is proportional to
+// m(u)·m(v), where the mass m is any per-node activity proxy (customer
+// count, degree). Demand is routed on hop-count shortest paths with even
+// splitting over ties (ECMP), the same abstraction used in path-level
+// Internet studies.
+package traffic
+
+import (
+	"errors"
+	"math"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// Matrix is a traffic matrix: Demand[u][v] is the offered load from u to
+// v. It is dense; intended for maps up to a few thousand nodes.
+type Matrix struct {
+	Demand [][]float64
+}
+
+// Gravity builds a gravity-model matrix with the given per-node masses,
+// scaled so the total offered load equals total. Self-demand is zero.
+func Gravity(masses []float64, total float64) (*Matrix, error) {
+	n := len(masses)
+	if n < 2 {
+		return nil, errors.New("traffic: need at least two nodes")
+	}
+	if total <= 0 {
+		return nil, errors.New("traffic: total load must be positive")
+	}
+	var sum float64
+	for _, m := range masses {
+		if m < 0 {
+			return nil, errors.New("traffic: negative mass")
+		}
+		sum += m
+	}
+	if sum == 0 {
+		return nil, errors.New("traffic: all masses zero")
+	}
+	d := make([][]float64, n)
+	var gross float64
+	for u := range d {
+		d[u] = make([]float64, n)
+		for v := range d[u] {
+			if u != v {
+				d[u][v] = masses[u] * masses[v]
+				gross += d[u][v]
+			}
+		}
+	}
+	scale := total / gross
+	for u := range d {
+		for v := range d[u] {
+			d[u][v] *= scale
+		}
+	}
+	return &Matrix{Demand: d}, nil
+}
+
+// Total returns the sum of all demands.
+func (m *Matrix) Total() float64 {
+	var s float64
+	for _, row := range m.Demand {
+		for _, v := range row {
+			s += v
+		}
+	}
+	return s
+}
+
+// LinkLoad holds the routed load of one simple edge.
+type LinkLoad struct {
+	U, V int
+	Load float64
+}
+
+// LoadReport summarizes routing a matrix over a topology.
+type LoadReport struct {
+	Links      []LinkLoad // one entry per simple edge, order unspecified
+	MaxLoad    float64
+	MeanLoad   float64
+	Undelivered float64 // demand between disconnected pairs
+	// MaxUtilization is MaxLoad divided by the capacity of the busiest
+	// link when capacities (edge multiplicities) are used, 0 otherwise.
+	MaxUtilization float64
+}
+
+// Route routes the matrix over hop-count shortest paths with even ECMP
+// splitting, returning per-link loads. When useCapacity is set, each
+// link's utilization is load divided by its multiplicity and the report
+// carries the worst one.
+func Route(g *graph.Graph, m *Matrix, useCapacity bool) (*LoadReport, error) {
+	n := g.N()
+	if n == 0 {
+		return nil, errors.New("traffic: empty graph")
+	}
+	if len(m.Demand) != n {
+		return nil, errors.New("traffic: matrix size mismatch")
+	}
+	// edge index
+	type ekey struct{ u, v int }
+	loads := make(map[ekey]float64, g.M())
+	key := func(u, v int) ekey {
+		if u > v {
+			u, v = v, u
+		}
+		return ekey{u, v}
+	}
+	rep := &LoadReport{}
+	dist := make([]int, n)
+	sigma := make([]float64, n)
+	order := make([]int, 0, n)
+	preds := make([][]int, n)
+	flowIn := make([]float64, n) // demand from s entering v along shortest DAG
+	for s := 0; s < n; s++ {
+		// BFS shortest-path DAG from s (Brandes-style counting).
+		for i := 0; i < n; i++ {
+			dist[i] = -1
+			sigma[i] = 0
+			preds[i] = preds[i][:0]
+			flowIn[i] = 0
+		}
+		order = order[:0]
+		dist[s] = 0
+		sigma[s] = 1
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			g.Neighbors(u, func(v, w int) bool {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					queue = append(queue, v)
+				}
+				if dist[v] == dist[u]+1 {
+					sigma[v] += sigma[u]
+					preds[v] = append(preds[v], u)
+				}
+				return true
+			})
+		}
+		// Push demand from the farthest nodes back toward s, splitting
+		// over predecessors proportionally to path counts.
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if v == s {
+				continue
+			}
+			demand := m.Demand[s][v] + flowIn[v]
+			if demand == 0 {
+				continue
+			}
+			for _, p := range preds[v] {
+				share := demand * sigma[p] / sigma[v]
+				loads[key(p, v)] += share
+				flowIn[p] += share
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v != s && dist[v] < 0 {
+				rep.Undelivered += m.Demand[s][v]
+			}
+		}
+	}
+	var sum float64
+	for k, l := range loads {
+		rep.Links = append(rep.Links, LinkLoad{U: k.u, V: k.v, Load: l})
+		sum += l
+		if l > rep.MaxLoad {
+			rep.MaxLoad = l
+		}
+		if useCapacity {
+			cap := float64(g.EdgeWeight(k.u, k.v))
+			if cap > 0 {
+				if util := l / cap; util > rep.MaxUtilization {
+					rep.MaxUtilization = util
+				}
+			}
+		}
+	}
+	if len(rep.Links) > 0 {
+		rep.MeanLoad = sum / float64(len(rep.Links))
+	}
+	return rep, nil
+}
+
+// HotSpots returns the indices (into rep.Links) of the k most loaded
+// links, most loaded first.
+func (rep *LoadReport) HotSpots(k int) []int {
+	idx := make([]int, len(rep.Links))
+	for i := range idx {
+		idx[i] = i
+	}
+	// partial selection sort: k is small in practice
+	if k > len(idx) {
+		k = len(idx)
+	}
+	for i := 0; i < k; i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			if rep.Links[idx[j]].Load > rep.Links[idx[best]].Load {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+	return idx[:k]
+}
+
+// UniformMasses returns all-ones masses for n nodes.
+func UniformMasses(n int) []float64 {
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = 1
+	}
+	return m
+}
+
+// NoisyMasses perturbs masses multiplicatively by lognormal-ish noise,
+// for robustness experiments.
+func NoisyMasses(r *rng.Rand, masses []float64, sigma float64) []float64 {
+	out := make([]float64, len(masses))
+	for i, m := range masses {
+		out[i] = m * math.Exp(r.Normal(0, sigma))
+	}
+	return out
+}

@@ -1,0 +1,190 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+func pathGraph(n int) *graph.Graph {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.MustAddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestGravityProperties(t *testing.T) {
+	m, err := Gravity([]float64{1, 2, 3}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Total()-60) > 1e-9 {
+		t.Fatalf("total = %v, want 60", m.Total())
+	}
+	for u := range m.Demand {
+		if m.Demand[u][u] != 0 {
+			t.Fatal("self demand must be zero")
+		}
+	}
+	// Demand(1,2) : Demand(0,1) = (2*3):(1*2) = 3
+	if r := m.Demand[1][2] / m.Demand[0][1]; math.Abs(r-3) > 1e-9 {
+		t.Fatalf("gravity ratio = %v, want 3", r)
+	}
+	// symmetric masses -> symmetric matrix
+	if m.Demand[0][2] != m.Demand[2][0] {
+		t.Fatal("gravity with symmetric masses must be symmetric")
+	}
+}
+
+func TestGravityErrors(t *testing.T) {
+	if _, err := Gravity([]float64{1}, 10); err == nil {
+		t.Fatal("single node should fail")
+	}
+	if _, err := Gravity([]float64{1, 2}, 0); err == nil {
+		t.Fatal("zero total should fail")
+	}
+	if _, err := Gravity([]float64{1, -1}, 10); err == nil {
+		t.Fatal("negative mass should fail")
+	}
+	if _, err := Gravity([]float64{0, 0}, 10); err == nil {
+		t.Fatal("all-zero masses should fail")
+	}
+}
+
+func TestRoutePathGraphMiddleLinkBusiest(t *testing.T) {
+	g := pathGraph(4) // 0-1-2-3
+	m, err := Gravity(UniformMasses(4), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Route(g, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Links) != 3 {
+		t.Fatalf("links = %d, want 3", len(rep.Links))
+	}
+	// Conservation: total link load = sum over pairs of demand*distance.
+	var wantLoad float64
+	for u := 0; u < 4; u++ {
+		for v := 0; v < 4; v++ {
+			if u != v {
+				d := float64(v - u)
+				if d < 0 {
+					d = -d
+				}
+				wantLoad += m.Demand[u][v] * d
+			}
+		}
+	}
+	var gotLoad float64
+	middle := 0.0
+	for _, l := range rep.Links {
+		gotLoad += l.Load
+		if l.U == 1 && l.V == 2 {
+			middle = l.Load
+		}
+	}
+	if math.Abs(gotLoad-wantLoad) > 1e-9 {
+		t.Fatalf("total load %v, want %v", gotLoad, wantLoad)
+	}
+	if middle != rep.MaxLoad {
+		t.Fatalf("middle link load %v is not the max %v", middle, rep.MaxLoad)
+	}
+	if rep.Undelivered != 0 {
+		t.Fatalf("undelivered = %v on a connected graph", rep.Undelivered)
+	}
+}
+
+func TestRouteECMPSplitsEvenly(t *testing.T) {
+	// Square 0-1-2-3-0: two equal paths between opposite corners.
+	g := graph.New(4)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 3)
+	g.MustAddEdge(3, 0)
+	m := &Matrix{Demand: make([][]float64, 4)}
+	for i := range m.Demand {
+		m.Demand[i] = make([]float64, 4)
+	}
+	m.Demand[0][2] = 8
+	rep, err := Route(g, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range rep.Links {
+		if math.Abs(l.Load-4) > 1e-9 {
+			t.Fatalf("link (%d,%d) load %v, want 4 (even split)", l.U, l.V, l.Load)
+		}
+	}
+}
+
+func TestRouteUndelivered(t *testing.T) {
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	m := &Matrix{Demand: [][]float64{{0, 1, 5}, {1, 0, 0}, {5, 0, 0}}}
+	rep, err := Route(g, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.Undelivered-10) > 1e-9 {
+		t.Fatalf("undelivered = %v, want 10", rep.Undelivered)
+	}
+}
+
+func TestRouteUtilization(t *testing.T) {
+	g := graph.New(2)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(0, 1) // capacity 2
+	m := &Matrix{Demand: [][]float64{{0, 6}, {0, 0}}}
+	rep, err := Route(g, m, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(rep.MaxUtilization-3) > 1e-9 {
+		t.Fatalf("utilization = %v, want 3 (load 6 / capacity 2)", rep.MaxUtilization)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	if _, err := Route(graph.New(0), &Matrix{}, false); err == nil {
+		t.Fatal("empty graph should fail")
+	}
+	if _, err := Route(graph.New(2), &Matrix{Demand: [][]float64{{0}}}, false); err == nil {
+		t.Fatal("size mismatch should fail")
+	}
+}
+
+func TestHotSpots(t *testing.T) {
+	rep := &LoadReport{Links: []LinkLoad{
+		{0, 1, 5}, {1, 2, 9}, {2, 3, 1}, {3, 4, 7},
+	}}
+	hot := rep.HotSpots(2)
+	if len(hot) != 2 || rep.Links[hot[0]].Load != 9 || rep.Links[hot[1]].Load != 7 {
+		t.Fatalf("hot spots = %v", hot)
+	}
+	if got := rep.HotSpots(10); len(got) != 4 {
+		t.Fatalf("HotSpots over-capacity = %d entries", len(got))
+	}
+}
+
+func TestNoisyMassesPreservesScale(t *testing.T) {
+	r := rng.New(5)
+	masses := UniformMasses(2000)
+	noisy := NoisyMasses(r, masses, 0.3)
+	var sum float64
+	for _, m := range noisy {
+		if m <= 0 {
+			t.Fatal("noisy mass must stay positive")
+		}
+		sum += m
+	}
+	mean := sum / float64(len(noisy))
+	// lognormal mean e^{sigma^2/2} ≈ 1.046
+	if mean < 0.9 || mean > 1.2 {
+		t.Fatalf("noisy mass mean %v drifted", mean)
+	}
+}

@@ -1,0 +1,31 @@
+# Mirrors .github/workflows/ci.yml: `make ci` is the full gate.
+
+GO ?= go
+
+.PHONY: all build test bench lint fmt ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test -race ./...
+
+# Full benchmark matrix (E1-E12 plus the engine comparisons); one
+# iteration each, the CI smoke configuration. For real measurements
+# drop -benchtime or raise it.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x ./...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+fmt:
+	gofmt -w .
+
+ci: build lint test bench

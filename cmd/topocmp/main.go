@@ -17,6 +17,7 @@ import (
 
 	"netmodel/internal/compare"
 	"netmodel/internal/core"
+	"netmodel/internal/engine"
 	"netmodel/internal/graphio"
 	"netmodel/internal/refdata"
 	"netmodel/internal/rng"
@@ -58,7 +59,9 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		rep, err := compare.Against(g, tgt, compare.Options{PathSources: *sources, Rand: rng.New(*seed)})
+		// Freeze once and validate through the parallel engine.
+		eng := engine.New(g.Freeze())
+		rep, err := compare.AgainstFrozen(eng, tgt, compare.Options{PathSources: *sources, Rand: rng.New(*seed)})
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"netmodel/internal/compare"
+	"netmodel/internal/engine"
 	"netmodel/internal/graph"
 	"netmodel/internal/graphio"
 	"netmodel/internal/metrics"
@@ -32,6 +33,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	sources := fs.Int("path-sources", 500, "BFS sources for path stats (0 = exact)")
 	seed := fs.Uint64("seed", 1, "sampling seed")
 	ccdf := fs.Bool("ccdf", false, "also print the degree CCDF series")
+	workers := fs.Int("workers", 0, "analysis goroutines (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -42,7 +44,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	snap, err := metrics.Measure(g, rng.New(*seed), *sources)
+	// Freeze once; every metric below reads the immutable CSR snapshot
+	// through the parallel engine, sharing memoized intermediates.
+	frozen := g.Freeze()
+	eng := engine.New(frozen, engine.WithWorkers(*workers))
+	snap, err := eng.Measure(rng.New(*seed), *sources)
 	if err != nil {
 		return err
 	}
@@ -58,11 +64,11 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "diameter           %d\n", snap.Diameter)
 	fmt.Fprintf(stdout, "max coreness       %d\n", snap.MaxCore)
 	fmt.Fprintf(stdout, "giant component    %.1f%%\n", 100*snap.GiantFrac)
-	sp := compare.MeasureSpectra(g)
+	sp := compare.MeasureSpectraFrozen(eng)
 	fmt.Fprintf(stdout, "knn(k) slope       %.3f\n", sp.KnnSlope)
 	fmt.Fprintf(stdout, "c(k) slope         %.3f\n", sp.CkSlope)
 	if *ccdf {
-		ks, pc := metrics.DegreeCCDF(g)
+		ks, pc := metrics.DegreeCCDFFrozen(frozen)
 		fmt.Fprintln(stdout, "# k Pc(k)")
 		for i, k := range ks {
 			fmt.Fprintf(stdout, "%d %.6g\n", k, pc[i])

@@ -35,8 +35,12 @@ func main() {
 		p2c, peer, 100*float64(peer)/float64(p2c+peer))
 	fmt.Printf("tier-1 ASs (no providers): %v\n", ann.Tier1s())
 
+	// Freeze the annotated topology: the policy sweeps and the traffic
+	// router below run in parallel over the immutable CSR view.
+	frozen := ann.Freeze()
+
 	// Policy inflation, the Gao-Wang measurement.
-	inf, err := ann.MeasureInflation(rng.New(9), 300)
+	inf, err := frozen.MeasureInflation(rng.New(9), 300)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +62,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := traffic.Route(g, tm, false)
+	rep, err := traffic.RouteFrozen(frozen.S, tm, false, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

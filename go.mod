@@ -1,0 +1,3 @@
+module netmodel
+
+go 1.24

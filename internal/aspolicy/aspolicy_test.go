@@ -8,11 +8,11 @@ import (
 
 // hierarchy builds a 3-tier test topology:
 //
-//	     0 ——— 1        tier 1 (peers)
-//	    / \     \
-//	   2   3     4      tier 2 (customers of tier 1); 2—3 peer
-//	  / \   \   / \
-//	 5   6   7 8   9    tier 3 (customers of tier 2)
+//	    0 ——— 1        tier 1 (peers)
+//	   / \     \
+//	  2   3     4      tier 2 (customers of tier 1); 2—3 peer
+//	 / \   \   / \
+//	5   6   7 8   9    tier 3 (customers of tier 2)
 func hierarchy(t *testing.T) *Annotated {
 	t.Helper()
 	g := graph.New(10)

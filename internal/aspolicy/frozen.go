@@ -1,0 +1,279 @@
+package aspolicy
+
+import (
+	"errors"
+
+	"netmodel/internal/engine"
+	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
+	"netmodel/internal/rng"
+)
+
+// Frozen is the immutable CSR view of an annotated topology: the
+// snapshot's arc array paired with a parallel per-arc relationship
+// array, so policy traversals (customer cones, valley-free BFS) scan
+// flat memory instead of hashing ordered pairs. Being immutable it is
+// safe for the parallel sweeps below.
+type Frozen struct {
+	S *graph.Snapshot
+	// rel[a] is the relationship of (u, v) for arc a of node u.
+	rel []Rel
+	// Workers caps the pool for the parallel sweeps; <= 0 means
+	// GOMAXPROCS. Results reproduce bit for bit at a fixed worker
+	// count (the reductions are integral, so in practice at any).
+	Workers int
+}
+
+// Freeze builds the frozen view of the annotation. Unannotated edges
+// freeze as relationship 0 and surface as "annotation incomplete"
+// errors from the traversals, matching the map-based behavior.
+func (a *Annotated) Freeze() *Frozen {
+	s := a.G.Freeze()
+	f := &Frozen{S: s, rel: make([]Rel, 0, 2*s.M())}
+	n := s.N()
+	for u := 0; u < n; u++ {
+		for _, v := range s.Neighbors(u) {
+			f.rel = append(f.rel, a.RelOf(u, int(v)))
+		}
+	}
+	return f
+}
+
+// Complete reports whether every arc carries a relationship.
+func (f *Frozen) Complete() bool {
+	for _, r := range f.rel {
+		if r == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CustomerCone returns the customer-cone size of every AS, computed by
+// per-node provider→customer DFS sharded across the worker pool. Each
+// worker keeps its own visit-stamp array, so cones are independent and
+// the result is identical to the sequential Annotated.CustomerCone.
+func (f *Frozen) CustomerCone() []int {
+	s := f.S
+	n := s.N()
+	cone := make([]int, n)
+	type coneScratch struct {
+		mark  []int32
+		stack []int32
+	}
+	scratch := make([]*coneScratch, f.workers())
+	engine.ParallelFor(n, len(scratch), func(w, u int) {
+		sc := scratch[w]
+		if sc == nil {
+			sc = &coneScratch{mark: make([]int32, n)}
+			for i := range sc.mark {
+				sc.mark[i] = -1
+			}
+			scratch[w] = sc
+		}
+		size := 0
+		sc.stack = sc.stack[:0]
+		sc.stack = append(sc.stack, int32(u))
+		sc.mark[u] = int32(u)
+		for len(sc.stack) > 0 {
+			v := sc.stack[len(sc.stack)-1]
+			sc.stack = sc.stack[:len(sc.stack)-1]
+			size++
+			lo, _ := s.ArcRange(int(v))
+			for j, w2 := range s.Neighbors(int(v)) {
+				if f.rel[int(lo)+j] == P2C && sc.mark[w2] != int32(u) {
+					sc.mark[w2] = int32(u)
+					sc.stack = append(sc.stack, w2)
+				}
+			}
+		}
+		cone[u] = size
+	})
+	return cone
+}
+
+// ValleyFreeDistances returns the shortest valley-free distance from
+// src to every node over the frozen view, -1 where no policy-compliant
+// path exists — the CSR counterpart of Annotated.ValleyFreeDistances.
+func (f *Frozen) ValleyFreeDistances(src int) ([]int, error) {
+	dist := make([]int32, numPhases*f.S.N())
+	queue := make([]int32, 0, f.S.N())
+	if err := f.valleyFree(src, dist, queue); err != nil {
+		return nil, err
+	}
+	n := f.S.N()
+	out := make([]int, n)
+	for v := 0; v < n; v++ {
+		du := dist[v*numPhases+phaseUp]
+		dd := dist[v*numPhases+phaseDown]
+		switch {
+		case du < 0:
+			out[v] = int(dd)
+		case dd < 0:
+			out[v] = int(du)
+		case du < dd:
+			out[v] = int(du)
+		default:
+			out[v] = int(dd)
+		}
+	}
+	return out, nil
+}
+
+// valleyFree runs the two-phase policy BFS from src into dist (length
+// numPhases*N, overwritten). queue is scratch.
+func (f *Frozen) valleyFree(src int, dist []int32, queue []int32) error {
+	s := f.S
+	n := s.N()
+	if src < 0 || src >= n {
+		return errors.New("aspolicy: source out of range")
+	}
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src*numPhases+phaseUp] = 0
+	queue = append(queue[:0], int32(src*numPhases+phaseUp))
+	for head := 0; head < len(queue); head++ {
+		state := queue[head]
+		u, phase := int(state)/numPhases, int(state)%numPhases
+		d := dist[state]
+		lo, _ := s.ArcRange(u)
+		for j, v := range s.Neighbors(u) {
+			r := f.rel[int(lo)+j]
+			if r == 0 {
+				return errors.New("aspolicy: annotation incomplete")
+			}
+			var next int32
+			switch {
+			case phase == phaseUp && r == C2P:
+				next = v*numPhases + phaseUp
+			case r == P2C:
+				next = v*numPhases + phaseDown
+			case phase == phaseUp && r == Peer:
+				next = v*numPhases + phaseDown
+			default:
+				continue // policy forbids this step
+			}
+			if dist[next] < 0 {
+				dist[next] = d + 1
+				queue = append(queue, next)
+			}
+		}
+	}
+	return nil
+}
+
+// MeasureInflation samples `sources` BFS roots (all nodes when <= 0)
+// and compares plain shortest paths with valley-free paths from each
+// root, sharding roots across the worker pool. All per-root reductions
+// are integral, so the result matches Annotated.MeasureInflation
+// exactly for the same generator state.
+func (f *Frozen) MeasureInflation(r *rng.Rand, sources int) (Inflation, error) {
+	s := f.S
+	n := s.N()
+	if n < 2 {
+		return Inflation{}, errors.New("aspolicy: need at least two nodes")
+	}
+	var srcs []int
+	if sources <= 0 || sources >= n {
+		srcs = make([]int, n)
+		for i := range srcs {
+			srcs[i] = i
+		}
+	} else {
+		if r == nil {
+			return Inflation{}, errors.New("aspolicy: sampling requires a generator")
+		}
+		srcs = r.Perm(n)[:sources]
+	}
+	type inflScratch struct {
+		plain, queue []int32
+		policy       []int32
+		vfQueue      []int32
+		pairs        int
+		unreach      int
+		both         int
+		sumS, sumP   int64
+		maxStretch   int
+		err          error
+	}
+	scratch := make([]*inflScratch, f.workers())
+	engine.ParallelFor(len(srcs), len(scratch), func(w, i int) {
+		sc := scratch[w]
+		if sc == nil {
+			sc = &inflScratch{
+				plain:   make([]int32, n),
+				queue:   make([]int32, n),
+				policy:  make([]int32, numPhases*n),
+				vfQueue: make([]int32, 0, numPhases*n),
+			}
+			scratch[w] = sc
+		}
+		if sc.err != nil {
+			return
+		}
+		src := srcs[i]
+		metrics.BFSFrozen(f.S, src, sc.plain, sc.queue)
+		if err := f.valleyFree(src, sc.policy, sc.vfQueue); err != nil {
+			sc.err = err
+			return
+		}
+		for v := 0; v < n; v++ {
+			if v == src || sc.plain[v] < 0 {
+				continue
+			}
+			sc.pairs++
+			du := sc.policy[v*numPhases+phaseUp]
+			dd := sc.policy[v*numPhases+phaseDown]
+			pol := du
+			if du < 0 || (dd >= 0 && dd < du) {
+				pol = dd
+			}
+			if pol < 0 {
+				sc.unreach++
+				continue
+			}
+			sc.both++
+			sc.sumS += int64(sc.plain[v])
+			sc.sumP += int64(pol)
+			if st := int(pol - sc.plain[v]); st > sc.maxStretch {
+				sc.maxStretch = st
+			}
+		}
+	})
+	var inf Inflation
+	var sumS, sumP int64
+	var both int
+	for _, sc := range scratch {
+		if sc == nil {
+			continue
+		}
+		if sc.err != nil {
+			return Inflation{}, sc.err
+		}
+		inf.Pairs += sc.pairs
+		inf.Unreachable += sc.unreach
+		both += sc.both
+		sumS += sc.sumS
+		sumP += sc.sumP
+		if sc.maxStretch > inf.MaxStretch {
+			inf.MaxStretch = sc.maxStretch
+		}
+	}
+	if both > 0 {
+		inf.AvgShortest = float64(sumS) / float64(both)
+		inf.AvgPolicy = float64(sumP) / float64(both)
+		if inf.AvgShortest > 0 {
+			inf.Ratio = inf.AvgPolicy / inf.AvgShortest
+		}
+	}
+	return inf, nil
+}
+
+// workers returns the configured pool width for policy sweeps.
+func (f *Frozen) workers() int {
+	if f.Workers > 0 {
+		return f.Workers
+	}
+	return engine.DefaultWorkers()
+}

@@ -1,0 +1,122 @@
+package aspolicy
+
+import (
+	"reflect"
+	"testing"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// annotatedTestTopology builds a BA-family topology with the standard
+// degree-hierarchy annotation, the setup of the routing experiments.
+func annotatedTestTopology(t *testing.T, seed uint64, n int) *Annotated {
+	t.Helper()
+	top, err := (gen.BA{N: n, M: 2, A: -1.6}).Generate(rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := AnnotateByDegree(top.G, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFrozenMirrorsAnnotation(t *testing.T) {
+	a := annotatedTestTopology(t, 1, 200)
+	f := a.Freeze()
+	if !f.Complete() {
+		t.Fatal("degree annotation must freeze complete")
+	}
+	s := f.S
+	for u := 0; u < s.N(); u++ {
+		lo, _ := s.ArcRange(u)
+		for j, v := range s.Neighbors(u) {
+			if got, want := f.rel[int(lo)+j], a.RelOf(u, int(v)); got != want {
+				t.Fatalf("rel(%d,%d) = %v, want %v", u, v, got, want)
+			}
+		}
+	}
+	// An unannotated edge must freeze incomplete.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	partial := NewAnnotated(g)
+	if err := partial.SetRel(0, 1, P2C); err != nil {
+		t.Fatal(err)
+	}
+	if partial.Freeze().Complete() {
+		t.Fatal("partial annotation must freeze incomplete")
+	}
+}
+
+func TestFrozenCustomerConeMatchesMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		a := annotatedTestTopology(t, seed, 300)
+		if got, want := a.Freeze().CustomerCone(), a.CustomerCone(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: customer cones differ", seed)
+		}
+	}
+}
+
+func TestFrozenValleyFreeDistancesMatchesMap(t *testing.T) {
+	a := annotatedTestTopology(t, 2, 250)
+	f := a.Freeze()
+	for src := 0; src < f.S.N(); src += 17 {
+		want, err := a.ValleyFreeDistances(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.ValleyFreeDistances(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("src %d: valley-free distances differ", src)
+		}
+	}
+	if _, err := f.ValleyFreeDistances(-1); err == nil {
+		t.Fatal("out-of-range source must error")
+	}
+	// Incomplete annotations must surface the same error.
+	g := graph.New(3)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	partial := NewAnnotated(g)
+	if err := partial.SetRel(0, 1, P2C); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partial.Freeze().ValleyFreeDistances(0); err == nil {
+		t.Fatal("incomplete annotation must error")
+	}
+}
+
+func TestFrozenInflationMatchesMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		a := annotatedTestTopology(t, seed, 250)
+		f := a.Freeze()
+		for _, sources := range []int{0, 40} {
+			want, err := a.MeasureInflation(rng.New(9), sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := f.MeasureInflation(rng.New(9), sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("seed %d sources %d:\n got %+v\nwant %+v", seed, sources, got, want)
+			}
+		}
+	}
+	small := NewAnnotated(graph.New(1))
+	if _, err := small.Freeze().MeasureInflation(nil, 0); err == nil {
+		t.Fatal("tiny graph must error")
+	}
+	a := annotatedTestTopology(t, 5, 100)
+	if _, err := a.Freeze().MeasureInflation(nil, 10); err == nil {
+		t.Fatal("sampling without generator must error")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strings"
 
+	"netmodel/internal/engine"
 	"netmodel/internal/graph"
 	"netmodel/internal/metrics"
 	"netmodel/internal/refdata"
@@ -44,15 +45,34 @@ type Options struct {
 	Rand *rng.Rand
 }
 
-// Against measures g and scores it against the target.
+// Against freezes g and scores it against the target through the
+// parallel metrics engine.
 func Against(g *graph.Graph, tgt refdata.Target, opt Options) (*Report, error) {
 	if g == nil || g.N() == 0 {
 		return nil, errors.New("compare: empty topology")
 	}
-	snap, err := metrics.Measure(g, opt.Rand, opt.PathSources)
+	return AgainstFrozen(engine.New(g.Freeze()), tgt, opt)
+}
+
+// AgainstFrozen measures an already-frozen topology through its engine
+// and scores it against the target. Callers that run several analyses
+// over one snapshot should use this entry point so memoized metrics are
+// shared.
+func AgainstFrozen(e *engine.Engine, tgt refdata.Target, opt Options) (*Report, error) {
+	if e.Snapshot().N() == 0 {
+		return nil, errors.New("compare: empty topology")
+	}
+	snap, err := e.Measure(opt.Rand, opt.PathSources)
 	if err != nil {
 		return nil, err
 	}
+	return Score(snap, tgt), nil
+}
+
+// Score reduces a measured metric vector to a per-metric and aggregate
+// comparison against the target. It is a pure function of the vector,
+// shared by every measurement path.
+func Score(snap metrics.Snapshot, tgt refdata.Target) *Report {
 	rep := &Report{Target: tgt.Name}
 	add := func(name string, measured, reference, scale float64) {
 		if scale == 0 {
@@ -76,7 +96,7 @@ func Against(g *graph.Graph, tgt refdata.Target, opt Options) (*Report, error) {
 		sum += r.RelError
 	}
 	rep.Score = sum / float64(len(rep.Rows))
-	return rep, nil
+	return rep
 }
 
 // String renders the report as an aligned text table.
@@ -99,42 +119,54 @@ type Spectra struct {
 	CkSlope  float64
 }
 
+// spectrumSlope fits a log-log least-squares slope to a degree-binned
+// spectrum over degrees >= 2, NaN when degenerate.
+func spectrumSlope(m map[int]float64) float64 {
+	var xs, ys []float64
+	ks := make([]int, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	for _, k := range ks {
+		if k >= 2 && m[k] > 0 {
+			xs = append(xs, math.Log(float64(k)))
+			ys = append(ys, math.Log(m[k]))
+		}
+	}
+	if len(xs) < 3 {
+		return math.NaN()
+	}
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (n*sxy - sx*sy) / den
+}
+
 // MeasureSpectra fits log-log slopes to the knn and clustering spectra
 // of g over degrees >= 2. Degenerate spectra yield NaN slopes.
 func MeasureSpectra(g *graph.Graph) Spectra {
-	slope := func(m map[int]float64) float64 {
-		var xs, ys []float64
-		ks := make([]int, 0, len(m))
-		for k := range m {
-			ks = append(ks, k)
-		}
-		sort.Ints(ks)
-		for _, k := range ks {
-			if k >= 2 && m[k] > 0 {
-				xs = append(xs, math.Log(float64(k)))
-				ys = append(ys, math.Log(m[k]))
-			}
-		}
-		if len(xs) < 3 {
-			return math.NaN()
-		}
-		n := float64(len(xs))
-		var sx, sy, sxx, sxy float64
-		for i := range xs {
-			sx += xs[i]
-			sy += ys[i]
-			sxx += xs[i] * xs[i]
-			sxy += xs[i] * ys[i]
-		}
-		den := n*sxx - sx*sx
-		if den == 0 {
-			return math.NaN()
-		}
-		return (n*sxy - sx*sy) / den
-	}
 	return Spectra{
-		KnnSlope: slope(metrics.Knn(g)),
-		CkSlope:  slope(metrics.ClusteringSpectrum(g)),
+		KnnSlope: spectrumSlope(metrics.Knn(g)),
+		CkSlope:  spectrumSlope(metrics.ClusteringSpectrum(g)),
+	}
+}
+
+// MeasureSpectraFrozen is MeasureSpectra through a metrics engine,
+// reusing its memoized triangle counts and degree spectra.
+func MeasureSpectraFrozen(e *engine.Engine) Spectra {
+	return Spectra{
+		KnnSlope: spectrumSlope(e.Knn()),
+		CkSlope:  spectrumSlope(e.ClusteringSpectrum()),
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 
 	"netmodel/internal/compare"
 	"netmodel/internal/econ"
+	"netmodel/internal/engine"
 	"netmodel/internal/gen"
 	"netmodel/internal/metrics"
 	"netmodel/internal/refdata"
@@ -151,12 +152,16 @@ func (p Pipeline) Run(name string) (*PipelineResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: generating %s: %w", name, err)
 	}
+	// Freeze once; measurement and validation share one engine so the
+	// memoized whole-graph metrics (triangles, k-core, giant component)
+	// are computed a single time.
+	eng := engine.New(top.G.Freeze())
 	mr := rng.New(p.Seed + 1)
-	snap, err := metrics.Measure(top.G, mr, p.PathSources)
+	snap, err := eng.Measure(mr, p.PathSources)
 	if err != nil {
 		return nil, fmt.Errorf("core: measuring %s: %w", name, err)
 	}
-	rep, err := compare.Against(top.G, p.Target, compare.Options{PathSources: p.PathSources, Rand: rng.New(p.Seed + 2)})
+	rep, err := compare.AgainstFrozen(eng, p.Target, compare.Options{PathSources: p.PathSources, Rand: rng.New(p.Seed + 2)})
 	if err != nil {
 		return nil, fmt.Errorf("core: comparing %s: %w", name, err)
 	}

@@ -11,7 +11,7 @@ import (
 
 func TestValidate(t *testing.T) {
 	bad := []Model{
-		{},                          // all zero
+		{}, // all zero
 		func() Model { m := Default(100); m.Alpha = m.Beta; return m }(),       // demand not above supply
 		func() Model { m := Default(100); m.DeltaPrime = m.Alpha; return m }(), // bandwidth not above demand
 		func() Model { m := Default(100); m.Lambda = 1; return m }(),

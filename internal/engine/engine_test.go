@@ -1,0 +1,293 @@
+package engine
+
+import (
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
+	"netmodel/internal/rng"
+)
+
+// testWorkers forces a real pool even on single-core machines so the
+// race detector exercises the sharded paths.
+const testWorkers = 4
+
+// testTopologies generates one instance per family x seed: the four
+// model classes named by the equivalence requirement (ER random, BA
+// preferential attachment, GLP, PFP) at sizes where exact metrics stay
+// fast but every code path (sampling, giant component, hubs) is hit.
+func testTopologies(t testing.TB) map[string]*graph.Graph {
+	t.Helper()
+	out := make(map[string]*graph.Graph)
+	for _, seed := range []uint64{1, 2, 3} {
+		for _, tc := range []struct {
+			name string
+			g    gen.Generator
+		}{
+			{"er", gen.GNP{N: 400, P: 4.2 / 399}},
+			{"ba", gen.BA{N: 400, M: 2}},
+			{"glp", gen.GLP{N: 400, M: 1, P: 0.45, Beta: 0.64}},
+			{"pfp", gen.DefaultPFP(300)},
+		} {
+			top, err := tc.g.Generate(rng.New(seed))
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.name, seed, err)
+			}
+			out[tc.name+"/"+string(rune('0'+seed))] = top.G
+		}
+	}
+	return out
+}
+
+func assertFloatsClose(t *testing.T, key, name string, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s %s: length %d vs %d", key, name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s %s[%d] = %v, want %v (Δ=%g)", key, name, i, got[i], want[i], got[i]-want[i])
+		}
+	}
+}
+
+// TestEngineMatchesSequential is the equivalence property test: every
+// parallelized metric must reproduce the sequential map-based
+// implementation — exactly for integer-valued reductions, within 1e-9
+// for floating-point accumulations.
+func TestEngineMatchesSequential(t *testing.T) {
+	for key, g := range testTopologies(t) {
+		e := New(g.Freeze(), WithWorkers(testWorkers))
+
+		assertFloatsClose(t, key, "betweenness", e.Betweenness(), metrics.Betweenness(g), 1e-9)
+
+		wantBC, err := metrics.BetweennessSampled(g, rng.New(99), 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotBC, err := e.BetweennessSampled(rng.New(99), 37)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertFloatsClose(t, key, "sampled betweenness", gotBC, wantBC, 1e-9)
+
+		assertFloatsClose(t, key, "closeness", e.Closeness(), metrics.Closeness(g), 0)
+		assertFloatsClose(t, key, "harmonic", e.HarmonicCloseness(), metrics.HarmonicCloseness(g), 0)
+
+		for _, sources := range []int{0, 50} {
+			want, err := metrics.PathLengths(g, rng.New(7), sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := e.PathLengths(rng.New(7), sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Avg != want.Avg || got.Diameter != want.Diameter || got.Sources != want.Sources ||
+				!reflect.DeepEqual(got.Distribution, want.Distribution) {
+				t.Fatalf("%s paths(sources=%d): %+v vs %+v", key, sources, got, want)
+			}
+		}
+
+		if got, want := e.TrianglesPerNode(), metrics.TrianglesPerNode(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: triangle counts differ", key)
+		}
+		if got, want := e.AvgClustering(), metrics.AvgClustering(g); got != want {
+			t.Fatalf("%s: avg clustering %v vs %v", key, got, want)
+		}
+		if got, want := e.Transitivity(), metrics.Transitivity(g); got != want {
+			t.Fatalf("%s: transitivity %v vs %v", key, got, want)
+		}
+		if got, want := e.ClusteringSpectrum(), metrics.ClusteringSpectrum(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: clustering spectra differ", key)
+		}
+		if got, want := e.KCore(), metrics.KCore(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: k-core differs", key)
+		}
+		if got, want := e.RichClub(), metrics.RichClub(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: rich club differs", key)
+		}
+		if got, want := e.CountCycles(), metrics.CountCycles(g); got != want {
+			t.Fatalf("%s: cycles %+v vs %+v", key, got, want)
+		}
+		if got, want := e.Assortativity(), metrics.Assortativity(g); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("%s: assortativity %v vs %v", key, got, want)
+		}
+	}
+}
+
+// TestEngineMeasureMatchesSequential checks the full metric vector
+// against metrics.Measure for identical generator states.
+func TestEngineMeasureMatchesSequential(t *testing.T) {
+	for key, g := range testTopologies(t) {
+		for _, sources := range []int{0, 60} {
+			want, err := metrics.Measure(g, rng.New(11), sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := New(g.Freeze(), WithWorkers(testWorkers)).Measure(rng.New(11), sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.N != want.N || got.M != want.M || got.MaxDegree != want.MaxDegree ||
+				got.Diameter != want.Diameter || got.MaxCore != want.MaxCore {
+				t.Fatalf("%s sources=%d: integer fields differ: %+v vs %+v", key, sources, got, want)
+			}
+			for _, f := range []struct {
+				name      string
+				got, want float64
+			}{
+				{"avg degree", got.AvgDegree, want.AvgDegree},
+				{"gamma", got.Gamma, want.Gamma},
+				{"gammaKS", got.GammaKS, want.GammaKS},
+				{"avg clustering", got.AvgClustering, want.AvgClustering},
+				{"transitivity", got.Transitivity, want.Transitivity},
+				{"assortativity", got.Assortativity, want.Assortativity},
+				{"avg path len", got.AvgPathLen, want.AvgPathLen},
+				{"giant frac", got.GiantFrac, want.GiantFrac},
+			} {
+				if math.Abs(f.got-f.want) > 1e-9 {
+					t.Fatalf("%s sources=%d: %s = %v, want %v", key, sources, f.name, f.got, f.want)
+				}
+			}
+		}
+	}
+}
+
+func TestEngineMemoization(t *testing.T) {
+	g := graph.New(5)
+	g.MustAddEdge(0, 1)
+	g.MustAddEdge(1, 2)
+	g.MustAddEdge(2, 0)
+	g.MustAddEdge(2, 3)
+	e := New(g.Freeze(), WithWorkers(testWorkers))
+	b1 := e.Betweenness()
+	b2 := e.Betweenness()
+	if &b1[0] != &b2[0] {
+		t.Fatal("betweenness not memoized")
+	}
+	t1 := e.TrianglesPerNode()
+	t2 := e.TrianglesPerNode()
+	if &t1[0] != &t2[0] {
+		t.Fatal("triangles not memoized")
+	}
+	p1, err := e.PathLengths(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, _ := e.PathLengths(nil, 0)
+	if p1.Avg != p2.Avg {
+		t.Fatal("exact path stats must be stable")
+	}
+	giant1, _ := e.Giant()
+	giant2, _ := e.Giant()
+	if giant1 != giant2 {
+		t.Fatal("giant component engine not memoized")
+	}
+}
+
+func TestEngineSampledErrors(t *testing.T) {
+	g := graph.New(10)
+	g.MustAddEdge(0, 1)
+	e := New(g.Freeze())
+	if _, err := e.BetweennessSampled(nil, 5); err == nil {
+		t.Fatal("nil generator must error")
+	}
+	if _, err := e.BetweennessSampled(rng.New(1), 0); err == nil {
+		t.Fatal("non-positive sources must error")
+	}
+	if _, err := e.PathLengths(nil, 5); err == nil {
+		t.Fatal("sampling without generator must error")
+	}
+	if _, err := New(graph.New(0).Freeze()).PathLengths(nil, 0); err == nil {
+		t.Fatal("empty graph must error")
+	}
+}
+
+func TestEngineEmptyAndTinyGraphs(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		g := graph.New(n)
+		if n == 2 {
+			g.MustAddEdge(0, 1)
+		}
+		e := New(g.Freeze(), WithWorkers(testWorkers))
+		if got, want := e.Betweenness(), metrics.Betweenness(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: betweenness %v vs %v", n, got, want)
+		}
+		if got, want := e.CountCycles(), metrics.CountCycles(g); got != want {
+			t.Fatalf("n=%d: cycles differ", n)
+		}
+		snap, err := e.Measure(nil, 0)
+		if n == 0 {
+			if err != nil {
+				t.Fatalf("empty Measure: %v", err)
+			}
+			if snap.GiantFrac != 1 {
+				t.Fatalf("empty GiantFrac = %v", snap.GiantFrac)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+// TestEngineDeterministicAcrossRuns pins the static-schedule guarantee:
+// at a fixed worker count, floating-point reductions reproduce bit for
+// bit between runs because chunk-to-worker assignment is a pure
+// function of (n, workers).
+func TestEngineDeterministicAcrossRuns(t *testing.T) {
+	top, err := gen.DefaultPFP(300).Generate(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := top.G.Freeze()
+	first := New(s, WithWorkers(testWorkers)).Betweenness()
+	for run := 0; run < 3; run++ {
+		again := New(s, WithWorkers(testWorkers)).Betweenness()
+		for i := range first {
+			if again[i] != first[i] {
+				t.Fatalf("run %d: betweenness[%d] = %v, want %v (bitwise)", run, i, again[i], first[i])
+			}
+		}
+	}
+}
+
+func TestParallelFor(t *testing.T) {
+	for _, n := range []int{0, 1, 16, 17, 1000} {
+		for _, workers := range []int{0, 1, 4, 64} {
+			var hits atomic.Int64
+			seen := make([]atomic.Int32, n)
+			ParallelFor(n, workers, func(w, i int) {
+				hits.Add(1)
+				seen[i].Add(1)
+			})
+			if hits.Load() != int64(n) {
+				t.Fatalf("n=%d workers=%d: %d invocations", n, workers, hits.Load())
+			}
+			for i := range seen {
+				if seen[i].Load() != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, seen[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestParallelForWorkerIndexBounds(t *testing.T) {
+	const workers = 8
+	var bad atomic.Int32
+	ParallelFor(500, workers, func(w, i int) {
+		if w < 0 || w >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker index out of bounds")
+	}
+}

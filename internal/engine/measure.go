@@ -1,0 +1,70 @@
+package engine
+
+import (
+	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
+	"netmodel/internal/rng"
+	"netmodel/internal/stats"
+)
+
+// giantPart bundles the memoized giant-component sub-snapshot with its
+// own engine, so path statistics measured on the giant share worker
+// configuration and memoization with the parent.
+type giantPart struct {
+	eng     *Engine
+	mapping []int
+}
+
+// Giant returns an engine over the giant component's sub-snapshot and
+// the new-to-old node mapping, computed once per snapshot.
+func (e *Engine) Giant() (*Engine, []int) {
+	gp := e.cached("giant", func() any {
+		sub, mapping := e.s.GiantComponent()
+		return &giantPart{eng: New(sub, WithWorkers(e.workers)), mapping: mapping}
+	}).(*giantPart)
+	return gp.eng, gp.mapping
+}
+
+// Measure computes the full metric vector of the snapshot through the
+// parallel engine, mirroring metrics.Measure field for field: the same
+// power-law fit, the same giant-component convention for path and core
+// statistics, and the same source sampling for a given generator state.
+func (e *Engine) Measure(r *rng.Rand, pathSources int) (metrics.Snapshot, error) {
+	s := e.s
+	out := metrics.Snapshot{
+		N:         s.N(),
+		M:         s.M(),
+		AvgDegree: s.AvgDegree(),
+		MaxDegree: s.MaxDegree(),
+	}
+	if s.N() == 0 {
+		out.GiantFrac = 1
+		return out, nil
+	}
+	if fit, err := stats.FitPowerLawDiscrete(e.DegreesAsFloats()); err == nil {
+		out.Gamma = fit.Alpha
+		out.GammaKS = fit.KS
+	}
+	out.AvgClustering = e.AvgClustering()
+	out.Transitivity = e.Transitivity()
+	out.Assortativity = e.Assortativity()
+
+	giant, _ := e.Giant()
+	out.GiantFrac = float64(giant.Snapshot().N()) / float64(s.N())
+	if giant.Snapshot().N() > 1 {
+		ps, err := giant.PathLengths(r, pathSources)
+		if err != nil {
+			return out, err
+		}
+		out.AvgPathLen = ps.Avg
+		out.Diameter = ps.Diameter
+	}
+	out.MaxCore = e.KCore().MaxCore
+	return out, nil
+}
+
+// MeasureGraph freezes g and measures it through a fresh engine — the
+// one-call convenience for callers that do not reuse the snapshot.
+func MeasureGraph(g *graph.Graph, r *rng.Rand, pathSources int) (metrics.Snapshot, error) {
+	return New(g.Freeze()).Measure(r, pathSources)
+}

@@ -3,8 +3,8 @@ package gen
 import (
 	"math"
 
-	"netmodel/internal/rng"
 	"netmodel/internal/graph"
+	"netmodel/internal/rng"
 )
 
 // GNP is the Erdős–Rényi G(n,p) model: every pair is an edge

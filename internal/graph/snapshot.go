@@ -1,0 +1,340 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// Snapshot is an immutable compressed-sparse-row (CSR) view of a Graph,
+// built once with Freeze. The adjacency of node u is the slice
+// neighbors[offsets[u]:offsets[u+1]], sorted ascending, with parallel
+// edge multiplicities in weights. Flat arrays turn the per-source
+// traversals of the analysis packages (BFS, Brandes, triangle counting)
+// from pointer-chasing over maps into sequential cache-friendly scans,
+// and, being immutable, a Snapshot is safe to share across goroutines
+// without locking — the substrate of the parallel metrics engine.
+//
+// The mutable map-backed Graph remains the API for generation and
+// rewiring; analysis freezes once and reads the snapshot.
+type Snapshot struct {
+	offsets   []int32 // len N+1; arc range of node u is [offsets[u], offsets[u+1])
+	neighbors []int32 // len 2M; sorted ascending within each node
+	weights   []int32 // len 2M; multiplicity of each arc
+	m         int     // number of simple edges
+	strength  int     // total multiplicity over simple edges
+	maxDeg    int
+
+	edgeOnce sync.Once
+	arcEdge  []int32 // lazy: arc index -> simple-edge index in [0, M)
+}
+
+// Freeze builds the CSR snapshot of g. Neighbor lists are sorted
+// ascending, so the snapshot is deterministic for a given topology.
+// Freeze panics if the arc count overflows int32 (graphs beyond ~1
+// billion arcs are outside the design envelope of this toolkit).
+func (g *Graph) Freeze() *Snapshot {
+	n := g.N()
+	arcs := 2 * g.m
+	if arcs > math.MaxInt32 || n >= math.MaxInt32 {
+		panic(fmt.Sprintf("graph: snapshot overflow: %d nodes, %d arcs", n, arcs))
+	}
+	s := &Snapshot{
+		offsets:   make([]int32, n+1),
+		neighbors: make([]int32, arcs),
+		weights:   make([]int32, arcs),
+		m:         g.m,
+		strength:  g.strength,
+	}
+	for u := 0; u < n; u++ {
+		d := len(g.adj[u])
+		s.offsets[u+1] = s.offsets[u] + int32(d)
+		if d > s.maxDeg {
+			s.maxDeg = d
+		}
+	}
+	for u := 0; u < n; u++ {
+		base := s.offsets[u]
+		row := s.neighbors[base:s.offsets[u+1]]
+		i := 0
+		for v := range g.adj[u] {
+			row[i] = int32(v)
+			i++
+		}
+		sort.Slice(row, func(a, b int) bool { return row[a] < row[b] })
+		for j, v := range row {
+			s.weights[base+int32(j)] = int32(g.adj[u][int(v)])
+		}
+	}
+	return s
+}
+
+// N returns the number of nodes.
+func (s *Snapshot) N() int { return len(s.offsets) - 1 }
+
+// M returns the number of simple edges.
+func (s *Snapshot) M() int { return s.m }
+
+// TotalStrength returns the sum of multiplicities over all simple edges.
+func (s *Snapshot) TotalStrength() int { return s.strength }
+
+// Degree returns the topological degree of u.
+func (s *Snapshot) Degree(u int) int {
+	return int(s.offsets[u+1] - s.offsets[u])
+}
+
+// Neighbors returns the sorted neighbor slice of u. The slice aliases
+// the snapshot and must not be modified.
+func (s *Snapshot) Neighbors(u int) []int32 {
+	return s.neighbors[s.offsets[u]:s.offsets[u+1]]
+}
+
+// Weights returns the multiplicities parallel to Neighbors(u). The
+// slice aliases the snapshot and must not be modified.
+func (s *Snapshot) Weights(u int) []int32 {
+	return s.weights[s.offsets[u]:s.offsets[u+1]]
+}
+
+// ArcRange returns the half-open arc index range of node u, for callers
+// indexing per-arc data (see ArcEdgeIDs).
+func (s *Snapshot) ArcRange(u int) (lo, hi int32) {
+	return s.offsets[u], s.offsets[u+1]
+}
+
+// arcOf returns the arc index of (u,v), or -1 when the edge is absent.
+func (s *Snapshot) arcOf(u, v int) int32 {
+	lo, hi := s.offsets[u], s.offsets[u+1]
+	row := s.neighbors[lo:hi]
+	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
+	if i < len(row) && row[i] == int32(v) {
+		return lo + int32(i)
+	}
+	return -1
+}
+
+// HasEdge reports whether the simple edge (u,v) exists, by binary search
+// over the sorted neighbor row.
+func (s *Snapshot) HasEdge(u, v int) bool {
+	if u < 0 || v < 0 || u >= s.N() || v >= s.N() {
+		return false
+	}
+	return s.arcOf(u, v) >= 0
+}
+
+// EdgeWeight returns the multiplicity of (u,v), zero if absent.
+func (s *Snapshot) EdgeWeight(u, v int) int {
+	if u < 0 || v < 0 || u >= s.N() || v >= s.N() {
+		return 0
+	}
+	if a := s.arcOf(u, v); a >= 0 {
+		return int(s.weights[a])
+	}
+	return 0
+}
+
+// AvgDegree returns the mean topological degree 2M/N, zero for an empty
+// snapshot.
+func (s *Snapshot) AvgDegree() float64 {
+	if s.N() == 0 {
+		return 0
+	}
+	return 2 * float64(s.m) / float64(s.N())
+}
+
+// MaxDegree returns the largest topological degree.
+func (s *Snapshot) MaxDegree() int { return s.maxDeg }
+
+// DegreeSequence returns the topological degree of every node.
+func (s *Snapshot) DegreeSequence() []int {
+	out := make([]int, s.N())
+	for u := range out {
+		out[u] = s.Degree(u)
+	}
+	return out
+}
+
+// Edges calls fn for every simple edge with u < v and multiplicity w, in
+// (u, v) sorted order, stopping early if fn returns false.
+func (s *Snapshot) Edges(fn func(u, v, w int) bool) {
+	n := s.N()
+	for u := 0; u < n; u++ {
+		lo, hi := s.offsets[u], s.offsets[u+1]
+		for a := lo; a < hi; a++ {
+			v := int(s.neighbors[a])
+			if v > u {
+				if !fn(u, v, int(s.weights[a])) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// EdgeList returns all simple edges sorted by (U,V). The edge at index i
+// is the simple edge with id i as assigned by ArcEdgeIDs.
+func (s *Snapshot) EdgeList() []Edge {
+	out := make([]Edge, 0, s.m)
+	s.Edges(func(u, v, w int) bool {
+		out = append(out, Edge{U: u, V: v, W: w})
+		return true
+	})
+	return out
+}
+
+// ArcEdgeIDs returns, for every arc index, the id of its simple edge in
+// [0, M). Both arcs of an edge map to the same id, and ids follow the
+// (u, v) sorted order of EdgeList, so EdgeList()[id] is the edge. The
+// mapping is computed once and cached; the returned slice must not be
+// modified.
+func (s *Snapshot) ArcEdgeIDs() []int32 {
+	s.edgeOnce.Do(func() {
+		s.arcEdge = make([]int32, len(s.neighbors))
+		next := int32(0)
+		n := s.N()
+		for u := 0; u < n; u++ {
+			lo, hi := s.offsets[u], s.offsets[u+1]
+			for a := lo; a < hi; a++ {
+				v := int(s.neighbors[a])
+				if v > u {
+					s.arcEdge[a] = next
+					next++
+				} else {
+					s.arcEdge[a] = s.arcEdge[s.arcOf(v, u)]
+				}
+			}
+		}
+	})
+	return s.arcEdge
+}
+
+// Components returns the connected components as sorted slices of node
+// indices, largest first with ties broken by smallest contained index —
+// the same ordering contract as Graph.Components.
+func (s *Snapshot) Components() [][]int {
+	n := s.N()
+	seen := make([]bool, n)
+	var comps [][]int
+	queue := make([]int32, 0, n)
+	for src := 0; src < n; src++ {
+		if seen[src] {
+			continue
+		}
+		queue = queue[:0]
+		queue = append(queue, int32(src))
+		seen[src] = true
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range s.Neighbors(int(u)) {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		comp := make([]int, len(queue))
+		for i, u := range queue {
+			comp[i] = int(u)
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	sort.Slice(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// Induced returns the sub-snapshot induced by the given nodes and the
+// new-to-old index mapping, mirroring Graph.InducedSubgraph. The node
+// list must contain no duplicates or out-of-range indices.
+func (s *Snapshot) Induced(nodes []int) (*Snapshot, []int, error) {
+	n := s.N()
+	toNew := make([]int32, n)
+	for i := range toNew {
+		toNew[i] = -1
+	}
+	toOld := make([]int, len(nodes))
+	for i, u := range nodes {
+		if u < 0 || u >= n {
+			return nil, nil, fmt.Errorf("graph: node %d out of range", u)
+		}
+		if toNew[u] >= 0 {
+			return nil, nil, fmt.Errorf("graph: duplicate node %d", u)
+		}
+		toNew[u] = int32(i)
+		toOld[i] = u
+	}
+	sub := &Snapshot{offsets: make([]int32, len(nodes)+1)}
+	arcs := int32(0)
+	for i, u := range toOld {
+		for _, v := range s.Neighbors(u) {
+			if toNew[v] >= 0 {
+				arcs++
+			}
+		}
+		sub.offsets[i+1] = arcs
+	}
+	sub.neighbors = make([]int32, arcs)
+	sub.weights = make([]int32, arcs)
+	for i, u := range toOld {
+		a := sub.offsets[i]
+		lo, hi := s.offsets[u], s.offsets[u+1]
+		for arc := lo; arc < hi; arc++ {
+			j := toNew[s.neighbors[arc]]
+			if j < 0 {
+				continue
+			}
+			sub.neighbors[a] = j
+			sub.weights[a] = s.weights[arc]
+			a++
+		}
+		// Old rows are sorted but the remapping need not be monotone;
+		// restore the sorted-row invariant.
+		row := sub.neighbors[sub.offsets[i]:a]
+		ws := sub.weights[sub.offsets[i]:a]
+		sort.Sort(&arcRow{row, ws})
+		if d := len(row); d > sub.maxDeg {
+			sub.maxDeg = d
+		}
+	}
+	for i := range toOld {
+		for j, v := range sub.Neighbors(i) {
+			if int(v) > i {
+				sub.m++
+				sub.strength += int(sub.Weights(i)[j])
+			}
+		}
+	}
+	return sub, toOld, nil
+}
+
+type arcRow struct {
+	nb []int32
+	w  []int32
+}
+
+func (r *arcRow) Len() int           { return len(r.nb) }
+func (r *arcRow) Less(i, j int) bool { return r.nb[i] < r.nb[j] }
+func (r *arcRow) Swap(i, j int) {
+	r.nb[i], r.nb[j] = r.nb[j], r.nb[i]
+	r.w[i], r.w[j] = r.w[j], r.w[i]
+}
+
+// GiantComponent returns the sub-snapshot induced by the largest
+// connected component with the new-to-old mapping, mirroring
+// Graph.GiantComponent.
+func (s *Snapshot) GiantComponent() (*Snapshot, []int) {
+	comps := s.Components()
+	if len(comps) == 0 {
+		return &Snapshot{offsets: make([]int32, 1)}, nil
+	}
+	sub, mapping, err := s.Induced(comps[0])
+	if err != nil {
+		panic("graph: internal error extracting giant component: " + err.Error())
+	}
+	return sub, mapping
+}

@@ -120,8 +120,8 @@ func parseHeaderNodes(line string) (int, bool) {
 
 // jsonGraph is the JSON wire format.
 type jsonGraph struct {
-	Nodes int        `json:"nodes"`
-	Edges [][3]int   `json:"edges"` // [u, v, w]
+	Nodes int      `json:"nodes"`
+	Edges [][3]int `json:"edges"` // [u, v, w]
 }
 
 // WriteJSON encodes the graph as {"nodes": N, "edges": [[u,v,w],...]}.

@@ -94,12 +94,12 @@ func TestReadEdgeListWithoutHeader(t *testing.T) {
 
 func TestReadEdgeListErrors(t *testing.T) {
 	cases := []string{
-		"0\n",          // too few fields
-		"0 1 2 3\n",    // too many fields
-		"a b\n",        // not numbers
-		"0 -1\n",       // negative id
-		"0 1 0\n",      // zero multiplicity
-		"1 1\n",        // self-loop
+		"0\n",       // too few fields
+		"0 1 2 3\n", // too many fields
+		"a b\n",     // not numbers
+		"0 -1\n",    // negative id
+		"0 1 0\n",   // zero multiplicity
+		"1 1\n",     // self-loop
 	}
 	for _, c := range cases {
 		if _, err := ReadEdgeList(strings.NewReader(c)); err == nil {

@@ -1,0 +1,766 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// This file is the CSR hot path of the metrics package: every traversal
+// metric has a variant that accepts an immutable *graph.Snapshot and
+// scans flat arrays instead of chasing adjacency maps. The per-source
+// kernels (BFSFrozen, BrandesFrozen, TriangleRangeFrozen,
+// CycleNodeFrozen) are exported so the parallel engine can shard them
+// across workers; the *Frozen whole-graph functions below run them
+// sequentially and serve as the single-threaded reference.
+
+// BFSFrozen fills dist with the hop distance from src to every node
+// (-1 for unreachable) and returns the BFS visit order in queue. Both
+// dist and queue must have length s.N(); their previous contents are
+// discarded. The returned slice is queue truncated to the visited
+// count.
+func BFSFrozen(s *graph.Snapshot, src int, dist []int32, queue []int32) []int32 {
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= s.N() {
+		return queue[:0]
+	}
+	dist[src] = 0
+	queue[0] = int32(src)
+	size := 1
+	for head := 0; head < size; head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, v := range s.Neighbors(int(u)) {
+			if dist[v] < 0 {
+				dist[v] = du + 1
+				queue[size] = v
+				size++
+			}
+		}
+	}
+	return queue[:size]
+}
+
+// ClosenessOfDist reduces one BFS distance vector to the
+// Wasserman-Faust-corrected closeness of its source; n is the total
+// node count of the graph.
+func ClosenessOfDist(dist []int32, n int) float64 {
+	sum, reach := 0, 0
+	for _, d := range dist {
+		if d > 0 {
+			sum += int(d)
+			reach++
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(reach) / float64(sum) * float64(reach) / float64(n-1)
+}
+
+// HarmonicOfDist reduces one BFS distance vector to the harmonic
+// closeness of its source; n is the total node count of the graph.
+func HarmonicOfDist(dist []int32, n int) float64 {
+	sum := 0.0
+	for _, d := range dist {
+		if d > 0 {
+			sum += 1 / float64(d)
+		}
+	}
+	return sum / float64(n-1)
+}
+
+// ClosenessFrozen is Closeness over a snapshot.
+func ClosenessFrozen(s *graph.Snapshot) []float64 {
+	n := s.N()
+	out := make([]float64, n)
+	dist := make([]int32, n)
+	queue := make([]int32, n)
+	for u := 0; u < n; u++ {
+		BFSFrozen(s, u, dist, queue)
+		out[u] = ClosenessOfDist(dist, n)
+	}
+	return out
+}
+
+// HarmonicClosenessFrozen is HarmonicCloseness over a snapshot.
+func HarmonicClosenessFrozen(s *graph.Snapshot) []float64 {
+	n := s.N()
+	out := make([]float64, n)
+	if n < 2 {
+		return out
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, n)
+	for u := 0; u < n; u++ {
+		BFSFrozen(s, u, dist, queue)
+		out[u] = HarmonicOfDist(dist, n)
+	}
+	return out
+}
+
+// BrandesScratch is the reusable per-worker state of one Brandes source
+// traversal.
+type BrandesScratch struct {
+	dist  []int32
+	sigma []float64
+	delta []float64
+	queue []int32
+}
+
+// NewBrandesScratch allocates scratch for an n-node snapshot.
+func NewBrandesScratch(n int) *BrandesScratch {
+	return &BrandesScratch{
+		dist:  make([]int32, n),
+		sigma: make([]float64, n),
+		delta: make([]float64, n),
+		queue: make([]int32, n),
+	}
+}
+
+// SigmaForward fills sigma with the number of shortest paths from src
+// to every node, given the BFS visit order and distances of one
+// BFSFrozen run. sigma must have length s.N() and be zeroed on entry.
+// Shared by Brandes betweenness and the ECMP traffic router so path
+// counting can never diverge between them.
+func SigmaForward(s *graph.Snapshot, src int, order []int32, dist []int32, sigma []float64) {
+	sigma[src] = 1
+	for _, u := range order {
+		du := dist[u]
+		su := sigma[u]
+		for _, v := range s.Neighbors(int(u)) {
+			if dist[v] == du+1 {
+				sigma[v] += su
+			}
+		}
+	}
+}
+
+// BrandesFrozen runs one source of Brandes' betweenness algorithm over
+// the snapshot, adding scale times each node's dependency into bc. The
+// backward pass rescans neighbor rows instead of storing predecessor
+// lists: for unweighted BFS DAGs, v precedes w exactly when
+// dist[v]+1 == dist[w].
+func BrandesFrozen(s *graph.Snapshot, src int, sc *BrandesScratch, bc []float64, scale float64) {
+	for i := range sc.sigma {
+		sc.sigma[i] = 0
+		sc.delta[i] = 0
+	}
+	order := BFSFrozen(s, src, sc.dist, sc.queue)
+	SigmaForward(s, src, order, sc.dist, sc.sigma)
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		coeff := (1 + sc.delta[w]) / sc.sigma[w]
+		dw := sc.dist[w]
+		for _, v := range s.Neighbors(int(w)) {
+			if sc.dist[v]+1 == dw {
+				sc.delta[v] += sc.sigma[v] * coeff
+			}
+		}
+		if int(w) != src {
+			bc[w] += sc.delta[w] * scale
+		}
+	}
+}
+
+// BetweennessFrozen is Betweenness over a snapshot: exact Brandes from
+// every source, normalized by (N-1)(N-2).
+func BetweennessFrozen(s *graph.Snapshot) []float64 {
+	return betweennessFrozen(s, nil, 0)
+}
+
+// BetweennessSampledFrozen is BetweennessSampled over a snapshot.
+func BetweennessSampledFrozen(s *graph.Snapshot, r *rng.Rand, sources int) ([]float64, error) {
+	if sources <= 0 {
+		return nil, errors.New("metrics: source count must be positive")
+	}
+	if r == nil {
+		return nil, errors.New("metrics: sampling requires a generator")
+	}
+	if sources >= s.N() {
+		return BetweennessFrozen(s), nil
+	}
+	return betweennessFrozen(s, r, sources), nil
+}
+
+func betweennessFrozen(s *graph.Snapshot, r *rng.Rand, sources int) []float64 {
+	n := s.N()
+	bc := make([]float64, n)
+	if n < 3 {
+		return bc
+	}
+	srcs, scale := BetweennessSources(n, r, sources)
+	sc := NewBrandesScratch(n)
+	for _, src := range srcs {
+		BrandesFrozen(s, src, sc, bc, scale)
+	}
+	norm := float64(n-1) * float64(n-2)
+	for i := range bc {
+		bc[i] /= norm
+	}
+	return bc
+}
+
+// BetweennessSources mirrors the source selection of the map-based
+// betweenness implementation so the frozen, engine and reference paths
+// sample identically for a given generator state: all nodes with scale
+// 1 when sources <= 0, else a uniform sample rescaled by n/sources.
+func BetweennessSources(n int, r *rng.Rand, sources int) (srcs []int, scale float64) {
+	if sources > 0 {
+		perm := r.Perm(n)
+		return perm[:sources], float64(n) / float64(sources)
+	}
+	srcs = make([]int, n)
+	for i := range srcs {
+		srcs[i] = i
+	}
+	return srcs, 1
+}
+
+// PathSources mirrors the source selection of PathLengths: all nodes
+// when sources <= 0 or >= n, otherwise a uniform sample, with the same
+// error cases.
+func PathSources(n int, r *rng.Rand, sources int) ([]int, error) {
+	if n == 0 {
+		return nil, errors.New("metrics: empty graph")
+	}
+	if sources <= 0 || sources >= n {
+		srcs := make([]int, n)
+		for i := range srcs {
+			srcs[i] = i
+		}
+		return srcs, nil
+	}
+	if r == nil {
+		return nil, errors.New("metrics: sampling requires a generator")
+	}
+	return r.Perm(n)[:sources], nil
+}
+
+// PathHistogram is the exact integer reduction of a set of BFS sources:
+// counts[d] pairs at distance d, plus the running sum and diameter.
+// Merging histograms and converting with ToStats reproduces the
+// floating-point results of PathLengths bit for bit, because every
+// intermediate quantity is integral.
+type PathHistogram struct {
+	Counts []int64
+	Sum    int64
+	Total  int64
+}
+
+// AccumulateDistances folds one BFS distance vector (from source src)
+// into the histogram.
+func (h *PathHistogram) AccumulateDistances(src int, dist []int32) {
+	for v, d := range dist {
+		if v == src || d <= 0 {
+			continue
+		}
+		for int(d) >= len(h.Counts) {
+			h.Counts = append(h.Counts, make([]int64, len(h.Counts)+8)...)
+		}
+		h.Counts[d]++
+		h.Sum += int64(d)
+		h.Total++
+	}
+}
+
+// Merge adds other into h.
+func (h *PathHistogram) Merge(other *PathHistogram) {
+	if len(other.Counts) > len(h.Counts) {
+		h.Counts = append(h.Counts, make([]int64, len(other.Counts)-len(h.Counts))...)
+	}
+	for d, c := range other.Counts {
+		h.Counts[d] += c
+	}
+	h.Sum += other.Sum
+	h.Total += other.Total
+}
+
+// ToStats converts the histogram into PathStats for the given source
+// count.
+func (h *PathHistogram) ToStats(sources int) PathStats {
+	st := PathStats{Distribution: make(map[int]float64), Sources: sources}
+	for d := len(h.Counts) - 1; d >= 1; d-- {
+		if h.Counts[d] > 0 {
+			st.Diameter = d
+			break
+		}
+	}
+	if h.Total > 0 {
+		st.Avg = float64(h.Sum) / float64(h.Total)
+		for d, c := range h.Counts {
+			if c > 0 {
+				st.Distribution[d] = float64(c) / float64(h.Total)
+			}
+		}
+	}
+	return st
+}
+
+// PathLengthsFrozen is PathLengths over a snapshot.
+func PathLengthsFrozen(s *graph.Snapshot, r *rng.Rand, sources int) (PathStats, error) {
+	n := s.N()
+	srcs, err := PathSources(n, r, sources)
+	if err != nil {
+		return PathStats{}, err
+	}
+	dist := make([]int32, n)
+	queue := make([]int32, n)
+	var h PathHistogram
+	for _, src := range srcs {
+		BFSFrozen(s, src, dist, queue)
+		h.AccumulateDistances(src, dist)
+	}
+	return h.ToStats(len(srcs)), nil
+}
+
+// EccentricityFrozen is Eccentricity over a snapshot.
+func EccentricityFrozen(s *graph.Snapshot, u int) int {
+	n := s.N()
+	dist := make([]int32, n)
+	queue := make([]int32, n)
+	BFSFrozen(s, u, dist, queue)
+	max := int32(0)
+	for _, d := range dist {
+		if d > max {
+			max = d
+		}
+	}
+	return int(max)
+}
+
+// TriangleRangeFrozen counts every triangle whose smallest node lies in
+// [lo, hi), crediting all three corners in t (len s.N()). Each triangle
+// a < b < c is found exactly once, at the edge (a,b) by a sorted-row
+// intersection restricted to common neighbors above b — so disjoint
+// ranges partition the triangle set and per-worker t arrays sum to the
+// exact per-node triangle counts.
+func TriangleRangeFrozen(s *graph.Snapshot, lo, hi int, t []int) {
+	for u := lo; u < hi; u++ {
+		row := s.Neighbors(u)
+		for i, v := range row {
+			if int(v) <= u {
+				continue
+			}
+			// Intersect row[i+1:] (neighbors of u above v) with the
+			// neighbors of v above v; both slices are sorted.
+			a := row[i+1:]
+			b := s.Neighbors(int(v))
+			j := sort.Search(len(b), func(k int) bool { return b[k] > v })
+			b = b[j:]
+			x, y := 0, 0
+			for x < len(a) && y < len(b) {
+				switch {
+				case a[x] < b[y]:
+					x++
+				case a[x] > b[y]:
+					y++
+				default:
+					t[u]++
+					t[v]++
+					t[a[x]]++
+					x++
+					y++
+				}
+			}
+		}
+	}
+}
+
+// TrianglesPerNodeFrozen is TrianglesPerNode over a snapshot.
+func TrianglesPerNodeFrozen(s *graph.Snapshot) []int {
+	t := make([]int, s.N())
+	TriangleRangeFrozen(s, 0, s.N(), t)
+	return t
+}
+
+// TotalTrianglesFrozen is TotalTriangles over a snapshot.
+func TotalTrianglesFrozen(s *graph.Snapshot) int {
+	sum := 0
+	for _, ti := range TrianglesPerNodeFrozen(s) {
+		sum += ti
+	}
+	return sum / 3
+}
+
+// LocalClusteringFromTriangles converts per-node triangle counts into
+// local clustering coefficients.
+func LocalClusteringFromTriangles(s *graph.Snapshot, t []int) []float64 {
+	c := make([]float64, s.N())
+	for u := range c {
+		k := s.Degree(u)
+		if k >= 2 {
+			c[u] = 2 * float64(t[u]) / float64(k*(k-1))
+		}
+	}
+	return c
+}
+
+// LocalClusteringFrozen is LocalClustering over a snapshot.
+func LocalClusteringFrozen(s *graph.Snapshot) []float64 {
+	return LocalClusteringFromTriangles(s, TrianglesPerNodeFrozen(s))
+}
+
+// AvgClusteringFromLocal averages local clustering over nodes of degree
+// >= 2, the convention of AvgClustering.
+func AvgClusteringFromLocal(s *graph.Snapshot, c []float64) float64 {
+	sum, n := 0.0, 0
+	for u := range c {
+		if s.Degree(u) >= 2 {
+			sum += c[u]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// AvgClusteringFrozen is AvgClustering over a snapshot.
+func AvgClusteringFrozen(s *graph.Snapshot) float64 {
+	return AvgClusteringFromLocal(s, LocalClusteringFrozen(s))
+}
+
+// TransitivityFromTriangles computes the global clustering coefficient
+// from per-node triangle counts.
+func TransitivityFromTriangles(s *graph.Snapshot, t []int) float64 {
+	tri := 0
+	for _, ti := range t {
+		tri += ti
+	}
+	tri /= 3
+	triples := 0
+	for u := 0; u < s.N(); u++ {
+		k := s.Degree(u)
+		triples += k * (k - 1) / 2
+	}
+	if triples == 0 {
+		return 0
+	}
+	return 3 * float64(tri) / float64(triples)
+}
+
+// TransitivityFrozen is Transitivity over a snapshot.
+func TransitivityFrozen(s *graph.Snapshot) float64 {
+	return TransitivityFromTriangles(s, TrianglesPerNodeFrozen(s))
+}
+
+// ClusteringSpectrumFromLocal bins local clustering by degree, the
+// c(k) spectrum.
+func ClusteringSpectrumFromLocal(s *graph.Snapshot, c []float64) map[int]float64 {
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for u := range c {
+		k := s.Degree(u)
+		if k < 2 {
+			continue
+		}
+		sum[k] += c[u]
+		cnt[k]++
+	}
+	out := make(map[int]float64, len(sum))
+	for k, v := range sum {
+		out[k] = v / float64(cnt[k])
+	}
+	return out
+}
+
+// ClusteringSpectrumFrozen is ClusteringSpectrum over a snapshot.
+func ClusteringSpectrumFrozen(s *graph.Snapshot) map[int]float64 {
+	return ClusteringSpectrumFromLocal(s, LocalClusteringFrozen(s))
+}
+
+// KCoreFrozen is KCore over a snapshot: the same Batagelj-Zaversnik
+// bucket algorithm scanning CSR rows. Coreness is a well-defined graph
+// invariant, so the result is identical to the map-based KCore.
+func KCoreFrozen(s *graph.Snapshot) KCoreResult {
+	n := s.N()
+	res := KCoreResult{Coreness: make([]int, n)}
+	if n == 0 {
+		return res
+	}
+	deg := make([]int, n)
+	maxDeg := 0
+	for u := 0; u < n; u++ {
+		deg[u] = s.Degree(u)
+		if deg[u] > maxDeg {
+			maxDeg = deg[u]
+		}
+	}
+	binStart := make([]int, maxDeg+2)
+	for _, d := range deg {
+		binStart[d+1]++
+	}
+	for i := 1; i < len(binStart); i++ {
+		binStart[i] += binStart[i-1]
+	}
+	pos := make([]int, n)
+	vert := make([]int, n)
+	fill := make([]int, maxDeg+1)
+	copy(fill, binStart[:maxDeg+1])
+	for u := 0; u < n; u++ {
+		pos[u] = fill[deg[u]]
+		vert[pos[u]] = u
+		fill[deg[u]]++
+	}
+	bin := make([]int, maxDeg+1)
+	copy(bin, binStart[:maxDeg+1])
+
+	cur := make([]int, n)
+	copy(cur, deg)
+	for i := 0; i < n; i++ {
+		v := vert[i]
+		res.Coreness[v] = cur[v]
+		if cur[v] > res.MaxCore {
+			res.MaxCore = cur[v]
+		}
+		for _, nb := range s.Neighbors(v) {
+			u := int(nb)
+			if cur[u] > cur[v] {
+				du := cur[u]
+				pu := pos[u]
+				pw := bin[du]
+				nw := vert[pw]
+				if u != nw {
+					vert[pu], vert[pw] = nw, u
+					pos[u], pos[nw] = pw, pu
+				}
+				bin[du]++
+				cur[u]--
+			}
+		}
+	}
+	return res
+}
+
+// RichClubFrozen is RichClub over a snapshot.
+func RichClubFrozen(s *graph.Snapshot) []RichClubPoint {
+	n := s.N()
+	if n < 2 {
+		return nil
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		da, db := s.Degree(order[a]), s.Degree(order[b])
+		if da != db {
+			return da > db
+		}
+		return order[a] < order[b]
+	})
+	inClub := make([]bool, n)
+	edges := 0
+	var out []RichClubPoint
+	for idx := 0; idx < n; {
+		d := s.Degree(order[idx])
+		for idx < n && s.Degree(order[idx]) == d {
+			u := order[idx]
+			for _, v := range s.Neighbors(u) {
+				if inClub[v] {
+					edges++
+				}
+			}
+			inClub[u] = true
+			idx++
+		}
+		if d == 0 {
+			break
+		}
+		club := idx
+		p := RichClubPoint{K: d - 1, N: club, E: edges}
+		if club >= 2 {
+			p.Phi = 2 * float64(edges) / (float64(club) * float64(club-1))
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].K < out[j].K })
+	return out
+}
+
+// CycleScratch is the reusable per-worker state of CycleNodeFrozen.
+type CycleScratch struct {
+	cnt     []int64
+	touched []int32
+}
+
+// NewCycleScratch allocates scratch for an n-node snapshot.
+func NewCycleScratch(n int) *CycleScratch {
+	return &CycleScratch{cnt: make([]int64, n), touched: make([]int32, 0, 256)}
+}
+
+// CycleNodeFrozen computes node i's contribution to the ordered 4-cycle
+// sum Σ_{j≠i} C(codeg(i,j),2) and to tr A⁵ in one 2-neighborhood pass.
+// Summing over all i yields the same totals as the two passes of
+// CountCycles: the 4-cycle term skips the k == i diagonal that the
+// count vector retains for the quadratic form.
+func CycleNodeFrozen(s *graph.Snapshot, i int, sc *CycleScratch) (ordered4, trA5 int64) {
+	sc.touched = sc.touched[:0]
+	for _, j := range s.Neighbors(i) {
+		for _, k := range s.Neighbors(int(j)) {
+			if sc.cnt[k] == 0 {
+				sc.touched = append(sc.touched, k)
+			}
+			sc.cnt[k]++
+		}
+	}
+	for _, k := range sc.touched {
+		if int(k) != i {
+			c := sc.cnt[k]
+			ordered4 += c * (c - 1) / 2
+		}
+	}
+	for _, u := range sc.touched {
+		cu := sc.cnt[u]
+		for _, v := range s.Neighbors(int(u)) {
+			if cv := sc.cnt[v]; cv != 0 {
+				trA5 += cu * cv
+			}
+		}
+	}
+	for _, u := range sc.touched {
+		sc.cnt[u] = 0
+	}
+	return ordered4, trA5
+}
+
+// CyclesFromParts assembles CycleCounts from per-node triangle counts
+// and the summed CycleNodeFrozen contributions, applying the trace
+// identities of CountCycles. degree(i) is read from the snapshot.
+func CyclesFromParts(s *graph.Snapshot, tri []int, ordered4, trA5 int64) CycleCounts {
+	var out CycleCounts
+	n := s.N()
+	if n < 3 {
+		return out
+	}
+	var totalT int64
+	for _, t := range tri {
+		totalT += int64(t)
+	}
+	out.C3 = totalT / 3
+	out.C4 = ordered4 / 4
+	if n < 5 {
+		return out
+	}
+	var corr int64
+	for i, t := range tri {
+		corr += int64(s.Degree(i)-2) * 2 * int64(t)
+	}
+	trA3 := 6 * out.C3
+	out.C5 = (trA5 - 5*trA3 - 5*corr) / 10
+	return out
+}
+
+// CountCyclesFrozen is CountCycles over a snapshot.
+func CountCyclesFrozen(s *graph.Snapshot) CycleCounts {
+	n := s.N()
+	if n < 3 {
+		return CycleCounts{}
+	}
+	tri := TrianglesPerNodeFrozen(s)
+	sc := NewCycleScratch(n)
+	var ordered4, trA5 int64
+	for i := 0; i < n; i++ {
+		o4, t5 := CycleNodeFrozen(s, i, sc)
+		ordered4 += o4
+		trA5 += t5
+	}
+	return CyclesFromParts(s, tri, ordered4, trA5)
+}
+
+// DegreesAsFloatsFrozen is DegreesAsFloats over a snapshot.
+func DegreesAsFloatsFrozen(s *graph.Snapshot) []float64 {
+	out := make([]float64, s.N())
+	for u := range out {
+		out[u] = float64(s.Degree(u))
+	}
+	return out
+}
+
+// DegreeDistributionFrozen is DegreeDistribution over a snapshot.
+func DegreeDistributionFrozen(s *graph.Snapshot) map[int]float64 {
+	out := make(map[int]float64)
+	n := s.N()
+	if n == 0 {
+		return out
+	}
+	for u := 0; u < n; u++ {
+		out[s.Degree(u)]++
+	}
+	for k := range out {
+		out[k] /= float64(n)
+	}
+	return out
+}
+
+// DegreeCCDFFrozen is DegreeCCDF over a snapshot.
+func DegreeCCDFFrozen(s *graph.Snapshot) (ks []int, pc []float64) {
+	dist := DegreeDistributionFrozen(s)
+	for k := range dist {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	pc = make([]float64, len(ks))
+	cum := 0.0
+	for i := len(ks) - 1; i >= 0; i-- {
+		cum += dist[ks[i]]
+		pc[i] = cum
+	}
+	return ks, pc
+}
+
+// KnnFrozen is Knn over a snapshot.
+func KnnFrozen(s *graph.Snapshot) map[int]float64 {
+	sum := make(map[int]float64)
+	cnt := make(map[int]int)
+	for u := 0; u < s.N(); u++ {
+		k := s.Degree(u)
+		if k == 0 {
+			continue
+		}
+		nsum := 0.0
+		for _, v := range s.Neighbors(u) {
+			nsum += float64(s.Degree(int(v)))
+		}
+		sum[k] += nsum / float64(k)
+		cnt[k]++
+	}
+	out := make(map[int]float64, len(sum))
+	for k, v := range sum {
+		out[k] = v / float64(cnt[k])
+	}
+	return out
+}
+
+// AssortativityFrozen is Assortativity over a snapshot.
+func AssortativityFrozen(s *graph.Snapshot) float64 {
+	var n, sx, sy, sxx, syy, sxy float64
+	s.Edges(func(u, v, w int) bool {
+		du, dv := float64(s.Degree(u)), float64(s.Degree(v))
+		for _, p := range [2][2]float64{{du, dv}, {dv, du}} {
+			n++
+			sx += p[0]
+			sy += p[1]
+			sxx += p[0] * p[0]
+			syy += p[1] * p[1]
+			sxy += p[0] * p[1]
+		}
+		return true
+	})
+	if n < 2 {
+		return 0
+	}
+	num := sxy/n - (sx/n)*(sy/n)
+	den := math.Sqrt((sxx/n - (sx/n)*(sx/n)) * (syy/n - (sy/n)*(sy/n)))
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}

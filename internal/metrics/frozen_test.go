@@ -1,0 +1,205 @@
+package metrics
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// frozenTestGraph builds a random graph dense enough to have triangles
+// and sparse enough to leave a few isolated nodes.
+func frozenTestGraph(t *testing.T, seed uint64, n, edges int) (*graph.Graph, *graph.Snapshot) {
+	t.Helper()
+	r := rng.New(seed)
+	g := graph.New(n)
+	for i := 0; i < edges; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u != v {
+			g.MustAddEdge(u, v)
+		}
+	}
+	return g, g.Freeze()
+}
+
+func floatsClose(t *testing.T, name string, got, want []float64, tol float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: length %d vs %d", name, len(got), len(want))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > tol {
+			t.Fatalf("%s[%d] = %v, want %v", name, i, got[i], want[i])
+		}
+	}
+}
+
+func TestFrozenBFSMatchesMap(t *testing.T) {
+	g, s := frozenTestGraph(t, 1, 80, 150)
+	dist := make([]int32, s.N())
+	queue := make([]int32, s.N())
+	for src := 0; src < s.N(); src += 7 {
+		want := BFS(g, src)
+		order := BFSFrozen(s, src, dist, queue)
+		for v, d := range want {
+			if int(dist[v]) != d {
+				t.Fatalf("src %d: dist[%d] = %d, want %d", src, v, dist[v], d)
+			}
+		}
+		reach := 0
+		for _, d := range want {
+			if d >= 0 {
+				reach++
+			}
+		}
+		if len(order) != reach {
+			t.Fatalf("src %d: visit order has %d nodes, want %d", src, len(order), reach)
+		}
+	}
+}
+
+func TestFrozenClosenessMatchesMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, s := frozenTestGraph(t, seed, 90, 200)
+		floatsClose(t, "closeness", ClosenessFrozen(s), Closeness(g), 0)
+		floatsClose(t, "harmonic", HarmonicClosenessFrozen(s), HarmonicCloseness(g), 0)
+	}
+}
+
+func TestFrozenBetweennessMatchesMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, s := frozenTestGraph(t, seed, 70, 160)
+		floatsClose(t, "betweenness", BetweennessFrozen(s), Betweenness(g), 1e-9)
+
+		want, err := BetweennessSampled(g, rng.New(42+seed), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := BetweennessSampledFrozen(s, rng.New(42+seed), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		floatsClose(t, "sampled betweenness", got, want, 1e-9)
+	}
+	_, s := frozenTestGraph(t, 9, 30, 60)
+	if _, err := BetweennessSampledFrozen(s, nil, 5); err == nil {
+		t.Fatal("nil generator must error")
+	}
+	if _, err := BetweennessSampledFrozen(s, rng.New(1), 0); err == nil {
+		t.Fatal("non-positive sources must error")
+	}
+}
+
+func TestFrozenPathLengthsMatchesMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, s := frozenTestGraph(t, seed, 90, 180)
+		for _, sources := range []int{0, 25} {
+			want, err := PathLengths(g, rng.New(5*seed), sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := PathLengthsFrozen(s, rng.New(5*seed), sources)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Avg != want.Avg || got.Diameter != want.Diameter || got.Sources != want.Sources {
+				t.Fatalf("seed %d sources %d: stats %+v, want %+v", seed, sources, got, want)
+			}
+			if !reflect.DeepEqual(got.Distribution, want.Distribution) {
+				t.Fatalf("seed %d sources %d: distributions differ", seed, sources)
+			}
+		}
+	}
+	if _, err := PathLengthsFrozen(graph.New(0).Freeze(), nil, 0); err == nil {
+		t.Fatal("empty graph must error")
+	}
+	_, s := frozenTestGraph(t, 4, 40, 80)
+	if _, err := PathLengthsFrozen(s, nil, 10); err == nil {
+		t.Fatal("sampling without generator must error")
+	}
+}
+
+func TestFrozenTrianglesAndClusteringMatchMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, s := frozenTestGraph(t, seed, 60, 240)
+		if got, want := TrianglesPerNodeFrozen(s), TrianglesPerNode(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: triangle counts differ:\n got %v\nwant %v", seed, got, want)
+		}
+		if got, want := TotalTrianglesFrozen(s), TotalTriangles(g); got != want {
+			t.Fatalf("seed %d: total triangles %d vs %d", seed, got, want)
+		}
+		floatsClose(t, "local clustering", LocalClusteringFrozen(s), LocalClustering(g), 0)
+		if got, want := AvgClusteringFrozen(s), AvgClustering(g); got != want {
+			t.Fatalf("seed %d: avg clustering %v vs %v", seed, got, want)
+		}
+		if got, want := TransitivityFrozen(s), Transitivity(g); got != want {
+			t.Fatalf("seed %d: transitivity %v vs %v", seed, got, want)
+		}
+		if got, want := ClusteringSpectrumFrozen(s), ClusteringSpectrum(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: clustering spectra differ", seed)
+		}
+	}
+}
+
+func TestFrozenKCoreRichClubMatchMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, s := frozenTestGraph(t, seed, 80, 260)
+		if got, want := KCoreFrozen(s), KCore(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: k-core differs", seed)
+		}
+		if got, want := RichClubFrozen(s), RichClub(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: rich club differs", seed)
+		}
+	}
+}
+
+func TestFrozenCyclesMatchMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, s := frozenTestGraph(t, seed, 50, 180)
+		if got, want := CountCyclesFrozen(s), CountCycles(g); got != want {
+			t.Fatalf("seed %d: cycles %+v vs %+v", seed, got, want)
+		}
+	}
+	// Small-n guards.
+	for _, n := range []int{0, 1, 2, 4} {
+		g := graph.New(n)
+		if n >= 4 {
+			g.MustAddEdge(0, 1)
+			g.MustAddEdge(1, 2)
+			g.MustAddEdge(2, 0)
+			g.MustAddEdge(2, 3)
+		}
+		if got, want := CountCyclesFrozen(g.Freeze()), CountCycles(g); got != want {
+			t.Fatalf("n=%d: cycles %+v vs %+v", n, got, want)
+		}
+	}
+}
+
+func TestFrozenDegreeMetricsMatchMap(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		g, s := frozenTestGraph(t, seed, 70, 150)
+		floatsClose(t, "degrees", DegreesAsFloatsFrozen(s), DegreesAsFloats(g), 0)
+		if got, want := DegreeDistributionFrozen(s), DegreeDistribution(g); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: degree distributions differ", seed)
+		}
+		ks1, pc1 := DegreeCCDFFrozen(s)
+		ks2, pc2 := DegreeCCDF(g)
+		if !reflect.DeepEqual(ks1, ks2) || !reflect.DeepEqual(pc1, pc2) {
+			t.Fatalf("seed %d: CCDFs differ", seed)
+		}
+		knnF, knnM := KnnFrozen(s), Knn(g)
+		if len(knnF) != len(knnM) {
+			t.Fatalf("seed %d: knn key sets differ", seed)
+		}
+		for k, v := range knnM {
+			if math.Abs(knnF[k]-v) > 1e-9 {
+				t.Fatalf("seed %d: knn(%d) = %v, want %v", seed, k, knnF[k], v)
+			}
+		}
+		if got, want := AssortativityFrozen(s), Assortativity(g); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("seed %d: assortativity %v vs %v", seed, got, want)
+		}
+	}
+}

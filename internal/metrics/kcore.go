@@ -37,8 +37,8 @@ func KCore(g *graph.Graph) KCoreResult {
 	for i := 1; i < len(binStart); i++ {
 		binStart[i] += binStart[i-1]
 	}
-	pos := make([]int, n)   // position of node in vert
-	vert := make([]int, n)  // nodes sorted by current degree
+	pos := make([]int, n)  // position of node in vert
+	vert := make([]int, n) // nodes sorted by current degree
 	fill := make([]int, maxDeg+1)
 	copy(fill, binStart[:maxDeg+1])
 	for u := 0; u < n; u++ {

@@ -1,0 +1,110 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/rng"
+)
+
+// TestRouteFrozenMatchesRoute checks the parallel CSR router against
+// the sequential map-based one: same link set, per-link loads and
+// summary statistics within floating-point merge tolerance.
+func TestRouteFrozenMatchesRoute(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		top, err := (gen.BA{N: 150, M: 2}).Generate(rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := top.G
+		masses := make([]float64, g.N())
+		r := rng.New(seed + 100)
+		for i := range masses {
+			masses[i] = 1 + 10*r.Float64()
+		}
+		m, err := Gravity(masses, 1e6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Route(g, m, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := RouteFrozen(g.Freeze(), m, true, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Links) != len(want.Links) {
+			t.Fatalf("seed %d: %d links vs %d", seed, len(got.Links), len(want.Links))
+		}
+		type key struct{ u, v int }
+		wantLoads := make(map[key]float64, len(want.Links))
+		for _, l := range want.Links {
+			wantLoads[key{l.U, l.V}] = l.Load
+		}
+		const tol = 1e-6 // absolute, loads are O(1e4)
+		for _, l := range got.Links {
+			w, ok := wantLoads[key{l.U, l.V}]
+			if !ok {
+				t.Fatalf("seed %d: unexpected link (%d,%d)", seed, l.U, l.V)
+			}
+			if math.Abs(l.Load-w) > tol {
+				t.Fatalf("seed %d: load(%d,%d) = %v, want %v", seed, l.U, l.V, l.Load, w)
+			}
+		}
+		if math.Abs(got.MaxLoad-want.MaxLoad) > tol ||
+			math.Abs(got.MeanLoad-want.MeanLoad) > tol ||
+			math.Abs(got.Undelivered-want.Undelivered) > tol ||
+			math.Abs(got.MaxUtilization-want.MaxUtilization) > tol/1e3 {
+			t.Fatalf("seed %d: summary differs:\n got %+v\nwant %+v", seed,
+				summaryOf(got), summaryOf(want))
+		}
+	}
+}
+
+func summaryOf(r *LoadReport) map[string]float64 {
+	return map[string]float64{
+		"max": r.MaxLoad, "mean": r.MeanLoad,
+		"undelivered": r.Undelivered, "maxutil": r.MaxUtilization,
+	}
+}
+
+// TestRouteFrozenDisconnected checks undelivered accounting on a graph
+// with an unreachable component.
+func TestRouteFrozenDisconnected(t *testing.T) {
+	top, err := (gen.GNP{N: 120, P: 0.01}).Generate(rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := top.G
+	m, err := Gravity(UniformMasses(g.N()), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Route(g, m, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RouteFrozen(g.Freeze(), m, false, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Undelivered == 0 {
+		t.Skip("graph unexpectedly connected")
+	}
+	if math.Abs(got.Undelivered-want.Undelivered) > 1e-9*want.Undelivered {
+		t.Fatalf("undelivered %v vs %v", got.Undelivered, want.Undelivered)
+	}
+}
+
+func TestRouteFrozenErrors(t *testing.T) {
+	top, err := (gen.BA{N: 20, M: 1}).Generate(rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := top.G.Freeze()
+	if _, err := RouteFrozen(s, &Matrix{Demand: make([][]float64, 3)}, false, 0); err == nil {
+		t.Fatal("size mismatch must error")
+	}
+}

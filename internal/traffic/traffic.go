@@ -15,7 +15,9 @@ import (
 	"errors"
 	"math"
 
+	"netmodel/internal/engine"
 	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
 	"netmodel/internal/rng"
 )
 
@@ -84,9 +86,9 @@ type LinkLoad struct {
 
 // LoadReport summarizes routing a matrix over a topology.
 type LoadReport struct {
-	Links      []LinkLoad // one entry per simple edge, order unspecified
-	MaxLoad    float64
-	MeanLoad   float64
+	Links       []LinkLoad // one entry per simple edge, order unspecified
+	MaxLoad     float64
+	MeanLoad    float64
 	Undelivered float64 // demand between disconnected pairs
 	// MaxUtilization is MaxLoad divided by the capacity of the busiest
 	// link when capacities (edge multiplicities) are used, 0 otherwise.
@@ -184,6 +186,114 @@ func Route(g *graph.Graph, m *Matrix, useCapacity bool) (*LoadReport, error) {
 				if util := l / cap; util > rep.MaxUtilization {
 					rep.MaxUtilization = util
 				}
+			}
+		}
+	}
+	if len(rep.Links) > 0 {
+		rep.MeanLoad = sum / float64(len(rep.Links))
+	}
+	return rep, nil
+}
+
+// RouteFrozen routes the matrix over a frozen snapshot, sharding the
+// per-source shortest-path DAG computations across `workers` goroutines
+// (<= 0 means GOMAXPROCS). Each worker accumulates loads into its own
+// per-edge array (edge ids from Snapshot.ArcEdgeIDs), merged in worker
+// order; the result matches Route up to floating-point summation order
+// and reproduces bit for bit at a fixed worker count.
+func RouteFrozen(s *graph.Snapshot, m *Matrix, useCapacity bool, workers int) (*LoadReport, error) {
+	n := s.N()
+	if n == 0 {
+		return nil, errors.New("traffic: empty graph")
+	}
+	if len(m.Demand) != n {
+		return nil, errors.New("traffic: matrix size mismatch")
+	}
+	if workers <= 0 {
+		workers = engine.DefaultWorkers()
+	}
+	arcEdge := s.ArcEdgeIDs()
+	edges := s.EdgeList() // edges[id] is the simple edge with that id
+	type routeScratch struct {
+		dist, queue []int32
+		sigma       []float64
+		flowIn      []float64
+		loads       []float64
+		undelivered float64
+	}
+	scratch := make([]*routeScratch, workers)
+	engine.ParallelFor(n, len(scratch), func(w, src int) {
+		sc := scratch[w]
+		if sc == nil {
+			sc = &routeScratch{
+				dist:   make([]int32, n),
+				queue:  make([]int32, n),
+				sigma:  make([]float64, n),
+				flowIn: make([]float64, n),
+				loads:  make([]float64, s.M()),
+			}
+			scratch[w] = sc
+		}
+		demandRow := m.Demand[src]
+		order := metrics.BFSFrozen(s, src, sc.dist, sc.queue)
+		for i := range sc.sigma {
+			sc.sigma[i] = 0
+			sc.flowIn[i] = 0
+		}
+		metrics.SigmaForward(s, src, order, sc.dist, sc.sigma)
+		// Push demand from the farthest nodes back toward src, splitting
+		// over shortest-path predecessors proportionally to path counts.
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if int(v) == src {
+				continue
+			}
+			demand := demandRow[v] + sc.flowIn[v]
+			if demand == 0 {
+				continue
+			}
+			dv := sc.dist[v]
+			lo, _ := s.ArcRange(int(v))
+			for j, p := range s.Neighbors(int(v)) {
+				if sc.dist[p]+1 != dv {
+					continue
+				}
+				share := demand * sc.sigma[p] / sc.sigma[v]
+				sc.loads[arcEdge[int(lo)+j]] += share
+				sc.flowIn[p] += share
+			}
+		}
+		for v := 0; v < n; v++ {
+			if v != src && sc.dist[v] < 0 {
+				sc.undelivered += demandRow[v]
+			}
+		}
+	})
+	total := make([]float64, s.M())
+	rep := &LoadReport{}
+	for _, sc := range scratch {
+		if sc == nil {
+			continue
+		}
+		rep.Undelivered += sc.undelivered
+		for id, l := range sc.loads {
+			total[id] += l
+		}
+	}
+	var sum float64
+	for id, l := range total {
+		if l == 0 {
+			continue
+		}
+		e := edges[id]
+		rep.Links = append(rep.Links, LinkLoad{U: e.U, V: e.V, Load: l})
+		sum += l
+		if l > rep.MaxLoad {
+			rep.MaxLoad = l
+		}
+		if useCapacity && e.W > 0 {
+			if util := l / float64(e.W); util > rep.MaxUtilization {
+				rep.MaxUtilization = util
 			}
 		}
 	}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench lint fmt ci
+.PHONY: all build test bench bench-gen lint fmt ci
 
 all: build
 
@@ -17,6 +17,13 @@ test:
 # drop -benchtime or raise it.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime=1x ./...
+
+# Generator smoke: one iteration of the sharded-vs-sequential 10k-node
+# BA/GLP/PFP and econ rows, the CI gate for the sharded kernels. For
+# real speedup numbers (100k rows, multi-core) run
+#   go test -run '^$$' -bench 'Gen.*100k' -benchmem .
+bench-gen:
+	$(GO) test -run '^$$' -bench 'GenBA10k|GenGLP10k|GenPFP10k|GenEcon' -benchmem -benchtime=1x .
 
 lint:
 	$(GO) vet ./...

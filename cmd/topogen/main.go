@@ -3,10 +3,14 @@
 // Usage:
 //
 //	topogen -model glp -n 11000 -seed 7 -format edgelist -o map.txt
+//	topogen -model ba -n 100000 -seed 7 -workers 8 > ba.txt
 //
 // The model registry covers every family implemented by netmodel; run
 // with -list to enumerate them. Output formats: edgelist (default),
-// json, dot.
+// json, dot. -workers shards generation for the families with a
+// parallel kernel (BA, GLP, PFP, Inet, BRITE, Waxman, ER, econ):
+// -workers=1 (default) is the sequential reference, any fixed
+// -workers>=2 is deterministic in the seed, -workers=0 uses every core.
 package main
 
 import (
@@ -14,8 +18,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"netmodel/internal/core"
+	"netmodel/internal/gen"
 	"netmodel/internal/graphio"
 	"netmodel/internal/rng"
 )
@@ -32,6 +38,7 @@ func run(args []string, stdout io.Writer) error {
 	model := fs.String("model", "glp", "model family to generate")
 	n := fs.Int("n", 11000, "target number of nodes")
 	seed := fs.Uint64("seed", 1, "random seed")
+	workers := fs.Int("workers", 1, "worker pool for sharded generation; 1 = sequential reference, 0 = GOMAXPROCS")
 	format := fs.String("format", "edgelist", "output format: edgelist, json, dot")
 	out := fs.String("o", "", "output file (default stdout)")
 	list := fs.Bool("list", false, "list available models and exit")
@@ -49,7 +56,15 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	top, err := m.Build(*n).Generate(rng.New(*seed))
+	// -workers=1 is the sequential reference (bit-identical across
+	// versions of the sharded kernel); -workers>=2 runs the sharded
+	// path, whose output is deterministic in (seed) alone; -workers=0
+	// shards across GOMAXPROCS.
+	pool := *workers
+	if pool <= 0 {
+		pool = runtime.GOMAXPROCS(0)
+	}
+	top, err := gen.GenerateWith(m.Build(*n), rng.New(*seed), pool)
 	if err != nil {
 		return err
 	}

@@ -64,3 +64,36 @@ func TestErrors(t *testing.T) {
 		t.Fatal("unknown format should fail")
 	}
 }
+
+// TestWorkersFlag: the sharded path is reproducible at a fixed worker
+// count, worker-count invariant at >= 2, and the default stays on the
+// sequential reference.
+func TestWorkersFlag(t *testing.T) {
+	gen := func(args ...string) string {
+		t.Helper()
+		var out bytes.Buffer
+		if err := run(append([]string{"-model", "ba", "-n", "300", "-seed", "9"}, args...), &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	seq := gen()
+	if got := gen("-workers", "1"); got != seq {
+		t.Fatal("-workers=1 must match the default sequential output")
+	}
+	w4a, w4b := gen("-workers", "4"), gen("-workers", "4")
+	if w4a != w4b {
+		t.Fatal("-workers=4 not reproducible across runs")
+	}
+	if w2 := gen("-workers", "2"); w2 != w4a {
+		t.Fatal("sharded output differs between worker counts")
+	}
+	// The econ adapter threads -workers through the market rounds.
+	var out bytes.Buffer
+	if err := run([]string{"-model", "econ", "-n", "200", "-seed", "3", "-workers", "4"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(out.String(), "# netmodel edge list") {
+		t.Fatal("econ sharded generation produced no edge list")
+	}
+}

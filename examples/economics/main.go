@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,7 +15,10 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 1, "shard the monthly competition rounds; 1 = sequential reference")
+	flag.Parse()
 	model := econ.Default(3000)
+	model.Workers = *workers
 	fmt.Printf("growing an AS market to N=%d (α=%.3f, β=%.3f, δ'=%.3f per month)\n",
 		model.TargetN, model.Alpha, model.Beta, model.DeltaPrime)
 	res, err := model.Run(rng.New(1971))

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math"
@@ -18,7 +19,10 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 1, "shard the monthly competition rounds; 1 = sequential reference")
+	flag.Parse()
 	model := econ.Default(4000)
+	model.Workers = *workers
 	res, err := model.Run(rng.New(1997))
 	if err != nil {
 		log.Fatal(err)

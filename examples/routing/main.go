@@ -9,6 +9,7 @@ import (
 	"log"
 
 	"netmodel/internal/aspolicy"
+	"netmodel/internal/engine"
 	"netmodel/internal/gen"
 	"netmodel/internal/refdata"
 	"netmodel/internal/rng"
@@ -35,9 +36,25 @@ func main() {
 		p2c, peer, 100*float64(peer)/float64(p2c+peer))
 	fmt.Printf("tier-1 ASs (no providers): %v\n", ann.Tier1s())
 
-	// Freeze the annotated topology: the policy sweeps and the traffic
-	// router below run in parallel over the immutable CSR view.
-	frozen := ann.Freeze()
+	// Freeze once, analyze everywhere: one engine holds the immutable
+	// CSR snapshot and its per-snapshot cache; binding the annotation to
+	// it puts the policy metrics (cones, exact inflation) in the same
+	// memo as the topology metrics, and the traffic router below shares
+	// the same snapshot.
+	eng := engine.New(g.Freeze())
+	frozen, err := ann.FreezeWith(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cones := frozen.CustomerCone()
+	maxCone := 0
+	for _, c := range cones {
+		if c > maxCone {
+			maxCone = c
+		}
+	}
+	fmt.Printf("largest customer cone: %d of %d ASs (clustering %.4f, same snapshot)\n",
+		maxCone, g.N(), eng.AvgClustering())
 
 	// Policy inflation, the Gao-Wang measurement.
 	inf, err := frozen.MeasureInflation(rng.New(9), 300)
@@ -53,16 +70,17 @@ func main() {
 	fmt.Printf("  worst additive stretch: %d hops\n", inf.MaxStretch)
 
 	// Traffic: gravity demand with degree masses, routed on shortest
-	// paths; where does the load concentrate?
+	// paths; where does the load concentrate? The demand streams row by
+	// row — the dense N×N matrix is never materialized.
 	masses := make([]float64, g.N())
 	for u := range masses {
 		masses[u] = float64(g.Degree(u))
 	}
-	tm, err := traffic.Gravity(masses, 1e6)
+	tm, err := traffic.NewGravityDemand(masses, 1e6)
 	if err != nil {
 		log.Fatal(err)
 	}
-	rep, err := traffic.RouteFrozen(frozen.S, tm, false, 0)
+	rep, err := traffic.RouteFrozenDemand(frozen.S, tm, false, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,6 +2,7 @@ package aspolicy
 
 import (
 	"errors"
+	"strconv"
 
 	"netmodel/internal/engine"
 	"netmodel/internal/graph"
@@ -18,23 +19,59 @@ type Frozen struct {
 	S *graph.Snapshot
 	// rel[a] is the relationship of (u, v) for arc a of node u.
 	rel []Rel
-	// Workers caps the pool for the parallel sweeps; <= 0 means
-	// GOMAXPROCS. Results reproduce bit for bit at a fixed worker
-	// count (the reductions are integral, so in practice at any).
+	// Workers caps the pool for the parallel sweeps; <= 0 means the
+	// bound engine's pool when present, GOMAXPROCS otherwise. Results
+	// reproduce bit for bit at a fixed worker count (the reductions are
+	// integral, so in practice at any).
 	Workers int
+	// eng, when set via FreezeWith, memoizes the whole-graph policy
+	// metrics (customer cones, exact inflation) in the engine's
+	// per-snapshot cache so they are computed once per frozen topology,
+	// alongside the topology metrics. Keys carry relKey, a hash of the
+	// relationship array, so two annotations of the same graph bound to
+	// one engine never serve each other's results.
+	eng    *engine.Engine
+	relKey string
 }
 
 // Freeze builds the frozen view of the annotation. Unannotated edges
 // freeze as relationship 0 and surface as "annotation incomplete"
 // errors from the traversals, matching the map-based behavior.
 func (a *Annotated) Freeze() *Frozen {
-	s := a.G.Freeze()
-	f := &Frozen{S: s, rel: make([]Rel, 0, 2*s.M())}
+	return a.freezeOn(a.G.Freeze(), nil)
+}
+
+// FreezeWith builds the frozen view over the snapshot an engine already
+// holds, binding the policy metrics into the engine's per-snapshot
+// memoization: customer cones and exact valley-free inflation are then
+// cached next to clustering, k-cores and the rest, so a pipeline that
+// mixes topology and policy metrics freezes once and computes each
+// result once. The engine must wrap a snapshot of the annotated graph
+// (same node count and arc structure); anything else errors.
+func (a *Annotated) FreezeWith(eng *engine.Engine) (*Frozen, error) {
+	s := eng.Snapshot()
+	if s.N() != a.G.N() || s.M() != a.G.M() {
+		return nil, errors.New("aspolicy: engine snapshot does not match the annotated graph")
+	}
+	return a.freezeOn(s, eng), nil
+}
+
+func (a *Annotated) freezeOn(s *graph.Snapshot, eng *engine.Engine) *Frozen {
+	f := &Frozen{S: s, rel: make([]Rel, 0, 2*s.M()), eng: eng}
 	n := s.N()
 	for u := 0; u < n; u++ {
 		for _, v := range s.Neighbors(u) {
 			f.rel = append(f.rel, a.RelOf(u, int(v)))
 		}
+	}
+	if eng != nil {
+		// FNV-1a over the arc relationships: frozen views with equal
+		// annotations share memo entries, differing annotations do not.
+		h := uint64(0xcbf29ce484222325)
+		for _, rel := range f.rel {
+			h = (h ^ uint64(byte(rel))) * 0x100000001b3
+		}
+		f.relKey = strconv.FormatUint(h, 16)
 	}
 	return f
 }
@@ -53,7 +90,16 @@ func (f *Frozen) Complete() bool {
 // per-node provider→customer DFS sharded across the worker pool. Each
 // worker keeps its own visit-stamp array, so cones are independent and
 // the result is identical to the sequential Annotated.CustomerCone.
+// When the view is bound to an engine (FreezeWith), the result is
+// memoized per snapshot; callers must not modify it.
 func (f *Frozen) CustomerCone() []int {
+	if f.eng != nil {
+		return f.eng.Cached("aspolicy:cone:"+f.relKey, func() any { return f.customerCone() }).([]int)
+	}
+	return f.customerCone()
+}
+
+func (f *Frozen) customerCone() []int {
 	s := f.S
 	n := s.N()
 	cone := make([]int, n)
@@ -167,8 +213,24 @@ func (f *Frozen) valleyFree(src int, dist []int32, queue []int32) error {
 // and compares plain shortest paths with valley-free paths from each
 // root, sharding roots across the worker pool. All per-root reductions
 // are integral, so the result matches Annotated.MeasureInflation
-// exactly for the same generator state.
+// exactly for the same generator state. Exact (all-sources) runs are
+// memoized when the view is bound to an engine; sampled runs are not.
 func (f *Frozen) MeasureInflation(r *rng.Rand, sources int) (Inflation, error) {
+	if f.eng != nil && (sources <= 0 || sources >= f.S.N()) {
+		type result struct {
+			inf Inflation
+			err error
+		}
+		res := f.eng.Cached("aspolicy:inflation:"+f.relKey, func() any {
+			inf, err := f.measureInflation(r, sources)
+			return result{inf, err}
+		}).(result)
+		return res.inf, res.err
+	}
+	return f.measureInflation(r, sources)
+}
+
+func (f *Frozen) measureInflation(r *rng.Rand, sources int) (Inflation, error) {
 	s := f.S
 	n := s.N()
 	if n < 2 {
@@ -270,10 +332,14 @@ func (f *Frozen) MeasureInflation(r *rng.Rand, sources int) (Inflation, error) {
 	return inf, nil
 }
 
-// workers returns the configured pool width for policy sweeps.
+// workers returns the configured pool width for policy sweeps: the
+// explicit override, then the bound engine's pool, then GOMAXPROCS.
 func (f *Frozen) workers() int {
 	if f.Workers > 0 {
 		return f.Workers
+	}
+	if f.eng != nil {
+		return f.eng.Workers()
 	}
 	return engine.DefaultWorkers()
 }

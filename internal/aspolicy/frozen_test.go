@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"netmodel/internal/engine"
 	"netmodel/internal/gen"
 	"netmodel/internal/graph"
 	"netmodel/internal/rng"
@@ -118,5 +119,125 @@ func TestFrozenInflationMatchesMap(t *testing.T) {
 	a := annotatedTestTopology(t, 5, 100)
 	if _, err := a.Freeze().MeasureInflation(nil, 10); err == nil {
 		t.Fatal("sampling without generator must error")
+	}
+}
+
+// TestFreezeWithSharesEngineCache: policy metrics bound to an engine
+// land in its per-snapshot memo — computed once, shared across repeated
+// calls, and identical to the unbound path.
+func TestFreezeWithSharesEngineCache(t *testing.T) {
+	a := annotatedTestTopology(t, 3, 300)
+	eng := engine.New(a.G.Freeze(), engine.WithWorkers(4))
+	f, err := a.FreezeWith(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Complete() {
+		t.Fatal("degree annotation must freeze complete")
+	}
+	cones := f.CustomerCone()
+	if !reflect.DeepEqual(cones, a.CustomerCone()) {
+		t.Fatal("bound cones differ from the sequential reference")
+	}
+	// Memoized: the second call returns the same backing slice.
+	again := f.CustomerCone()
+	if &cones[0] != &again[0] {
+		t.Fatal("customer cones not memoized through the engine")
+	}
+	// And a second frozen view over the same engine shares the result.
+	f2, err := a.FreezeWith(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := f2.CustomerCone()
+	if &cones[0] != &shared[0] {
+		t.Fatal("sibling frozen view recomputed the cones")
+	}
+
+	// Exact inflation memoizes too, and matches the unbound sweep.
+	inf, err := f.MeasureInflation(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Freeze().MeasureInflation(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf != want {
+		t.Fatalf("bound inflation %+v, want %+v", inf, want)
+	}
+	inf2, err := f2.MeasureInflation(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf2 != inf {
+		t.Fatal("memoized inflation differs")
+	}
+	// Sampled runs stay un-memoized (they depend on the caller's
+	// generator state).
+	s1, err := f.MeasureInflation(rng.New(5), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := f.MeasureInflation(rng.New(6), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 == s2 {
+		t.Fatal("sampled inflation suspiciously identical across different samples")
+	}
+}
+
+// TestFreezeWithRejectsForeignEngine: binding to an engine over a
+// different topology must fail loudly.
+func TestFreezeWithRejectsForeignEngine(t *testing.T) {
+	a := annotatedTestTopology(t, 3, 300)
+	other := engine.New(graph.New(10).Freeze())
+	if _, err := a.FreezeWith(other); err == nil {
+		t.Fatal("mismatched engine accepted")
+	}
+}
+
+// TestFreezeWithDistinctAnnotationsDoNotShareCache: two annotations of
+// the same graph bound to one engine must keep separate memo entries.
+func TestFreezeWithDistinctAnnotationsDoNotShareCache(t *testing.T) {
+	top, err := (gen.BA{N: 300, M: 2, A: -1.6}).Generate(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := AnnotateByDegree(top.G, 1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := AnnotateByDegree(top.G, 3.0) // much more peering
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := engine.New(top.G.Freeze(), engine.WithWorkers(4))
+	f1, err := a1.FreezeWith(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := a2.FreezeWith(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := f1.CustomerCone(), f2.CustomerCone()
+	if !reflect.DeepEqual(c1, a1.CustomerCone()) {
+		t.Fatal("first annotation's cones wrong")
+	}
+	if !reflect.DeepEqual(c2, a2.CustomerCone()) {
+		t.Fatal("second annotation served the first annotation's cached cones")
+	}
+	i1, err := f1.MeasureInflation(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := f2.MeasureInflation(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i1 == i2 {
+		t.Fatal("distinct annotations returned identical memoized inflation")
 	}
 }

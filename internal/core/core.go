@@ -50,6 +50,15 @@ func (e econAdapter) Generate(r *rng.Rand) (*gen.Topology, error) {
 	return &gen.Topology{G: res.G, Pos: res.Pos}, nil
 }
 
+// GenerateSharded implements gen.ShardedGenerator by sharding the econ
+// engine's per-month competition rounds.
+func (e econAdapter) GenerateSharded(r *rng.Rand, workers int) (*gen.Topology, error) {
+	if workers > 1 {
+		e.m.Workers = workers
+	}
+	return e.Generate(r)
+}
+
 // econDistAdapter is econAdapter with the geographic constraint.
 type econDistAdapter struct{ econAdapter }
 
@@ -136,6 +145,10 @@ type Pipeline struct {
 	Seed        uint64         // generation seed
 	Target      refdata.Target // reference to validate against
 	PathSources int            // BFS sampling for path metrics (0 = exact)
+	// Workers sizes the pool for both stages: sharded generation (when
+	// the family has a kernel; <= 1 runs the sequential reference) and
+	// the metrics engine (<= 0 means GOMAXPROCS).
+	Workers int
 }
 
 // Run generates the named model and validates it.
@@ -148,14 +161,14 @@ func (p Pipeline) Run(name string) (*PipelineResult, error) {
 		return nil, fmt.Errorf("core: pipeline needs a positive size, got %d", p.N)
 	}
 	r := rng.New(p.Seed)
-	top, err := m.Build(p.N).Generate(r)
+	top, err := gen.GenerateWith(m.Build(p.N), r, p.Workers)
 	if err != nil {
 		return nil, fmt.Errorf("core: generating %s: %w", name, err)
 	}
 	// Freeze once; measurement and validation share one engine so the
 	// memoized whole-graph metrics (triangles, k-core, giant component)
 	// are computed a single time.
-	eng := engine.New(top.G.Freeze())
+	eng := engine.New(top.G.Freeze(), engine.WithWorkers(p.Workers))
 	mr := rng.New(p.Seed + 1)
 	snap, err := eng.Measure(mr, p.PathSources)
 	if err != nil {

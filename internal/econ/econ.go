@@ -26,8 +26,18 @@ import (
 
 	"netmodel/internal/geom"
 	"netmodel/internal/graph"
+	"netmodel/internal/par"
 	"netmodel/internal/rng"
 )
+
+// econRootTag keys the derivation of the sharded rounds' stream root
+// off the caller's generator, keeping per-AS sub-streams disjoint from
+// the main stream that link formation keeps drawing from.
+const econRootTag = ^uint64(0)
+
+// econPhases is the number of per-month sharded phases (demand
+// allocation, churn); each gets its own stream-index band.
+const econPhases = 2
 
 // Model parameterizes the growth engine. Rates are per month, matching
 // the units of the 1997-2002 measurements (Alpha ≈ 0.036 for hosts,
@@ -46,6 +56,15 @@ type Model struct {
 	// (D_f = 1.5) AS placement.
 	Distance bool
 	Kappa    float64 // link-cost scale; only used when Distance is set
+	// Workers shards the per-month competition rounds — demand
+	// allocation, churn and the bandwidth-adaptation scan — across a
+	// pool, each AS drawing from its own seed-derived sub-stream keyed
+	// by (month, phase, AS). Workers <= 1 runs the sequential reference
+	// path unchanged; at Workers >= 2 the run is a pure function of the
+	// seed, identical across repeated runs and across worker counts
+	// (link formation itself stays on the main stream: the pairwise
+	// bandwidth negotiation is a serial chain by construction).
+	Workers int
 }
 
 // Default returns the published calibration targeting n ASs.
@@ -136,16 +155,28 @@ func (m Model) Run(r *rng.Rand) (*Result, error) {
 		pos = pts
 	}
 
-	pref := rng.NewFenwick(r, m.TargetN+m.N0)
-	for i := range users {
-		pref.Set(i, users[i])
-	}
 	totalUsers := m.Omega0 * float64(m.N0)
 	w0N0 := totalUsers
 	history := make([]MonthStats, 0, months)
 
 	need := make([]float64, 0, m.TargetN) // bandwidth deficit per AS
 	needF := rng.NewFenwick(r, m.TargetN+m.N0)
+
+	// Sharded-round state: each AS draws from sub-stream
+	// (month*phases+phase)<<32 | AS of the root, so what it draws is a
+	// pure function of the seed — never of worker interleaving.
+	sharded := m.Workers > 1
+	var root rng.Rand
+	var childs []rng.Rand
+	var draws []float64
+	if sharded {
+		r.SplitInto(&root, econRootTag)
+		childs = make([]rng.Rand, par.Workers(m.Workers))
+		draws = make([]float64, 0, m.TargetN+m.N0)
+	}
+	streamTag := func(t, phase int) uint64 {
+		return uint64(t*econPhases+phase) << 32
+	}
 
 	for t := 1; t <= months && g.N() < m.TargetN; t++ {
 		// (i) New demand: ΔW users pick providers by linear preference.
@@ -155,10 +186,24 @@ func (m Model) Run(r *rng.Rand) (*Result, error) {
 		deltaW := w0N0 * (math.Exp(m.Alpha*float64(t)) - math.Exp(m.Alpha*float64(t-1)))
 		if totalUsers > 0 {
 			scale := deltaW / totalUsers
-			for i := range users {
-				gain := float64(r.Poisson(users[i] * scale))
-				users[i] += gain
-				totalUsers += gain
+			if sharded {
+				draws = draws[:len(users)]
+				tag := streamTag(t, 0)
+				par.For(len(users), m.Workers, func(w, i int) {
+					rs := &childs[w]
+					root.SplitInto(rs, tag|uint64(i))
+					draws[i] = float64(rs.Poisson(users[i] * scale))
+				})
+				for i, gain := range draws {
+					users[i] += gain
+					totalUsers += gain
+				}
+			} else {
+				for i := range users {
+					gain := float64(r.Poisson(users[i] * scale))
+					users[i] += gain
+					totalUsers += gain
+				}
 			}
 		}
 		// (iii) Churn: each user relocates with probability Lambda,
@@ -168,13 +213,31 @@ func (m Model) Run(r *rng.Rand) (*Result, error) {
 		// exchange suffices.
 		if m.Lambda > 0 && len(users) > 1 {
 			moved := 0.0
-			for i := range users {
-				out := float64(r.Poisson(users[i] * m.Lambda))
-				if out > users[i]-1 {
-					out = math.Max(0, users[i]-1)
+			if sharded {
+				draws = draws[:len(users)]
+				tag := streamTag(t, 1)
+				par.For(len(users), m.Workers, func(w, i int) {
+					rs := &childs[w]
+					root.SplitInto(rs, tag|uint64(i))
+					out := float64(rs.Poisson(users[i] * m.Lambda))
+					if out > users[i]-1 {
+						out = math.Max(0, users[i]-1)
+					}
+					draws[i] = out
+				})
+				for i, out := range draws {
+					users[i] -= out
+					moved += out
 				}
-				users[i] -= out
-				moved += out
+			} else {
+				for i := range users {
+					out := float64(r.Poisson(users[i] * m.Lambda))
+					if out > users[i]-1 {
+						out = math.Max(0, users[i]-1)
+					}
+					users[i] -= out
+					moved += out
+				}
 			}
 			base := totalUsers - moved
 			if base > 0 {
@@ -223,24 +286,37 @@ func (m Model) Run(r *rng.Rand) (*Result, error) {
 				}
 			}
 		}
-		for i := range users {
-			pref.Set(i, users[i])
-		}
 		// (iv) Adaptation: every AS sizes its bandwidth to its customer
 		// base, b_i = 1 + a(t)(w_i − ω0), with a(t) = 2B(t)/W(t) and the
-		// capacity budget B(t) growing at DeltaPrime.
+		// capacity budget B(t) growing at DeltaPrime. The deficit scan
+		// is per-AS arithmetic over the (read-only) graph, so the
+		// sharded path evaluates it element-wise in parallel; the
+		// reduction runs in index order either way, keeping the total
+		// bit-identical across worker counts.
 		bTarget := math.Exp(m.DeltaPrime * float64(t))
 		a := 2 * bTarget / totalUsers
-		need = need[:0]
-		totalNeed := 0.0
-		for i := range users {
-			want := 1 + a*math.Max(0, users[i]-m.Omega0)
-			have := float64(g.Strength(i))
-			d := want - have
-			if d < 0 {
-				d = 0
+		need = need[:len(users)]
+		if sharded {
+			par.For(len(users), m.Workers, func(_, i int) {
+				want := 1 + a*math.Max(0, users[i]-m.Omega0)
+				d := want - float64(g.Strength(i))
+				if d < 0 {
+					d = 0
+				}
+				need[i] = d
+			})
+		} else {
+			for i := range users {
+				want := 1 + a*math.Max(0, users[i]-m.Omega0)
+				d := want - float64(g.Strength(i))
+				if d < 0 {
+					d = 0
+				}
+				need[i] = d
 			}
-			need = append(need, d)
+		}
+		totalNeed := 0.0
+		for _, d := range need {
 			totalNeed += d
 		}
 		if g.N() >= 2 && totalNeed >= 2 {

@@ -229,3 +229,116 @@ func TestReinforcementAblation(t *testing.T) {
 		t.Fatalf("total bandwidth should be R-invariant, differs by %v", lodiff)
 	}
 }
+
+// shardedEqual asserts two runs are byte-equal in topology, customer
+// bases and history.
+func shardedEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	ea, eb := a.G.EdgeList(), b.G.EdgeList()
+	if len(ea) != len(eb) {
+		t.Fatalf("%s: edge counts differ: %d vs %d", label, len(ea), len(eb))
+	}
+	for i := range ea {
+		if ea[i] != eb[i] {
+			t.Fatalf("%s: edge %d differs: %+v vs %+v", label, i, ea[i], eb[i])
+		}
+	}
+	if len(a.Users) != len(b.Users) {
+		t.Fatalf("%s: user slices differ in length", label)
+	}
+	for i := range a.Users {
+		if a.Users[i] != b.Users[i] {
+			t.Fatalf("%s: users[%d] = %v vs %v", label, i, a.Users[i], b.Users[i])
+		}
+	}
+	if len(a.History) != len(b.History) {
+		t.Fatalf("%s: history lengths differ", label)
+	}
+	for i := range a.History {
+		if a.History[i] != b.History[i] {
+			t.Fatalf("%s: history[%d] = %+v vs %+v", label, i, a.History[i], b.History[i])
+		}
+	}
+}
+
+// TestShardedRunReproducible: at a fixed worker count the sharded run
+// is a pure function of the seed.
+func TestShardedRunReproducible(t *testing.T) {
+	m := Default(300)
+	m.Workers = 4
+	a, err := m.Run(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Run(rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardedEqual(t, "workers=4 repeated", a, b)
+}
+
+// TestShardedRunWorkerInvariance: per-AS sub-streams are keyed by
+// (month, phase, AS), so the run is identical at every pool width.
+func TestShardedRunWorkerInvariance(t *testing.T) {
+	m2 := Default(300)
+	m2.Workers = 2
+	a, err := m2.Run(rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{3, 4, 8} {
+		mw := Default(300)
+		mw.Workers = workers
+		b, err := mw.Run(rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardedEqual(t, "workers=2 vs more", a, b)
+	}
+}
+
+// TestShardedRunKeepsGrowthRegime: the sharded competition rounds must
+// realize the same macroscopic regime as the sequential engine —
+// exponential growth with alpha > delta' >= beta ordering intact.
+func TestShardedRunKeepsGrowthRegime(t *testing.T) {
+	m := Default(600)
+	m.Workers = 4
+	res, err := m.Run(rng.New(1997))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.G.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if res.G.N() < 550 {
+		t.Fatalf("sharded run stalled at N=%d, want ~600", res.G.N())
+	}
+	alpha, beta, _, err := GrowthRates(res.History)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alpha-m.Alpha) > 0.01 {
+		t.Fatalf("sharded realized alpha = %v, want ~%v", alpha, m.Alpha)
+	}
+	if math.Abs(beta-m.Beta) > 0.01 {
+		t.Fatalf("sharded realized beta = %v, want ~%v", beta, m.Beta)
+	}
+	if alpha <= beta {
+		t.Fatalf("rate ordering lost: alpha %v <= beta %v", alpha, beta)
+	}
+}
+
+// TestShardedRunDistance: the geographic constraint composes with the
+// sharded rounds.
+func TestShardedRunDistance(t *testing.T) {
+	m := DefaultDistance(200)
+	m.Workers = 4
+	res, err := m.Run(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pos == nil || len(res.Pos) != res.G.N() {
+		t.Fatalf("distance run missing embedding: %d positions for %d nodes",
+			len(res.Pos), res.G.N())
+	}
+}

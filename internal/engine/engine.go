@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"netmodel/internal/graph"
+	"netmodel/internal/par"
 )
 
 // Engine runs parallel analyses over one frozen snapshot.
@@ -67,10 +68,13 @@ func (e *Engine) Snapshot() *graph.Snapshot { return e.s }
 // Workers returns the worker-pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// cached returns the memoized value under key, computing it at most
-// once per engine. Concurrent callers of the same key block on a single
-// computation.
-func (e *Engine) cached(key string, compute func() any) any {
+// Cached exposes the engine's per-snapshot memoization to sibling
+// analysis layers (policy metrics, traffic studies) so that everything
+// computed over one frozen topology shares a single cache. Keys are
+// namespaced by convention ("aspolicy:cone", ...); the engine's own
+// metrics use bare keys. Concurrent callers of the same key block on a
+// single computation; callers must not modify returned values.
+func (e *Engine) Cached(key string, compute func() any) any {
 	e.mu.Lock()
 	ent, ok := e.memo[key]
 	if !ok {
@@ -82,13 +86,9 @@ func (e *Engine) cached(key string, compute func() any) any {
 	return ent.val
 }
 
-// chunk is the sharding grain: small enough that round-robin
-// interleaving spreads skewed per-index costs (triangle ranges are
-// heavy-tailed around hubs) evenly across workers.
-const chunk = 16
-
 // ParallelFor runs fn(worker, i) for every i in [0, n) across the given
-// number of workers (<= 0 means GOMAXPROCS). Chunks of indices are
+// number of workers (<= 0 means GOMAXPROCS), delegating to the shared
+// static-chunk scheduler in internal/par. Chunks of indices are
 // assigned round-robin by worker index — a static schedule, so which
 // worker processes which index is a pure function of (n, workers).
 // Per-worker floating-point accumulators merged in worker order
@@ -98,36 +98,7 @@ const chunk = 16
 // race, so fn must only write worker-private or index-private state.
 // ParallelFor returns when all indices are done.
 func ParallelFor(n, workers int, fn func(worker, i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > (n+chunk-1)/chunk {
-		workers = (n + chunk - 1) / chunk
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			fn(0, i)
-		}
-		return
-	}
-	stride := workers * chunk
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			for start := w * chunk; start < n; start += stride {
-				end := start + chunk
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					fn(w, i)
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
+	par.For(n, workers, fn)
 }
 
 // parallelFor is ParallelFor with the engine's worker count.

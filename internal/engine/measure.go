@@ -18,7 +18,7 @@ type giantPart struct {
 // Giant returns an engine over the giant component's sub-snapshot and
 // the new-to-old node mapping, computed once per snapshot.
 func (e *Engine) Giant() (*Engine, []int) {
-	gp := e.cached("giant", func() any {
+	gp := e.Cached("giant", func() any {
 		sub, mapping := e.s.GiantComponent()
 		return &giantPart{eng: New(sub, WithWorkers(e.workers)), mapping: mapping}
 	}).(*giantPart)

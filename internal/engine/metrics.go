@@ -11,7 +11,7 @@ import (
 // sharding sources across the pool. The result is memoized; callers
 // must not modify the returned slice.
 func (e *Engine) Betweenness() []float64 {
-	return e.cached("betweenness", func() any {
+	return e.Cached("betweenness", func() any {
 		bc, _ := e.betweenness(nil, 0)
 		return bc
 	}).([]float64)
@@ -76,7 +76,7 @@ func (e *Engine) betweenness(r *rng.Rand, sources int) ([]float64, error) {
 // Closeness computes Wasserman-Faust closeness for every node, one BFS
 // per node sharded across the pool. Memoized; do not modify the result.
 func (e *Engine) Closeness() []float64 {
-	return e.cached("closeness", func() any {
+	return e.Cached("closeness", func() any {
 		return e.perNodeBFS(metrics.ClosenessOfDist)
 	}).([]float64)
 }
@@ -84,7 +84,7 @@ func (e *Engine) Closeness() []float64 {
 // HarmonicCloseness computes harmonic closeness for every node.
 // Memoized; do not modify the result.
 func (e *Engine) HarmonicCloseness() []float64 {
-	return e.cached("harmonic-closeness", func() any {
+	return e.Cached("harmonic-closeness", func() any {
 		if e.s.N() < 2 {
 			return make([]float64, e.s.N())
 		}
@@ -123,7 +123,7 @@ func (e *Engine) PathLengths(r *rng.Rand, sources int) (metrics.PathStats, error
 			_, err := metrics.PathSources(n, r, sources)
 			return metrics.PathStats{}, err
 		}
-		st := e.cached("paths-exact", func() any {
+		st := e.Cached("paths-exact", func() any {
 			st, _ := e.pathLengths(nil, 0)
 			return st
 		}).(metrics.PathStats)
@@ -164,7 +164,7 @@ func (e *Engine) pathLengths(r *rng.Rand, sources int) (metrics.PathStats, error
 // smallest-corner ranges across the pool. Memoized; do not modify the
 // result.
 func (e *Engine) TrianglesPerNode() []int {
-	return e.cached("triangles", func() any {
+	return e.Cached("triangles", func() any {
 		s := e.s
 		n := s.N()
 		workers := e.workers
@@ -201,7 +201,7 @@ func (e *Engine) TotalTriangles() int {
 // derived from the memoized triangle counts. Memoized; do not modify
 // the result.
 func (e *Engine) LocalClustering() []float64 {
-	return e.cached("local-clustering", func() any {
+	return e.Cached("local-clustering", func() any {
 		return metrics.LocalClusteringFromTriangles(e.s, e.TrianglesPerNode())
 	}).([]float64)
 }
@@ -225,7 +225,7 @@ func (e *Engine) ClusteringSpectrum() map[int]float64 {
 // inherently sequential but O(M) over flat arrays; the result is
 // memoized.
 func (e *Engine) KCore() metrics.KCoreResult {
-	return e.cached("kcore", func() any {
+	return e.Cached("kcore", func() any {
 		return metrics.KCoreFrozen(e.s)
 	}).(metrics.KCoreResult)
 }
@@ -233,7 +233,7 @@ func (e *Engine) KCore() metrics.KCoreResult {
 // RichClub returns the rich-club connectivity curve. Memoized; do not
 // modify the result.
 func (e *Engine) RichClub() []metrics.RichClubPoint {
-	return e.cached("richclub", func() any {
+	return e.Cached("richclub", func() any {
 		return metrics.RichClubFrozen(e.s)
 	}).([]metrics.RichClubPoint)
 }
@@ -243,7 +243,7 @@ func (e *Engine) RichClub() []metrics.RichClubPoint {
 // integral, so the counts are bit-identical to the sequential
 // CountCycles. Memoized.
 func (e *Engine) CountCycles() metrics.CycleCounts {
-	return e.cached("cycles", func() any {
+	return e.Cached("cycles", func() any {
 		s := e.s
 		n := s.N()
 		if n < 3 {
@@ -274,14 +274,14 @@ func (e *Engine) CountCycles() metrics.CycleCounts {
 // Knn returns the average-nearest-neighbor-degree spectrum. Memoized;
 // do not modify the result.
 func (e *Engine) Knn() map[int]float64 {
-	return e.cached("knn", func() any {
+	return e.Cached("knn", func() any {
 		return metrics.KnnFrozen(e.s)
 	}).(map[int]float64)
 }
 
 // Assortativity returns Newman's degree-degree correlation r.
 func (e *Engine) Assortativity() float64 {
-	return e.cached("assortativity", func() any {
+	return e.Cached("assortativity", func() any {
 		return metrics.AssortativityFrozen(e.s)
 	}).(float64)
 }
@@ -289,7 +289,7 @@ func (e *Engine) Assortativity() float64 {
 // DegreesAsFloats returns the degree sequence as floats for the stats
 // package. Memoized; do not modify the result.
 func (e *Engine) DegreesAsFloats() []float64 {
-	return e.cached("degrees-float", func() any {
+	return e.Cached("degrees-float", func() any {
 		return metrics.DegreesAsFloatsFrozen(e.s)
 	}).([]float64)
 }

@@ -24,17 +24,25 @@ type BA struct {
 // Name implements Generator.
 func (BA) Name() string { return "ba" }
 
-// Generate implements Generator. Attachment sampling uses the Fenwick
-// tree, O(N·M·log N) overall.
-func (m BA) Generate(r *rng.Rand) (*Topology, error) {
+func (m BA) validate() error {
 	if err := validateN(m.Name(), m.N); err != nil {
-		return nil, err
+		return err
 	}
 	if m.M <= 0 {
-		return nil, errPositive(m.Name(), "M")
+		return errPositive(m.Name(), "M")
 	}
 	if float64(m.M)+m.A <= 0 {
-		return nil, errPositive(m.Name(), "M + A")
+		return errPositive(m.Name(), "M + A")
+	}
+	return nil
+}
+
+// Generate implements Generator. Attachment sampling uses the Fenwick
+// tree, O(N·M·log N) overall. This is the sequential reference the
+// sharded kernel is pinned against.
+func (m BA) Generate(r *rng.Rand) (*Topology, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
 	}
 	seed := m.M + 1
 	if seed > m.N {
@@ -58,6 +66,64 @@ func (m BA) Generate(r *rng.Rand) (*Topology, error) {
 			f.Add(v, 1)
 		}
 		f.Set(u, float64(g.Degree(u))+m.A)
+	}
+	return &Topology{G: g}, nil
+}
+
+// GenerateSharded implements ShardedGenerator: arrivals are planned in
+// frozen-weight rounds (each arrival samples its M distinct targets
+// against the round's alias table with its own seed-derived stream, in
+// parallel) and committed in arrival order. Every edge joins the new
+// node to a pre-round node, so commits never conflict; weight updates
+// are plain array writes, O(1) against the Fenwick path's O(log N).
+func (m BA) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	if workers <= 1 {
+		return m.Generate(r)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	seed := m.M + 1
+	if seed > m.N {
+		seed = m.N
+	}
+	k := newGrowth(r, workers, m.N)
+	for u := 0; u < seed; u++ {
+		k.addNode()
+	}
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			k.addEdge(u, v)
+		}
+	}
+	for u := 0; u < seed; u++ {
+		k.weights[u] = float64(k.degree[u]) + m.A
+	}
+	var flat []int
+	var lens []int
+	for k.n < m.N {
+		b := growthBatch(k.n, m.N-k.n)
+		t := k.freeze()
+		if cap(flat) < b*m.M {
+			flat = make([]int, b*m.M)
+			lens = make([]int, b)
+		}
+		k.forItems(b, func(i int, rs *rng.Rand) {
+			seg := k.sampleDistinct(t, rs, m.M, nil, flat[i*m.M:i*m.M:(i+1)*m.M])
+			lens[i] = len(seg)
+		})
+		for i := 0; i < b; i++ {
+			u := k.addNode()
+			for _, v := range flat[i*m.M : i*m.M+lens[i]] {
+				k.addEdge(u, v)
+				k.weights[v]++
+			}
+			k.weights[u] = float64(k.degree[u]) + m.A
+		}
+	}
+	g, err := k.build()
+	if err != nil {
+		return nil, err
 	}
 	return &Topology{G: g}, nil
 }

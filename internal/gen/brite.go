@@ -5,6 +5,7 @@ import (
 
 	"netmodel/internal/geom"
 	"netmodel/internal/graph"
+	"netmodel/internal/par"
 	"netmodel/internal/rng"
 )
 
@@ -30,27 +31,36 @@ type BRITE struct {
 // Name implements Generator.
 func (BRITE) Name() string { return "brite" }
 
+func (m BRITE) validate() error {
+	if err := validateN(m.Name(), m.N); err != nil {
+		return err
+	}
+	if m.M <= 0 {
+		return errPositive(m.Name(), "M")
+	}
+	if m.Beta <= 0 {
+		return errPositive(m.Name(), "Beta")
+	}
+	return nil
+}
+
+// place draws the node embedding from the main stream.
+func (m BRITE) place(r *rng.Rand) ([]geom.Point, error) {
+	if m.Heavy {
+		return geom.Fractal(r, m.N, 1.5)
+	}
+	return geom.Uniform(r, m.N), nil
+}
+
 // Generate implements Generator, O(N²) from the per-arrival scan of
 // existing nodes (the distance factor defeats Fenwick sampling).
 func (m BRITE) Generate(r *rng.Rand) (*Topology, error) {
-	if err := validateN(m.Name(), m.N); err != nil {
+	if err := m.validate(); err != nil {
 		return nil, err
 	}
-	if m.M <= 0 {
-		return nil, errPositive(m.Name(), "M")
-	}
-	if m.Beta <= 0 {
-		return nil, errPositive(m.Name(), "Beta")
-	}
-	var pts []geom.Point
-	var err error
-	if m.Heavy {
-		pts, err = geom.Fractal(r, m.N, 1.5)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		pts = geom.Uniform(r, m.N)
+	pts, err := m.place(r)
+	if err != nil {
+		return nil, err
 	}
 	seed := m.M + 1
 	if seed > m.N {
@@ -105,6 +115,127 @@ func (m BRITE) Generate(r *rng.Rand) (*Topology, error) {
 			totalW -= weights[chosen]
 			weights[chosen] = 0
 		}
+	}
+	return &Topology{G: g, Pos: pts}, nil
+}
+
+// briteChunk is the candidate-scan grain of the sharded path: small
+// enough to spread a 100k-candidate scan across the pool, large enough
+// that each scheduled unit does real work.
+const briteChunk = 512
+
+// GenerateSharded implements ShardedGenerator. BRITE's cost is the
+// per-arrival O(u) candidate scan — degree × distance-decay weight for
+// every existing node — which the sharded path evaluates in parallel
+// chunks with per-chunk partial sums (element-private writes on a
+// static schedule, so the scores are identical at every worker count).
+// The M roulette draws then jump over chunk sums and scan only the
+// winning chunk, consuming main-stream variates like the sequential
+// scan. Arrivals below one chunk of candidates run inline.
+func (m BRITE) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	if workers <= 1 {
+		return m.Generate(r)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	pts, err := m.place(r)
+	if err != nil {
+		return nil, err
+	}
+	seed := m.M + 1
+	if seed > m.N {
+		seed = m.N
+	}
+	degree := make([]int32, m.N)
+	edges := make([]graph.Edge, 0, 2*m.N)
+	addE := func(u, v int) {
+		edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+		degree[u]++
+		degree[v]++
+	}
+	for u := 0; u < seed; u++ {
+		for v := u + 1; v < seed; v++ {
+			addE(u, v)
+		}
+	}
+	bl := m.Beta * geom.MaxDist
+	weights := make([]float64, m.N)
+	sums := make([]float64, (m.N+briteChunk-1)/briteChunk)
+	score := func(u, v int) float64 {
+		w := (float64(degree[v]) + m.A) * math.Exp(-pts[u].Dist(pts[v])/bl)
+		if w < 0 {
+			return 0
+		}
+		return w
+	}
+	for u := seed; u < m.N; u++ {
+		nc := (u + briteChunk - 1) / briteChunk
+		if u <= briteChunk {
+			s := 0.0
+			for v := 0; v < u; v++ {
+				weights[v] = score(u, v)
+				s += weights[v]
+			}
+			sums[0] = s
+		} else {
+			// Chunks are already coarse (briteChunk candidates each),
+			// so schedule them at grain one.
+			par.ForEach(nc, workers, func(_, c int) {
+				lo, hi := c*briteChunk, min((c+1)*briteChunk, u)
+				s := 0.0
+				for v := lo; v < hi; v++ {
+					weights[v] = score(u, v)
+					s += weights[v]
+				}
+				sums[c] = s
+			})
+		}
+		totalW := 0.0
+		for c := 0; c < nc; c++ {
+			totalW += sums[c]
+		}
+		if totalW <= 0 {
+			addE(u, r.Intn(u))
+			continue
+		}
+		for link := 0; link < m.M && totalW > 0; link++ {
+			x := r.Float64() * totalW
+			chosen := -1
+			for c := 0; c < nc && chosen < 0; c++ {
+				if x > sums[c] {
+					x -= sums[c]
+					continue
+				}
+				lo, hi := c*briteChunk, min((c+1)*briteChunk, u)
+				for v := lo; v < hi; v++ {
+					x -= weights[v]
+					if x <= 0 && weights[v] > 0 {
+						chosen = v
+						break
+					}
+				}
+			}
+			if chosen < 0 { // numerical tail: pick last positive
+				for v := u - 1; v >= 0; v-- {
+					if weights[v] > 0 {
+						chosen = v
+						break
+					}
+				}
+			}
+			if chosen < 0 {
+				break
+			}
+			addE(u, chosen)
+			totalW -= weights[chosen]
+			sums[chosen/briteChunk] -= weights[chosen]
+			weights[chosen] = 0
+		}
+	}
+	g, err := graph.Build(m.N, edges, workers)
+	if err != nil {
+		return nil, err
 	}
 	return &Topology{G: g, Pos: pts}, nil
 }

@@ -57,6 +57,38 @@ func (m GNP) Generate(r *rng.Rand) (*Topology, error) {
 	return &Topology{G: g}, nil
 }
 
+// GenerateSharded implements ShardedGenerator: each lower-triangle row
+// runs the geometric skip walk independently with its own seed-derived
+// stream, and the per-worker edge buffers feed the parallel graph
+// builder. Expected O((N+M)/workers) wall time.
+func (m GNP) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	if workers <= 1 || m.P == 0 || m.P == 1 {
+		return m.Generate(r)
+	}
+	if err := validateN(m.Name(), m.N); err != nil {
+		return nil, err
+	}
+	if m.P < 0 || m.P > 1 {
+		return nil, errPositive(m.Name(), "P in [0,1]")
+	}
+	lq := math.Log(1 - m.P)
+	edges := shardRows(r, m.N, workers, func(v int, rs *rng.Rand, emit func(u, v int)) {
+		w := -1
+		for {
+			w += 1 + int(math.Log(1-rs.Float64())/lq)
+			if w >= v {
+				return
+			}
+			emit(v, w)
+		}
+	})
+	g, err := graph.Build(m.N, edges, workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Topology{G: g}, nil
+}
+
 // GNM is the Erdős–Rényi G(n,m) model: exactly M distinct edges chosen
 // uniformly among all pairs.
 type GNM struct {

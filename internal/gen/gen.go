@@ -37,6 +37,35 @@ type Generator interface {
 	Generate(r *rng.Rand) (*Topology, error)
 }
 
+// ShardedGenerator is implemented by families with a parallel growth
+// kernel (see growth.go). The contract:
+//
+//   - workers <= 1 runs the sequential reference implementation, so the
+//     output is bit-identical to Generate for the same seed;
+//   - workers >= 2 runs the sharded kernel, whose output is a pure
+//     function of the seed: identical across repeated runs and across
+//     every worker count, though generally different from the
+//     sequential edge list (the equivalence property tests pin its
+//     degree statistics to the reference).
+type ShardedGenerator interface {
+	Generator
+	// GenerateSharded builds the topology across a pool of the given
+	// width. workers <= 1 — including 0 — runs the sequential
+	// reference; callers that want "all cores" resolve GOMAXPROCS
+	// themselves (as GenerateWith's users do) before calling.
+	GenerateSharded(r *rng.Rand, workers int) (*Topology, error)
+}
+
+// GenerateWith runs g's sharded kernel when it has one and more than
+// one worker is requested, and the sequential path otherwise. It is the
+// single dispatch point the tools and pipelines plumb -workers through.
+func GenerateWith(g Generator, r *rng.Rand, workers int) (*Topology, error) {
+	if sg, ok := g.(ShardedGenerator); ok && workers > 1 {
+		return sg.GenerateSharded(r, workers)
+	}
+	return g.Generate(r)
+}
+
 // errPositive formats a standard validation error.
 func errPositive(model, field string) error {
 	return fmt.Errorf("gen/%s: %s must be positive", model, field)

@@ -24,19 +24,27 @@ type GLP struct {
 // Name implements Generator.
 func (GLP) Name() string { return "glp" }
 
-// Generate implements Generator.
-func (m GLP) Generate(r *rng.Rand) (*Topology, error) {
+func (m GLP) validate() error {
 	if err := validateN(m.Name(), m.N); err != nil {
-		return nil, err
+		return err
 	}
 	if m.M <= 0 {
-		return nil, errPositive(m.Name(), "M")
+		return errPositive(m.Name(), "M")
 	}
 	if m.P < 0 || m.P >= 1 {
-		return nil, errPositive(m.Name(), "P in [0,1)")
+		return errPositive(m.Name(), "P in [0,1)")
 	}
 	if m.Beta >= 1 {
-		return nil, errPositive(m.Name(), "1 - Beta")
+		return errPositive(m.Name(), "1 - Beta")
+	}
+	return nil
+}
+
+// Generate implements Generator. This is the sequential reference the
+// sharded kernel is pinned against.
+func (m GLP) Generate(r *rng.Rand) (*Topology, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
 	}
 	seed := m.M + 2
 	if seed > m.N {
@@ -76,6 +84,108 @@ func (m GLP) Generate(r *rng.Rand) (*Topology, error) {
 			f.Set(v, weight(v))
 		}
 		f.Set(u, weight(u))
+	}
+	return &Topology{G: g}, nil
+}
+
+// GenerateSharded implements ShardedGenerator. Each round first draws
+// its step schedule (internal-link step vs new-node step, the same
+// Bernoulli the sequential loop runs at each iteration head) from the
+// main stream, then plans every step's preferential draws in parallel
+// against the round's frozen weights — M endpoint pairs for an internal
+// step, M distinct targets for an arrival — and commits in step order,
+// discarding duplicate internal links exactly as the sequential model
+// does.
+func (m GLP) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	if workers <= 1 {
+		return m.Generate(r)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	seed := m.M + 2
+	if seed > m.N {
+		seed = m.N
+	}
+	k := newGrowth(r, workers, m.N)
+	k.trackDuplicates(m.N)
+	for u := 0; u < seed; u++ {
+		k.addNode()
+	}
+	for u := 1; u < seed; u++ {
+		k.addEdge(u-1, u)
+	}
+	wOf := func(u int) float64 {
+		w := float64(k.degree[u]) - m.Beta
+		if w < 0 {
+			return 0
+		}
+		return w
+	}
+	for u := 0; u < seed; u++ {
+		k.weights[u] = wOf(u)
+	}
+	kMax := 2 * m.M // slots per step: M pairs, or M targets
+	var steps []bool
+	var flat []int
+	var lens []int
+	for k.n < m.N {
+		nodes := growthBatch(k.n, m.N-k.n)
+		steps = steps[:0]
+		for arrived := 0; arrived < nodes; {
+			if r.Float64() < m.P && k.n >= 2 {
+				steps = append(steps, true)
+			} else {
+				steps = append(steps, false)
+				arrived++
+			}
+		}
+		t := k.freeze()
+		if cap(flat) < len(steps)*kMax {
+			flat = make([]int, len(steps)*kMax)
+			lens = make([]int, len(steps))
+		}
+		k.forItems(len(steps), func(i int, rs *rng.Rand) {
+			seg := flat[i*kMax : i*kMax : (i+1)*kMax]
+			if steps[i] {
+				var pb [2]int
+				for j := 0; j < m.M; j++ {
+					pair := k.sampleDistinct(t, rs, 2, nil, pb[:0])
+					if len(pair) < 2 {
+						break
+					}
+					seg = append(seg, pair[0], pair[1])
+				}
+			} else {
+				seg = k.sampleDistinct(t, rs, m.M, nil, seg)
+			}
+			lens[i] = len(seg)
+		})
+		for i, internal := range steps {
+			seg := flat[i*kMax : i*kMax+lens[i]]
+			if internal {
+				for j := 0; j+1 < len(seg); j += 2 {
+					u, v := seg[j], seg[j+1]
+					if k.hasEdge(u, v) {
+						continue // GLP discards duplicate internal links
+					}
+					k.addEdge(u, v)
+					k.weights[u] = wOf(u)
+					k.weights[v] = wOf(v)
+				}
+			} else {
+				u := k.addNode()
+				for _, v := range seg {
+					k.addEdge(u, v)
+					k.weights[v] = wOf(v)
+				}
+				k.weights[u] = wOf(u)
+			}
+		}
+	}
+	g, err := k.build()
+	if err != nil {
+		return nil, err
 	}
 	return &Topology{G: g}, nil
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"netmodel/internal/graph"
+	"netmodel/internal/par"
 	"netmodel/internal/rng"
 )
 
@@ -30,30 +31,73 @@ type Inet struct {
 // Name implements Generator.
 func (Inet) Name() string { return "inet" }
 
-// Generate implements Generator.
-func (m Inet) Generate(r *rng.Rand) (*Topology, error) {
+func (m Inet) validate() error {
 	if err := validateN(m.Name(), m.N); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Gamma <= 1 {
-		return nil, errPositive(m.Name(), "Gamma - 1")
+		return errPositive(m.Name(), "Gamma - 1")
 	}
 	if m.MinDeg < 1 {
-		return nil, errPositive(m.Name(), "MinDeg")
+		return errPositive(m.Name(), "MinDeg")
+	}
+	return nil
+}
+
+// clampTarget applies the power-law floor and simple-graph cap to one
+// drawn target degree.
+func (m Inet) clampTarget(d int) int {
+	if d < m.MinDeg {
+		d = m.MinDeg
+	}
+	if d > m.N-1 {
+		d = m.N - 1
+	}
+	return d
+}
+
+// Generate implements Generator.
+func (m Inet) Generate(r *rng.Rand) (*Topology, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
 	}
 	// Draw the target degree sequence from a discrete power law capped
 	// at N-1 (simple-graph bound).
 	target := make([]int, m.N)
 	for i := range target {
-		d := int(r.Pareto(float64(m.MinDeg), m.Gamma-1))
-		if d < m.MinDeg {
-			d = m.MinDeg
-		}
-		if d > m.N-1 {
-			d = m.N - 1
-		}
-		target[i] = d
+		target[i] = m.clampTarget(int(r.Pareto(float64(m.MinDeg), m.Gamma-1)))
 	}
+	return m.wire(r, target)
+}
+
+// GenerateSharded implements ShardedGenerator: the degree-sequence draw
+// — one Pareto variate per node — shards across the pool with per-node
+// sub-streams; the three wiring phases stay on the main stream (the
+// spanning tree and stub matching are a serial chain over one Fenwick
+// tree). Output is a pure function of the seed at every worker count.
+func (m Inet) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	if workers <= 1 {
+		return m.Generate(r)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	width := par.Workers(workers)
+	var root rng.Rand
+	r.SplitInto(&root, growthRootTag)
+	childs := make([]rng.Rand, width)
+	target := make([]int, m.N)
+	par.For(m.N, workers, func(w, i int) {
+		rs := &childs[w]
+		root.SplitInto(rs, uint64(i))
+		target[i] = m.clampTarget(int(rs.Pareto(float64(m.MinDeg), m.Gamma-1)))
+	})
+	return m.wire(r, target)
+}
+
+// wire connects a drawn degree sequence Internet-style: spanning tree,
+// degree-1 attachment, then stub matching from the largest node down.
+func (m Inet) wire(r *rng.Rand, target []int) (*Topology, error) {
 	// Ensure even stub total by bumping one node.
 	total := 0
 	for _, d := range target {

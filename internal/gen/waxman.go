@@ -30,26 +30,35 @@ type Waxman struct {
 // Name implements Generator.
 func (Waxman) Name() string { return "waxman" }
 
-// Generate implements Generator, O(N²).
-func (m Waxman) Generate(r *rng.Rand) (*Topology, error) {
+func (m Waxman) validate() error {
 	if err := validateN(m.Name(), m.N); err != nil {
-		return nil, err
+		return err
 	}
 	if m.Alpha <= 0 || m.Alpha > 1 {
-		return nil, errPositive(m.Name(), "Alpha in (0,1]")
+		return errPositive(m.Name(), "Alpha in (0,1]")
 	}
 	if m.Beta <= 0 {
-		return nil, errPositive(m.Name(), "Beta")
+		return errPositive(m.Name(), "Beta")
 	}
-	var pts []geom.Point
-	var err error
+	return nil
+}
+
+// place draws the node embedding from the main stream.
+func (m Waxman) place(r *rng.Rand) ([]geom.Point, error) {
 	if m.Fractal {
-		pts, err = geom.Fractal(r, m.N, 1.5)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		pts = geom.Uniform(r, m.N)
+		return geom.Fractal(r, m.N, 1.5)
+	}
+	return geom.Uniform(r, m.N), nil
+}
+
+// Generate implements Generator, O(N²).
+func (m Waxman) Generate(r *rng.Rand) (*Topology, error) {
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	pts, err := m.place(r)
+	if err != nil {
+		return nil, err
 	}
 	g := graph.New(m.N)
 	bl := m.Beta * geom.MaxDist
@@ -60,6 +69,37 @@ func (m Waxman) Generate(r *rng.Rand) (*Topology, error) {
 				g.MustAddEdge(u, v)
 			}
 		}
+	}
+	return &Topology{G: g, Pos: pts}, nil
+}
+
+// GenerateSharded implements ShardedGenerator: the embedding comes from
+// the main stream exactly as in Generate, then each node's pair probes
+// against higher-numbered nodes run independently with a seed-derived
+// row stream, O(N²/workers) wall time.
+func (m Waxman) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	if workers <= 1 {
+		return m.Generate(r)
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	pts, err := m.place(r)
+	if err != nil {
+		return nil, err
+	}
+	bl := m.Beta * geom.MaxDist
+	edges := shardRows(r, m.N, workers, func(u int, rs *rng.Rand, emit func(u, v int)) {
+		for v := u + 1; v < m.N; v++ {
+			p := m.Alpha * math.Exp(-pts[u].Dist(pts[v])/bl)
+			if rs.Float64() < p {
+				emit(u, v)
+			}
+		}
+	})
+	g, err := graph.Build(m.N, edges, workers)
+	if err != nil {
+		return nil, err
 	}
 	return &Topology{G: g, Pos: pts}, nil
 }

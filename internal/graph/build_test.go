@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"testing"
+
+	"netmodel/internal/rng"
+)
+
+// randomEdges draws a reproducible multiset of edges, some repeated and
+// some with explicit multiplicities.
+func randomEdges(n, m int, seed uint64) []Edge {
+	r := rng.New(seed)
+	out := make([]Edge, 0, m)
+	for len(out) < m {
+		u, v := r.Intn(n), r.Intn(n)
+		if u == v {
+			continue
+		}
+		w := 0
+		if r.Float64() < 0.3 {
+			w = 1 + r.Intn(3)
+		}
+		out = append(out, Edge{U: u, V: v, W: w})
+	}
+	return out
+}
+
+// TestBuildMatchesSequentialInsert: Build at any worker count equals
+// inserting the same edges one by one.
+func TestBuildMatchesSequentialInsert(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		edges := randomEdges(200, 1500, seed)
+		want := New(200)
+		for _, e := range edges {
+			w := e.W
+			if w < 1 {
+				w = 1
+			}
+			for k := 0; k < w; k++ {
+				want.MustAddEdge(e.U, e.V)
+			}
+		}
+		for _, workers := range []int{1, 2, 4, 7} {
+			got, err := Build(200, edges, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := got.CheckInvariants(); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			if got.M() != want.M() || got.TotalStrength() != want.TotalStrength() {
+				t.Fatalf("workers=%d: M=%d/%d strength=%d/%d", workers,
+					got.M(), want.M(), got.TotalStrength(), want.TotalStrength())
+			}
+			ge, we := got.EdgeList(), want.EdgeList()
+			for i := range we {
+				if ge[i] != we[i] {
+					t.Fatalf("workers=%d: edge %d = %+v, want %+v", workers, i, ge[i], we[i])
+				}
+			}
+		}
+	}
+}
+
+// TestBuildRejectsBadEdges: range and self-loop validation.
+func TestBuildRejectsBadEdges(t *testing.T) {
+	if _, err := Build(5, []Edge{{U: 0, V: 5}}, 2); err == nil {
+		t.Fatal("out-of-range endpoint must error")
+	}
+	if _, err := Build(5, []Edge{{U: 2, V: 2}}, 2); err == nil {
+		t.Fatal("self-loop must error")
+	}
+}
+
+// TestBuildEmpty: degenerate inputs.
+func TestBuildEmpty(t *testing.T) {
+	g, err := Build(0, nil, 4)
+	if err != nil || g.N() != 0 {
+		t.Fatalf("empty build: %v, N=%d", err, g.N())
+	}
+	g, err = Build(3, nil, 4)
+	if err != nil || g.N() != 3 || g.M() != 0 {
+		t.Fatalf("edgeless build: %v, N=%d M=%d", err, g.N(), g.M())
+	}
+}

@@ -1,0 +1,99 @@
+// Package par is the shared static-chunk scheduler of netmodel. It was
+// extracted from the metrics engine so that every parallel layer —
+// metrics sweeps, graph construction, sharded topology generation, the
+// econ market rounds — shards work the same way: fixed-size chunks
+// assigned round-robin by worker index, a schedule that is a pure
+// function of (n, workers). Determinism flows from that purity: results
+// merged in worker order reproduce bit for bit between runs at the same
+// worker count, and loops whose bodies write only index-private state
+// are reproducible at any worker count.
+//
+// The package sits below graph, gen, econ and engine in the dependency
+// order and imports nothing but the runtime.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Chunk is the sharding grain: small enough that round-robin
+// interleaving spreads skewed per-index costs (hub-heavy triangle
+// ranges, heavy-tailed candidate scans) evenly across workers.
+const Chunk = 16
+
+// Workers normalizes a worker-count request: values <= 0 mean
+// GOMAXPROCS.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(worker, i) for every i in [0, n) across the given number
+// of workers (<= 0 means GOMAXPROCS). Chunks of indices are assigned
+// round-robin by worker index — a static schedule, so which worker
+// processes which index is a pure function of (n, workers). fn
+// invocations within one worker are ordered; across workers they race,
+// so fn must only write worker-private or index-private state. For
+// returns when all indices are done.
+func For(n, workers int, fn func(worker, i int)) {
+	workers = Workers(workers)
+	if workers > (n+Chunk-1)/Chunk {
+		workers = (n + Chunk - 1) / Chunk
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	stride := workers * Chunk
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for start := w * Chunk; start < n; start += stride {
+				end := start + Chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(w, i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach is For with a grain of one index — index i runs on worker
+// i % workers. Use it when each index already does chunk-sized work (a
+// whole scan pass, a 512-candidate block): For's 16-index grain would
+// otherwise collapse such loops onto a single worker. The schedule is
+// equally static, so the same determinism contract applies.
+func ForEach(n, workers int, fn func(worker, i int)) {
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -41,15 +41,52 @@ func (r *Rand) Seed(seed uint64) {
 	sm := seed
 	for i := range r.s {
 		sm += 0x9e3779b97f4a7c15
-		z := sm
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		r.s[i] = mix64(sm)
 	}
 	r.hasGauss = false
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// mix64 is the splitmix64 finalizer, the avalanche function behind both
+// seeding and sub-stream derivation.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Split returns a new generator whose stream is derived from r's current
+// state and the stream index i. The derivation is a pure function: it
+// does not advance r, and calling Split with the same parent state and
+// index always yields the same child, on every platform.
+//
+// Derivation: the parent's four state words are folded through the
+// splitmix64 finalizer together with the index (each step keyed by a
+// distinct odd constant), producing a 64-bit child seed that is expanded
+// through the same splitmix64 seeding as New. Children of distinct
+// indices, and children versus the parent, are therefore independently
+// seeded xoshiro256** streams — the standard hash-derived splitting
+// construction, which is what makes sharded generation deterministic:
+// shard i of a run seeded with s always sees stream Split(i) of s,
+// regardless of how many workers execute the shards or in which order.
+func (r *Rand) Split(i uint64) *Rand {
+	c := &Rand{}
+	r.SplitInto(c, i)
+	return c
+}
+
+// SplitInto seeds child exactly as Split(i) would, without allocating.
+// It is the hot-loop form: kernels that derive one stream per item can
+// reuse a single child generator per worker.
+func (r *Rand) SplitInto(child *Rand, i uint64) {
+	h := mix64(r.s[0] ^ 0xa0761d6478bd642f)
+	h = mix64(h ^ r.s[1])
+	h = mix64(h ^ r.s[2])
+	h = mix64(h ^ r.s[3])
+	h = mix64(h ^ mix64(i^0xe7037ed1a0b428db))
+	child.Seed(h)
+}
 
 // Uint64 returns the next value in the stream.
 func (r *Rand) Uint64() uint64 {

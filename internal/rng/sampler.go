@@ -5,14 +5,28 @@ import "errors"
 // Alias is a Walker alias-method sampler over a fixed discrete
 // distribution. Construction is O(n); each draw is O(1). Use it when the
 // weights do not change between draws (for dynamic weights, use Fenwick).
+//
+// The table itself is immutable after construction, so NextWith draws
+// from any number of goroutines concurrently as long as each supplies
+// its own stream — the sharded-generation kernels freeze one table per
+// round and sample it from every shard with seed-derived sub-streams.
 type Alias struct {
 	prob  []float64
 	alias []int
 	r     *Rand
 }
 
+// NewAliasTable builds an alias table without binding a generator; draws
+// must go through NextWith. It is the concurrent façade used by the
+// sharded generation kernels, where the table is shared read-only and
+// each shard samples with its own split stream.
+func NewAliasTable(weights []float64) (*Alias, error) {
+	return NewAlias(nil, weights)
+}
+
 // NewAlias builds an alias sampler from the given non-negative weights.
-// At least one weight must be positive.
+// At least one weight must be positive. A nil generator is allowed when
+// every draw goes through NextWith.
 func NewAlias(r *Rand, weights []float64) (*Alias, error) {
 	n := len(weights)
 	if n == 0 {
@@ -67,13 +81,21 @@ func NewAlias(r *Rand, weights []float64) (*Alias, error) {
 }
 
 // Next returns an index drawn with probability proportional to its weight.
-func (a *Alias) Next() int {
-	i := a.r.Intn(len(a.prob))
-	if a.r.Float64() < a.prob[i] {
+func (a *Alias) Next() int { return a.NextWith(a.r) }
+
+// NextWith draws an index using the caller's stream instead of the bound
+// one. The table is read-only, so concurrent NextWith calls with
+// distinct streams are safe.
+func (a *Alias) NextWith(r *Rand) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
 		return i
 	}
 	return a.alias[i]
 }
+
+// Len returns the number of indices in the table.
+func (a *Alias) Len() int { return len(a.prob) }
 
 // Fenwick is a binary indexed tree over non-negative weights supporting
 // O(log n) weight updates and O(log n) weighted sampling. It is the core
@@ -152,11 +174,18 @@ func (f *Fenwick) Add(i int, delta float64) {
 
 // Sample draws an index with probability proportional to its weight.
 // It returns -1 if the total weight is zero.
-func (f *Fenwick) Sample() int {
+func (f *Fenwick) Sample() int { return f.SampleWith(f.r) }
+
+// SampleWith draws using the caller's stream instead of the bound one.
+// Sampling only reads the tree, so concurrent SampleWith calls with
+// distinct streams are safe provided no goroutine mutates weights
+// (Set/Add/Grow) at the same time — the frozen-round discipline of the
+// sharded kernels.
+func (f *Fenwick) SampleWith(r *Rand) int {
 	if f.total <= 0 {
 		return -1
 	}
-	target := f.r.Float64() * f.total
+	target := r.Float64() * f.total
 	// Descend the implicit tree: find the smallest prefix whose running
 	// sum exceeds target.
 	idx := 0

@@ -2,6 +2,7 @@ package rng
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -218,4 +219,77 @@ func TestFenwickNegativePanics(t *testing.T) {
 		}
 	}()
 	NewFenwick(New(1), 2).Set(0, -1)
+}
+
+// TestAliasNextWithMatchesNext: the façade draw with the bound stream's
+// twin consumes identical randomness.
+func TestAliasNextWithMatchesNext(t *testing.T) {
+	w := []float64{1, 5, 2, 0, 9}
+	a, err := NewAlias(New(3), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAliasTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(3)
+	for i := 0; i < 500; i++ {
+		if a.Next() != b.NextWith(r) {
+			t.Fatalf("NextWith diverges from Next at draw %d", i)
+		}
+	}
+	if a.Len() != len(w) {
+		t.Fatalf("Len = %d, want %d", a.Len(), len(w))
+	}
+}
+
+// TestAliasConcurrentNextWith: one frozen table, many shard streams,
+// under the race detector.
+func TestAliasConcurrentNextWith(t *testing.T) {
+	w := make([]float64, 1000)
+	base := New(8)
+	for i := range w {
+		w[i] = base.Float64()
+	}
+	a, err := NewAliasTable(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	counts := make([]int64, 4)
+	for s := 0; s < 4; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			r := base.Split(uint64(s))
+			for i := 0; i < 20000; i++ {
+				counts[s] += int64(a.NextWith(r))
+			}
+		}(s)
+	}
+	wg.Wait()
+	// Distinct streams should not produce identical draw sums.
+	if counts[0] == counts[1] && counts[1] == counts[2] {
+		t.Fatal("shard streams appear identical")
+	}
+}
+
+// TestFenwickSampleWith: read-only sampling with a caller stream matches
+// the bound-stream draw for the same stream state.
+func TestFenwickSampleWith(t *testing.T) {
+	f := NewFenwick(New(5), 50)
+	for i := 0; i < 50; i++ {
+		f.Set(i, float64(i%7))
+	}
+	g := NewFenwick(New(99), 50) // bound stream unused below
+	for i := 0; i < 50; i++ {
+		g.Set(i, float64(i%7))
+	}
+	r := New(5)
+	for i := 0; i < 300; i++ {
+		if f.Sample() != g.SampleWith(r) {
+			t.Fatalf("SampleWith diverges from Sample at draw %d", i)
+		}
+	}
 }

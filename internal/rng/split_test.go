@@ -1,0 +1,93 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// TestSplitDeterministic: a child stream is a pure function of the
+// parent state and the index.
+func TestSplitDeterministic(t *testing.T) {
+	a := New(7).Split(3)
+	b := New(7).Split(3)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split(3) streams diverge at draw %d", i)
+		}
+	}
+}
+
+// TestSplitDoesNotAdvanceParent: deriving children must not perturb the
+// parent stream.
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	plain := New(11)
+	split := New(11)
+	for i := uint64(0); i < 10; i++ {
+		split.Split(i)
+	}
+	for i := 0; i < 50; i++ {
+		if plain.Uint64() != split.Uint64() {
+			t.Fatalf("Split perturbed the parent stream at draw %d", i)
+		}
+	}
+}
+
+// TestSplitStreamsDistinct: distinct indices, and the parent itself,
+// yield distinct streams.
+func TestSplitStreamsDistinct(t *testing.T) {
+	r := New(42)
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 1000; i++ {
+		v := r.Split(i).Uint64()
+		if j, dup := seen[v]; dup {
+			t.Fatalf("Split(%d) and Split(%d) share first draw %x", i, j, v)
+		}
+		seen[v] = i
+	}
+	if _, dup := seen[r.Uint64()]; dup {
+		t.Fatal("parent stream collides with a child stream")
+	}
+}
+
+// TestSplitIndexSensitivity: children of adjacent indices are
+// statistically independent (mean of each stream ~ uniform).
+func TestSplitIndexSensitivity(t *testing.T) {
+	r := New(1)
+	for i := uint64(0); i < 8; i++ {
+		c := r.Split(i)
+		sum := 0.0
+		const n = 4000
+		for j := 0; j < n; j++ {
+			sum += c.Float64()
+		}
+		if mean := sum / n; math.Abs(mean-0.5) > 0.03 {
+			t.Fatalf("Split(%d) mean = %v, want ~0.5", i, mean)
+		}
+	}
+}
+
+// TestSplitInto matches Split without allocating.
+func TestSplitInto(t *testing.T) {
+	r := New(9)
+	var child Rand
+	r.SplitInto(&child, 5)
+	want := New(9).Split(5)
+	for i := 0; i < 20; i++ {
+		if child.Uint64() != want.Uint64() {
+			t.Fatal("SplitInto diverges from Split")
+		}
+	}
+}
+
+// TestSplitChildSeedsDiffer: child state depends on the parent state,
+// not only the index.
+func TestSplitChildSeedsDiffer(t *testing.T) {
+	if New(1).Split(0).Uint64() == New(2).Split(0).Uint64() {
+		t.Fatal("children of different parents coincide")
+	}
+	p := New(3)
+	p.Uint64() // advance
+	if New(3).Split(0).Uint64() == p.Split(0).Uint64() {
+		t.Fatal("child ignores parent stream position")
+	}
+}

@@ -108,3 +108,109 @@ func TestRouteFrozenErrors(t *testing.T) {
 		t.Fatal("size mismatch must error")
 	}
 }
+
+// TestGravityDemandMatchesMatrix: the streamed rows agree with the
+// dense gravity matrix entry for entry (the scale factors differ only
+// in floating-point association).
+func TestGravityDemandMatchesMatrix(t *testing.T) {
+	r := rng.New(9)
+	masses := make([]float64, 80)
+	for i := range masses {
+		masses[i] = 1 + 20*r.Float64()
+	}
+	dense, err := Gravity(masses, 5e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err := NewGravityDemand(masses, 5e5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.N() != dense.N() {
+		t.Fatalf("N = %d vs %d", stream.N(), dense.N())
+	}
+	buf := make([]float64, len(masses))
+	var total float64
+	for u := 0; u < len(masses); u++ {
+		row := stream.Row(u, buf)
+		for v, got := range row {
+			want := dense.Demand[u][v]
+			if math.Abs(got-want) > 1e-9*(1+want) {
+				t.Fatalf("row %d col %d: %v vs %v", u, v, got, want)
+			}
+			total += got
+		}
+	}
+	if math.Abs(total-5e5) > 1e-6*5e5 {
+		t.Fatalf("streamed total = %v, want 5e5", total)
+	}
+}
+
+// TestRouteFrozenDemandMatchesMatrixPath: routing the streamed gravity
+// demand equals routing the materialized matrix.
+func TestRouteFrozenDemandMatchesMatrixPath(t *testing.T) {
+	top, err := (gen.GLP{N: 200, M: 2, P: 0.4, Beta: 0.6}).Generate(rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := top.G
+	masses := make([]float64, g.N())
+	r := rng.New(105)
+	for i := range masses {
+		masses[i] = 1 + 10*r.Float64()
+	}
+	m, err := Gravity(masses, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewGravityDemand(masses, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Freeze()
+	want, err := RouteFrozen(s, m, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RouteFrozenDemand(s, d, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Links) != len(want.Links) {
+		t.Fatalf("%d links vs %d", len(got.Links), len(want.Links))
+	}
+	type key struct{ u, v int }
+	wantLoads := make(map[key]float64, len(want.Links))
+	for _, l := range want.Links {
+		wantLoads[key{l.U, l.V}] = l.Load
+	}
+	for _, l := range got.Links {
+		w, ok := wantLoads[key{l.U, l.V}]
+		if !ok {
+			t.Fatalf("unexpected link (%d,%d)", l.U, l.V)
+		}
+		if math.Abs(l.Load-w) > 1e-6*(1+w) {
+			t.Fatalf("load(%d,%d) = %v, want %v", l.U, l.V, l.Load, w)
+		}
+	}
+	if math.Abs(got.MaxLoad-want.MaxLoad) > 1e-6*(1+want.MaxLoad) {
+		t.Fatalf("max load %v vs %v", got.MaxLoad, want.MaxLoad)
+	}
+}
+
+// TestGravityDemandValidation mirrors the dense constructor's errors
+// plus the streaming-specific degenerate case.
+func TestGravityDemandValidation(t *testing.T) {
+	if _, err := NewGravityDemand([]float64{1}, 10); err == nil {
+		t.Fatal("single node must error")
+	}
+	if _, err := NewGravityDemand([]float64{1, 2}, 0); err == nil {
+		t.Fatal("non-positive total must error")
+	}
+	if _, err := NewGravityDemand([]float64{1, -2}, 10); err == nil {
+		t.Fatal("negative mass must error")
+	}
+	if _, err := NewGravityDemand([]float64{0, 0, 5}, 10); err == nil {
+		t.Fatal("fewer than two positive masses must error")
+	}
+}

@@ -15,9 +15,9 @@ import (
 	"errors"
 	"math"
 
-	"netmodel/internal/engine"
 	"netmodel/internal/graph"
 	"netmodel/internal/metrics"
+	"netmodel/internal/par"
 	"netmodel/internal/rng"
 )
 
@@ -76,6 +76,73 @@ func (m *Matrix) Total() float64 {
 		}
 	}
 	return s
+}
+
+// Demand is a row-streamed view of a traffic matrix: the frozen router
+// pulls one source row at a time, so implementations never need to hold
+// all N² entries. Row may fill buf (length N) and return it, or return
+// its own backing row; the returned slice is only read until the next
+// Row call on the same buf.
+type Demand interface {
+	// N returns the number of nodes the demand is defined over.
+	N() int
+	// Row returns the demand from src to every node (self-demand zero).
+	Row(src int, buf []float64) []float64
+}
+
+// N implements Demand.
+func (m *Matrix) N() int { return len(m.Demand) }
+
+// Row implements Demand by returning the dense row, ignoring buf.
+func (m *Matrix) Row(src int, _ []float64) []float64 { return m.Demand[src] }
+
+// GravityDemand is the streaming form of the gravity model: row u is
+// computed on demand as scale·m(u)·m(v), never materializing the dense
+// N×N matrix — the representation that lets 100k-node maps route within
+// memory. Use Gravity when a full Matrix is genuinely needed (the
+// sequential Route path).
+type GravityDemand struct {
+	masses []float64
+	scale  float64
+}
+
+// NewGravityDemand validates masses and precomputes the scale factor
+// under which total offered load equals total. The gross load is the
+// closed form (Σm)² − Σm², so construction is O(N).
+func NewGravityDemand(masses []float64, total float64) (*GravityDemand, error) {
+	n := len(masses)
+	if n < 2 {
+		return nil, errors.New("traffic: need at least two nodes")
+	}
+	if total <= 0 {
+		return nil, errors.New("traffic: total load must be positive")
+	}
+	var sum, sumSq float64
+	for _, m := range masses {
+		if m < 0 {
+			return nil, errors.New("traffic: negative mass")
+		}
+		sum += m
+		sumSq += m * m
+	}
+	gross := sum*sum - sumSq
+	if gross <= 0 {
+		return nil, errors.New("traffic: gravity demand needs at least two positive masses")
+	}
+	return &GravityDemand{masses: masses, scale: total / gross}, nil
+}
+
+// N implements Demand.
+func (d *GravityDemand) N() int { return len(d.masses) }
+
+// Row implements Demand, filling buf with scale·m(src)·m(v).
+func (d *GravityDemand) Row(src int, buf []float64) []float64 {
+	w := d.masses[src] * d.scale
+	for v, m := range d.masses {
+		buf[v] = w * m
+	}
+	buf[src] = 0
+	return buf
 }
 
 // LinkLoad holds the routed load of one simple edge.
@@ -195,34 +262,42 @@ func Route(g *graph.Graph, m *Matrix, useCapacity bool) (*LoadReport, error) {
 	return rep, nil
 }
 
-// RouteFrozen routes the matrix over a frozen snapshot, sharding the
-// per-source shortest-path DAG computations across `workers` goroutines
-// (<= 0 means GOMAXPROCS). Each worker accumulates loads into its own
-// per-edge array (edge ids from Snapshot.ArcEdgeIDs), merged in worker
-// order; the result matches Route up to floating-point summation order
-// and reproduces bit for bit at a fixed worker count.
+// RouteFrozen routes a dense matrix over a frozen snapshot; it is
+// RouteFrozenDemand over the matrix's row view.
 func RouteFrozen(s *graph.Snapshot, m *Matrix, useCapacity bool, workers int) (*LoadReport, error) {
+	return RouteFrozenDemand(s, m, useCapacity, workers)
+}
+
+// RouteFrozenDemand routes a row-streamed demand over a frozen
+// snapshot, sharding the per-source shortest-path DAG computations
+// across `workers` goroutines (<= 0 means GOMAXPROCS). Demand rows are
+// materialized per source inside each worker's scratch — row batches,
+// never the dense N×N matrix — so gravity routing of a 100k-node map
+// stays O(N) in demand memory. Each worker accumulates loads into its
+// own per-edge array (edge ids from Snapshot.ArcEdgeIDs), merged in
+// worker order; the result matches Route up to floating-point summation
+// order and reproduces bit for bit at a fixed worker count.
+func RouteFrozenDemand(s *graph.Snapshot, d Demand, useCapacity bool, workers int) (*LoadReport, error) {
 	n := s.N()
 	if n == 0 {
 		return nil, errors.New("traffic: empty graph")
 	}
-	if len(m.Demand) != n {
+	if d.N() != n {
 		return nil, errors.New("traffic: matrix size mismatch")
 	}
-	if workers <= 0 {
-		workers = engine.DefaultWorkers()
-	}
+	workers = par.Workers(workers)
 	arcEdge := s.ArcEdgeIDs()
 	edges := s.EdgeList() // edges[id] is the simple edge with that id
 	type routeScratch struct {
 		dist, queue []int32
 		sigma       []float64
 		flowIn      []float64
+		row         []float64
 		loads       []float64
 		undelivered float64
 	}
 	scratch := make([]*routeScratch, workers)
-	engine.ParallelFor(n, len(scratch), func(w, src int) {
+	par.For(n, len(scratch), func(w, src int) {
 		sc := scratch[w]
 		if sc == nil {
 			sc = &routeScratch{
@@ -230,11 +305,12 @@ func RouteFrozen(s *graph.Snapshot, m *Matrix, useCapacity bool, workers int) (*
 				queue:  make([]int32, n),
 				sigma:  make([]float64, n),
 				flowIn: make([]float64, n),
+				row:    make([]float64, n),
 				loads:  make([]float64, s.M()),
 			}
 			scratch[w] = sc
 		}
-		demandRow := m.Demand[src]
+		demandRow := d.Row(src, sc.row)
 		order := metrics.BFSFrozen(s, src, sc.dist, sc.queue)
 		for i := range sc.sigma {
 			sc.sigma[i] = 0

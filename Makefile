@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-gen lint fmt ci
+.PHONY: all build test bench bench-gen bench-trajectory lint fmt ci
 
 all: build
 
@@ -24,6 +24,13 @@ bench:
 #   go test -run '^$$' -bench 'Gen.*100k' -benchmem .
 bench-gen:
 	$(GO) test -run '^$$' -bench 'GenBA10k|GenGLP10k|GenPFP10k|GenEcon' -benchmem -benchtime=1x .
+
+# Trajectory acceptance: the same 100k-node BA growth run observed at
+# 100 epochs, measured via delta-refreshed snapshots (refresh) vs a
+# full freeze per epoch (refreeze). Timings land in
+# BENCH_trajectory.json; the CI smoke runs the 10k variant under -race.
+bench-trajectory:
+	$(GO) test -run TestTrajectoryBenchJSON -trajectory-bench-out BENCH_trajectory.json .
 
 lint:
 	$(GO) vet ./...

@@ -59,8 +59,13 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		// Freeze once and validate through the parallel engine.
-		eng := engine.New(g.Freeze())
+		// Freeze once (checked: oversized maps fail with a message, not
+		// a panic) and validate through the parallel engine.
+		frozen, err := g.FreezeChecked()
+		if err != nil {
+			return err
+		}
+		eng := engine.New(frozen)
 		rep, err := compare.AgainstFrozen(eng, tgt, compare.Options{PathSources: *sources, Rand: rng.New(*seed)})
 		if err != nil {
 			return err

@@ -4,6 +4,7 @@
 //
 //	topogen -model glp -n 11000 -seed 7 -format edgelist -o map.txt
 //	topogen -model ba -n 100000 -seed 7 -workers 8 > ba.txt
+//	topogen -model ba -n 100000 -measure-every 1000 -o ba.txt
 //
 // The model registry covers every family implemented by netmodel; run
 // with -list to enumerate them. Output formats: edgelist (default),
@@ -11,6 +12,14 @@
 // parallel kernel (BA, GLP, PFP, Inet, BRITE, Waxman, ER, econ):
 // -workers=1 (default) is the sequential reference, any fixed
 // -workers>=2 is deterministic in the seed, -workers=0 uses every core.
+//
+// -measure-every k turns on trajectory mode for the growth families
+// (BA, GLP, PFP): generation pauses every k committed nodes, the
+// growing map is measured through delta-refreshed CSR snapshots (cost
+// proportional to the epoch's changes, not the map), and one row of
+// growth statistics per epoch is written to stderr or -trajectory-out.
+// Observation never perturbs generation: the emitted map is
+// bit-identical to the same run without -measure-every.
 package main
 
 import (
@@ -41,6 +50,8 @@ func run(args []string, stdout io.Writer) error {
 	workers := fs.Int("workers", 1, "worker pool for sharded generation; 1 = sequential reference, 0 = GOMAXPROCS")
 	format := fs.String("format", "edgelist", "output format: edgelist, json, dot")
 	out := fs.String("o", "", "output file (default stdout)")
+	measureEvery := fs.Int("measure-every", 0, "trajectory mode: measure the growing map every k nodes (growth families)")
+	trajOut := fs.String("trajectory-out", "", "trajectory table destination (default stderr)")
 	list := fs.Bool("list", false, "list available models and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,9 +75,31 @@ func run(args []string, stdout io.Writer) error {
 	if pool <= 0 {
 		pool = runtime.GOMAXPROCS(0)
 	}
-	top, err := gen.GenerateWith(m.Build(*n), rng.New(*seed), pool)
-	if err != nil {
-		return err
+	var top *gen.Topology
+	if *measureEvery > 0 {
+		obs := core.NewTrajectoryObserver(pool)
+		top, err = gen.GenerateTrajectoryWith(m.Build(*n), rng.New(*seed), pool,
+			gen.Trajectory{Every: *measureEvery, Observe: obs.Observe})
+		if err != nil {
+			return err
+		}
+		tw := io.Writer(os.Stderr)
+		if *trajOut != "" {
+			f, err := os.Create(*trajOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tw = f
+		}
+		if err := core.WriteTrajectory(tw, obs.Points()); err != nil {
+			return err
+		}
+	} else {
+		top, err = gen.GenerateWith(m.Build(*n), rng.New(*seed), pool)
+		if err != nil {
+			return err
+		}
 	}
 	w := stdout
 	if *out != "" {

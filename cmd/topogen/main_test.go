@@ -97,3 +97,51 @@ func TestWorkersFlag(t *testing.T) {
 		t.Fatal("econ sharded generation produced no edge list")
 	}
 }
+
+// TestMeasureEvery: trajectory mode writes one growth row per epoch to
+// -trajectory-out and must not perturb the generated map.
+func TestMeasureEvery(t *testing.T) {
+	var plain bytes.Buffer
+	if err := run([]string{"-model", "ba", "-n", "400", "-seed", "4"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	trajPath := filepath.Join(t.TempDir(), "traj.txt")
+	var out bytes.Buffer
+	if err := run([]string{"-model", "ba", "-n", "400", "-seed", "4",
+		"-measure-every", "100", "-trajectory-out", trajPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != plain.String() {
+		t.Fatal("-measure-every changed the generated map")
+	}
+	data, err := os.ReadFile(trajPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	// Header + epochs at 100, 200, 300, 400.
+	if len(lines) != 5 {
+		t.Fatalf("trajectory table has %d lines:\n%s", len(lines), data)
+	}
+	if !strings.Contains(lines[0], "gamma") || !strings.Contains(lines[0], "freeze") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	for _, row := range lines[2:] {
+		if !strings.Contains(row, "delta") {
+			t.Fatalf("epoch row not measured via delta refresh: %q", row)
+		}
+	}
+	// Sharded trajectory runs work too and agree with the plain
+	// sharded map.
+	var shPlain, shTraj bytes.Buffer
+	if err := run([]string{"-model", "glp", "-n", "300", "-seed", "4", "-workers", "4"}, &shPlain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "glp", "-n", "300", "-seed", "4", "-workers", "4",
+		"-measure-every", "75", "-trajectory-out", filepath.Join(t.TempDir(), "t2.txt")}, &shTraj); err != nil {
+		t.Fatal(err)
+	}
+	if shPlain.String() != shTraj.String() {
+		t.Fatal("sharded -measure-every changed the generated map")
+	}
+}

@@ -5,6 +5,14 @@
 //
 //	topostat map.txt
 //	topogen -model pfp -n 5000 | topostat -ccdf -
+//	topostat -measure-every 2000 map.txt
+//
+// -measure-every k replays the map as a growth trajectory: edges are
+// re-added in sorted order and the accreting graph is measured every k
+// edges through delta-refreshed CSR snapshots, printing one row of
+// growth statistics per epoch before the final summary. The final
+// epoch's snapshot then serves the summary itself, so the map is
+// frozen exactly once either way.
 package main
 
 import (
@@ -14,6 +22,7 @@ import (
 	"os"
 
 	"netmodel/internal/compare"
+	"netmodel/internal/core"
 	"netmodel/internal/engine"
 	"netmodel/internal/graph"
 	"netmodel/internal/graphio"
@@ -33,6 +42,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	sources := fs.Int("path-sources", 500, "BFS sources for path stats (0 = exact)")
 	seed := fs.Uint64("seed", 1, "sampling seed")
 	ccdf := fs.Bool("ccdf", false, "also print the degree CCDF series")
+	measureEvery := fs.Int("measure-every", 0, "replay the map as a growth trajectory, measuring every k edges")
 	workers := fs.Int("workers", 0, "analysis goroutines (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,10 +54,27 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	// Freeze once; every metric below reads the immutable CSR snapshot
-	// through the parallel engine, sharing memoized intermediates.
-	frozen := g.Freeze()
-	eng := engine.New(frozen, engine.WithWorkers(*workers))
+	var eng *engine.Engine
+	if *measureEvery > 0 {
+		obs := core.NewTrajectoryObserver(*workers)
+		if err := replayTrajectory(g, *measureEvery, obs); err != nil {
+			return err
+		}
+		if err := core.WriteTrajectory(stdout, obs.Points()); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout)
+		eng = obs.Engine()
+	} else {
+		// Freeze once; every metric below reads the immutable CSR
+		// snapshot through the parallel engine, sharing memoized
+		// intermediates.
+		frozen, err := g.FreezeChecked()
+		if err != nil {
+			return err
+		}
+		eng = engine.New(frozen, engine.WithWorkers(*workers))
+	}
 	snap, err := eng.Measure(rng.New(*seed), *sources)
 	if err != nil {
 		return err
@@ -68,13 +95,54 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "knn(k) slope       %.3f\n", sp.KnnSlope)
 	fmt.Fprintf(stdout, "c(k) slope         %.3f\n", sp.CkSlope)
 	if *ccdf {
-		ks, pc := metrics.DegreeCCDFFrozen(frozen)
+		ks, pc := metrics.DegreeCCDFFrozen(eng.Snapshot())
 		fmt.Fprintln(stdout, "# k Pc(k)")
 		for i, k := range ks {
 			fmt.Fprintf(stdout, "%d %.6g\n", k, pc[i])
 		}
 	}
 	return nil
+}
+
+// replayTrajectory re-adds the map's sorted edge list to an accreting
+// graph, observing every `every` edges and once at completion; after
+// the last observation the observer's engine holds the full map. The
+// replayed graph matches the loaded one exactly (multiplicities and
+// trailing isolated nodes included).
+func replayTrajectory(g *graph.Graph, every int, obs *core.TrajectoryObserver) error {
+	replay := graph.New(0)
+	count := 0
+	for _, e := range g.EdgeList() {
+		for replay.N() <= e.U || replay.N() <= e.V {
+			replay.AddNode()
+		}
+		for i := 0; i < e.W; i++ {
+			replay.MustAddEdge(e.U, e.V)
+		}
+		count++
+		if count%every == 0 {
+			if err := obs.Observe(replay, replay.N()); err != nil {
+				return err
+			}
+		}
+	}
+	for replay.N() < g.N() {
+		replay.AddNode()
+	}
+	if count%every != 0 || replay.N() != obsN(obs) || count == 0 {
+		return obs.Observe(replay, replay.N())
+	}
+	return nil
+}
+
+// obsN returns the node count at the observer's last epoch, -1 before
+// any.
+func obsN(obs *core.TrajectoryObserver) int {
+	pts := obs.Points()
+	if len(pts) == 0 {
+		return -1
+	}
+	return pts[len(pts)-1].N
 }
 
 func load(path string, stdin io.Reader) (*graph.Graph, error) {

@@ -4,6 +4,10 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/graphio"
+	"netmodel/internal/rng"
 )
 
 const tinyMap = "# netmodel edge list: nodes=5 edges=5\n0 1\n0 2\n1 2\n2 3\n3 4\n"
@@ -41,5 +45,34 @@ func TestStatUsageErrors(t *testing.T) {
 	}
 	if err := run([]string{"-"}, strings.NewReader("bad input\n"), &out); err == nil {
 		t.Fatal("malformed edge list should fail")
+	}
+}
+
+// TestMeasureEveryReplay: trajectory replay prints epoch rows before
+// the summary, and the summary itself must match the plain run (the
+// final refreshed snapshot is the whole map).
+func TestMeasureEveryReplay(t *testing.T) {
+	top, err := gen.BA{N: 300, M: 2}.Generate(rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mapOut bytes.Buffer
+	if err := graphio.WriteEdgeList(&mapOut, top.G); err != nil {
+		t.Fatal(err)
+	}
+	var plain, traj bytes.Buffer
+	if err := run([]string{"-path-sources", "40", "-"}, bytes.NewReader(mapOut.Bytes()), &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-path-sources", "40", "-measure-every", "150", "-"},
+		bytes.NewReader(mapOut.Bytes()), &traj); err != nil {
+		t.Fatal(err)
+	}
+	got := traj.String()
+	if !strings.Contains(got, "delta") || !strings.Contains(got, "gamma") {
+		t.Fatalf("missing trajectory rows:\n%s", got)
+	}
+	if !strings.HasSuffix(got, plain.String()) {
+		t.Fatalf("summary after trajectory differs from the plain run:\ntraj:\n%s\nplain:\n%s", got, plain.String())
 	}
 }

@@ -57,33 +57,56 @@ func (a *Annotated) FreezeWith(eng *engine.Engine) (*Frozen, error) {
 }
 
 func (a *Annotated) freezeOn(s *graph.Snapshot, eng *engine.Engine) *Frozen {
-	f := &Frozen{S: s, rel: make([]Rel, 0, 2*s.M()), eng: eng}
+	// rel spans the snapshot's full arc index space: refreshed
+	// snapshots carry slack and relocation gaps, so rows need not tile
+	// 2M and rel must be indexed by real arc indices, never densely.
+	f := &Frozen{S: s, rel: make([]Rel, s.ArcSpace()), eng: eng}
 	n := s.N()
 	for u := 0; u < n; u++ {
-		for _, v := range s.Neighbors(u) {
-			f.rel = append(f.rel, a.RelOf(u, int(v)))
+		lo, _ := s.ArcRange(u)
+		for j, v := range s.Neighbors(u) {
+			f.rel[int(lo)+j] = a.RelOf(u, int(v))
 		}
 	}
 	if eng != nil {
-		// FNV-1a over the arc relationships: frozen views with equal
-		// annotations share memo entries, differing annotations do not.
+		// FNV-1a over the live arc relationships in row order, so the
+		// key depends on the annotation, not the arena layout: frozen
+		// views with equal annotations share memo entries, differing
+		// annotations do not.
 		h := uint64(0xcbf29ce484222325)
-		for _, rel := range f.rel {
+		f.eachArc(func(_ int32, rel Rel) bool {
 			h = (h ^ uint64(byte(rel))) * 0x100000001b3
-		}
+			return true
+		})
 		f.relKey = strconv.FormatUint(h, 16)
 	}
 	return f
 }
 
-// Complete reports whether every arc carries a relationship.
-func (f *Frozen) Complete() bool {
-	for _, r := range f.rel {
-		if r == 0 {
-			return false
+// eachArc calls fn for every live arc index and its relationship, in
+// row order, stopping early if fn returns false.
+func (f *Frozen) eachArc(fn func(arc int32, rel Rel) bool) {
+	n := f.S.N()
+	for u := 0; u < n; u++ {
+		lo, hi := f.S.ArcRange(u)
+		for a := lo; a < hi; a++ {
+			if !fn(a, f.rel[a]) {
+				return
+			}
 		}
 	}
-	return true
+}
+
+// Complete reports whether every arc carries a relationship.
+func (f *Frozen) Complete() bool {
+	complete := true
+	f.eachArc(func(_ int32, rel Rel) bool {
+		if rel == 0 {
+			complete = false
+		}
+		return complete
+	})
+	return complete
 }
 
 // CustomerCone returns the customer-cone size of every AS, computed by

@@ -241,3 +241,68 @@ func TestFreezeWithDistinctAnnotationsDoNotShareCache(t *testing.T) {
 		t.Fatal("distinct annotations returned identical memoized inflation")
 	}
 }
+
+// TestFreezeWithRefreshedSnapshot: the per-arc relationship array must
+// be indexed by real arc indices, which in refreshed snapshots do not
+// tile 2M (slack rows, relocation gaps). Policy metrics bound to an
+// engine that advanced along a trajectory must match the sequential
+// reference on the final graph.
+func TestFreezeWithRefreshedSnapshot(t *testing.T) {
+	top, err := (gen.BA{N: 200, M: 2, A: -1.6}).Generate(rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grow a copy in two stages so the engine ends on a refreshed
+	// snapshot with relocated and slack-bearing rows.
+	g := graph.New(0)
+	edges := top.G.EdgeList()
+	half := len(edges) / 2
+	add := func(es []graph.Edge) {
+		for _, e := range es {
+			for g.N() <= e.V || g.N() <= e.U {
+				g.AddNode()
+			}
+			for w := 0; w < e.W; w++ {
+				g.MustAddEdge(e.U, e.V)
+			}
+		}
+	}
+	add(edges[:half])
+	prev := g.Freeze()
+	eng := engine.New(prev, engine.WithWorkers(4))
+	eng.TrianglesPerNode() // warm the memo across the refresh
+	add(edges[half:])
+	next, d, err := g.Refreeze(prev)
+	if err != nil || d == nil {
+		t.Fatalf("refreeze: %v", err)
+	}
+	if err := eng.Advance(next, d); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := AnnotateByDegree(g, 1.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := a.FreezeWith(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Complete() {
+		t.Fatal("degree annotation must freeze complete over a refreshed snapshot")
+	}
+	if got, want := f.CustomerCone(), a.CustomerCone(); !reflect.DeepEqual(got, want) {
+		t.Fatal("cones over a refreshed snapshot differ from the sequential reference")
+	}
+	got, err := f.MeasureInflation(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := a.Freeze().MeasureInflation(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("inflation over a refreshed snapshot %+v, want %+v", got, want)
+	}
+}

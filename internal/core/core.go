@@ -11,6 +11,7 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"math"
 	"sort"
 
@@ -18,6 +19,7 @@ import (
 	"netmodel/internal/econ"
 	"netmodel/internal/engine"
 	"netmodel/internal/gen"
+	"netmodel/internal/graph"
 	"netmodel/internal/metrics"
 	"netmodel/internal/refdata"
 	"netmodel/internal/rng"
@@ -131,12 +133,101 @@ func Lookup(name string) (Model, error) {
 	return m, nil
 }
 
+// TrajectoryPoint is one observation epoch of a growth trajectory run.
+type TrajectoryPoint struct {
+	N, M      int
+	Refreshed bool // measured through a delta refresh rather than a full freeze
+	Stats     metrics.GrowthStats
+}
+
+// TrajectoryObserver drives incremental measurement along a growth
+// trajectory: at every epoch it refreezes the live graph against the
+// previous epoch's snapshot, advances a single metrics engine across
+// the delta, and records the engine's growth-stat vector. After the
+// run, the engine sits on the final snapshot with its delta-maintained
+// metrics warm — final full measurement and validation reuse them.
+type TrajectoryObserver struct {
+	workers int
+	prev    *graph.Snapshot
+	eng     *engine.Engine
+	points  []TrajectoryPoint
+}
+
+// NewTrajectoryObserver returns an observer measuring with the given
+// engine pool width (<= 0 means GOMAXPROCS).
+func NewTrajectoryObserver(workers int) *TrajectoryObserver {
+	return &TrajectoryObserver{workers: workers}
+}
+
+// Observe implements gen.Trajectory.Observe.
+func (o *TrajectoryObserver) Observe(g *graph.Graph, n int) error {
+	var next *graph.Snapshot
+	var d *graph.Delta
+	var err error
+	if o.prev == nil {
+		if next, err = g.FreezeChecked(); err != nil {
+			return err
+		}
+		o.eng = engine.New(next, engine.WithWorkers(o.workers))
+	} else {
+		if next, d, err = g.Refreeze(o.prev); err != nil {
+			return err
+		}
+		if err = o.eng.Advance(next, d); err != nil {
+			return err
+		}
+	}
+	o.prev = next
+	o.points = append(o.points, TrajectoryPoint{
+		N:         next.N(),
+		M:         next.M(),
+		Refreshed: d != nil,
+		Stats:     o.eng.MeasureGrowth(),
+	})
+	return nil
+}
+
+// Points returns the recorded epochs.
+func (o *TrajectoryObserver) Points() []TrajectoryPoint { return o.points }
+
+// Engine returns the metrics engine, positioned on the last observed
+// snapshot (the completed topology once the run finished), or nil
+// before the first observation.
+func (o *TrajectoryObserver) Engine() *engine.Engine { return o.eng }
+
+// WriteTrajectory renders trajectory epochs as aligned columns, the
+// table the tools print in -measure-every mode. The refresh column
+// marks epochs measured through a delta refresh ("delta") versus a
+// full freeze ("full").
+func WriteTrajectory(w io.Writer, points []TrajectoryPoint) error {
+	if _, err := fmt.Fprintf(w, "%10s %10s %7s %7s %7s %8s %8s %5s %7s\n",
+		"nodes", "edges", "<k>", "kmax", "gamma", "clust", "trans", "core", "freeze"); err != nil {
+		return err
+	}
+	for _, p := range points {
+		mode := "full"
+		if p.Refreshed {
+			mode = "delta"
+		}
+		if _, err := fmt.Fprintf(w, "%10d %10d %7.3f %7d %7.3f %8.4f %8.4f %5d %7s\n",
+			p.N, p.M, p.Stats.AvgDegree, p.Stats.MaxDegree, p.Stats.Gamma,
+			p.Stats.AvgClustering, p.Stats.Transitivity, p.Stats.MaxCore, mode); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // PipelineResult bundles the outputs of a full model run.
 type PipelineResult struct {
 	Model    string
 	Topology *gen.Topology
 	Snapshot metrics.Snapshot
 	Report   *compare.Report
+	// Trajectory holds the per-epoch growth observations when the
+	// pipeline ran with MeasureEvery > 0 (one final entry for families
+	// without a trajectory kernel), nil otherwise.
+	Trajectory []TrajectoryPoint
 }
 
 // Pipeline configures a run.
@@ -149,6 +240,10 @@ type Pipeline struct {
 	// the family has a kernel; <= 1 runs the sequential reference) and
 	// the metrics engine (<= 0 means GOMAXPROCS).
 	Workers int
+	// MeasureEvery > 0 switches trajectory mode on: growth models pause
+	// every MeasureEvery committed nodes and the growing map is measured
+	// through delta-refreshed snapshots (PipelineResult.Trajectory).
+	MeasureEvery int
 }
 
 // Run generates the named model and validates it.
@@ -161,14 +256,37 @@ func (p Pipeline) Run(name string) (*PipelineResult, error) {
 		return nil, fmt.Errorf("core: pipeline needs a positive size, got %d", p.N)
 	}
 	r := rng.New(p.Seed)
-	top, err := gen.GenerateWith(m.Build(p.N), r, p.Workers)
-	if err != nil {
-		return nil, fmt.Errorf("core: generating %s: %w", name, err)
+	var (
+		top        *gen.Topology
+		eng        *engine.Engine
+		trajectory []TrajectoryPoint
+	)
+	if p.MeasureEvery > 0 {
+		// Trajectory mode: one engine advances along delta-refreshed
+		// snapshots; the final epoch's warm engine then serves the full
+		// measurement below.
+		obs := NewTrajectoryObserver(p.Workers)
+		top, err = gen.GenerateTrajectoryWith(m.Build(p.N), r, p.Workers,
+			gen.Trajectory{Every: p.MeasureEvery, Observe: obs.Observe})
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %s trajectory: %w", name, err)
+		}
+		eng = obs.Engine()
+		trajectory = obs.Points()
+	} else {
+		top, err = gen.GenerateWith(m.Build(p.N), r, p.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %s: %w", name, err)
+		}
+		// Freeze once; measurement and validation share one engine so
+		// the memoized whole-graph metrics (triangles, k-core, giant
+		// component) are computed a single time.
+		snap, err := top.G.FreezeChecked()
+		if err != nil {
+			return nil, fmt.Errorf("core: freezing %s: %w", name, err)
+		}
+		eng = engine.New(snap, engine.WithWorkers(p.Workers))
 	}
-	// Freeze once; measurement and validation share one engine so the
-	// memoized whole-graph metrics (triangles, k-core, giant component)
-	// are computed a single time.
-	eng := engine.New(top.G.Freeze(), engine.WithWorkers(p.Workers))
 	mr := rng.New(p.Seed + 1)
 	snap, err := eng.Measure(mr, p.PathSources)
 	if err != nil {
@@ -178,7 +296,7 @@ func (p Pipeline) Run(name string) (*PipelineResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: comparing %s: %w", name, err)
 	}
-	return &PipelineResult{Model: name, Topology: top, Snapshot: snap, Report: rep}, nil
+	return &PipelineResult{Model: name, Topology: top, Snapshot: snap, Report: rep, Trajectory: trajectory}, nil
 }
 
 // RunAll runs the pipeline for every registered model and returns the

@@ -108,3 +108,74 @@ func TestRunAllCoversRegistry(t *testing.T) {
 		}
 	}
 }
+
+// TestPipelineTrajectoryMatchesPlainRun: trajectory mode must not
+// change what the pipeline computes — generation is bit-identical
+// (observation draws no randomness) and the final measurement runs on
+// a delta-refreshed snapshot that is logically identical to the fresh
+// freeze, under the same static parallel schedule. The full metric
+// vector and comparison report must therefore agree exactly.
+func TestPipelineTrajectoryMatchesPlainRun(t *testing.T) {
+	for _, model := range []string{"ba", "glp", "pfp"} {
+		for _, workers := range []int{1, 4} {
+			plain := Pipeline{N: 500, Seed: 11, Target: refdata.ASMap2001, PathSources: 60, Workers: workers}
+			a, err := plain.Run(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			traj := plain
+			traj.MeasureEvery = 120
+			b, err := traj.Run(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Snapshot != b.Snapshot {
+				t.Fatalf("%s workers=%d: trajectory mode changed the final metrics:\n%+v\n%+v",
+					model, workers, a.Snapshot, b.Snapshot)
+			}
+			if a.Report.Score != b.Report.Score {
+				t.Fatalf("%s workers=%d: trajectory mode changed the report score", model, workers)
+			}
+			if len(b.Trajectory) < 3 {
+				t.Fatalf("%s workers=%d: only %d trajectory points", model, workers, len(b.Trajectory))
+			}
+			last := b.Trajectory[len(b.Trajectory)-1]
+			if last.N != b.Snapshot.N || last.M != b.Snapshot.M {
+				t.Fatalf("%s workers=%d: last epoch (%d,%d) vs final (%d,%d)",
+					model, workers, last.N, last.M, b.Snapshot.N, b.Snapshot.M)
+			}
+			refreshed := 0
+			for i, pt := range b.Trajectory {
+				if i > 0 && pt.N <= b.Trajectory[i-1].N {
+					t.Fatalf("%s: epochs not increasing", model)
+				}
+				if pt.Refreshed {
+					refreshed++
+				}
+				if pt.Stats.N != pt.N || pt.Stats.M != pt.M {
+					t.Fatalf("%s: stats out of sync at epoch %d", model, i)
+				}
+			}
+			if refreshed < len(b.Trajectory)-1 {
+				t.Fatalf("%s workers=%d: only %d/%d epochs used delta refresh",
+					model, workers, refreshed, len(b.Trajectory))
+			}
+		}
+	}
+}
+
+// TestPipelineTrajectoryFallbackModels: families without a trajectory
+// kernel still run in trajectory mode, with a single completion epoch.
+func TestPipelineTrajectoryFallbackModels(t *testing.T) {
+	p := Pipeline{N: 300, Seed: 5, Target: refdata.ASMap2001, PathSources: 40, MeasureEvery: 50}
+	res, err := p.Run("gnp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) != 1 {
+		t.Fatalf("gnp trajectory has %d points, want 1", len(res.Trajectory))
+	}
+	if res.Trajectory[0].N != res.Snapshot.N {
+		t.Fatal("fallback epoch out of sync")
+	}
+}

@@ -16,20 +16,34 @@
 package engine
 
 import (
+	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
 	"netmodel/internal/par"
 )
 
-// Engine runs parallel analyses over one frozen snapshot.
+var (
+	errNilSnapshot = errors.New("engine: Advance needs a snapshot")
+	errDeltaBase   = errors.New("engine: delta does not extend the engine's current snapshot")
+)
+
+// Engine runs parallel analyses over one frozen snapshot. Along a
+// growth trajectory the engine is version-aware: Advance rebases it
+// onto a refreshed snapshot, memo keys carry the snapshot version so a
+// stale entry can never be served, and metrics with incremental
+// kernels are maintained from the previous epoch's values instead of
+// recomputed.
 type Engine struct {
 	s       *graph.Snapshot
 	workers int
 
-	mu   sync.Mutex
-	memo map[string]*memoEntry
+	mu      sync.Mutex
+	memo    map[string]*memoEntry
+	inherit map[string]func() any // incremental computations for the current snapshot, by bare key
 }
 
 type memoEntry struct {
@@ -72,18 +86,93 @@ func (e *Engine) Workers() int { return e.workers }
 // analysis layers (policy metrics, traffic studies) so that everything
 // computed over one frozen topology shares a single cache. Keys are
 // namespaced by convention ("aspolicy:cone", ...); the engine's own
-// metrics use bare keys. Concurrent callers of the same key block on a
-// single computation; callers must not modify returned values.
+// metrics use bare keys. Every entry is stored under the current
+// snapshot's version, so after an Advance an old entry can never be
+// served for the refreshed topology. Concurrent callers of the same
+// key block on a single computation; callers must not modify returned
+// values.
 func (e *Engine) Cached(key string, compute func() any) any {
 	e.mu.Lock()
-	ent, ok := e.memo[key]
+	vkey := strconv.FormatUint(e.s.Version(), 10) + ":" + key
+	ent, ok := e.memo[vkey]
 	if !ok {
 		ent = &memoEntry{}
-		e.memo[key] = ent
+		e.memo[vkey] = ent
+		if inc, ok := e.inherit[key]; ok {
+			// First demand for a metric with an incremental kernel on
+			// this snapshot: run the kernel instead of the full compute.
+			// One-shot — drop the closure so it stops pinning the
+			// previous snapshot and its metric vectors.
+			compute = inc
+			delete(e.inherit, key)
+		}
 	}
 	e.mu.Unlock()
 	ent.once.Do(func() { ent.val = compute() })
 	return ent.val
+}
+
+// peek returns the memoized value of a bare key under the current
+// snapshot version, if it has been computed.
+func (e *Engine) peek(key string) (any, bool) {
+	e.mu.Lock()
+	ent, ok := e.memo[strconv.FormatUint(e.s.Version(), 10)+":"+key]
+	e.mu.Unlock()
+	if !ok || ent.val == nil {
+		return nil, false
+	}
+	return ent.val, true
+}
+
+// Advance rebases the engine onto next, the refreshed successor of the
+// current snapshot produced by Graph.Refreeze. When d is the delta
+// between the two snapshots, metrics with incremental kernels —
+// triangle counts (and the clustering family derived from them), the
+// k-core decomposition, the degree histogram — are carried forward
+// from the previous epoch's memoized values and maintained in time
+// proportional to the delta on their next demand; everything else is
+// dropped and recomputed lazily. A nil d (Refreeze fell back to a full
+// freeze) rebases without inheritance. Advance must not run
+// concurrently with metric queries; the trajectory drivers alternate
+// strictly between advancing and measuring.
+func (e *Engine) Advance(next *graph.Snapshot, d *graph.Delta) error {
+	if next == nil {
+		return errNilSnapshot
+	}
+	prev := e.s
+	inherit := make(map[string]func() any)
+	if d != nil {
+		if d.BaseVersion() != prev.Version() {
+			return errDeltaBase
+		}
+		if tri, ok := e.peek("triangles"); ok {
+			prevTri := tri.([]int)
+			inherit["triangles"] = func() any {
+				return metrics.RefreshTriangles(prev, next, d, prevTri)
+			}
+		}
+		if core, ok := e.peek("kcore"); ok {
+			prevCore := core.(metrics.KCoreResult)
+			inherit["kcore"] = func() any {
+				return metrics.RefreshKCore(prev, next, d, prevCore)
+			}
+		}
+		if hist, ok := e.peek("degree-hist"); ok {
+			prevHist := hist.([]int)
+			inherit["degree-hist"] = func() any {
+				return metrics.RefreshDegreeHistogram(prev, next, d, prevHist)
+			}
+		}
+	}
+	e.mu.Lock()
+	e.s = next
+	e.inherit = inherit
+	// Entries of earlier versions can never be hit again (versions are
+	// unique and monotone); drop them so a 100-epoch trajectory does not
+	// hold 100 epochs of metric vectors alive.
+	e.memo = make(map[string]*memoEntry)
+	e.mu.Unlock()
+	return nil
 }
 
 // ParallelFor runs fn(worker, i) for every i in [0, n) across the given

@@ -68,3 +68,31 @@ func (e *Engine) Measure(r *rng.Rand, pathSources int) (metrics.Snapshot, error)
 func MeasureGraph(g *graph.Graph, r *rng.Rand, pathSources int) (metrics.Snapshot, error) {
 	return New(g.Freeze()).Measure(r, pathSources)
 }
+
+// MeasureGrowth computes the trajectory observation vector of the
+// current snapshot, mirroring metrics.MeasureGrowth field for field.
+// Every input — degree histogram, triangle counts, k-core — is
+// memoized and delta-maintained across Advance, so measuring each
+// epoch of a growth trajectory costs time proportional to the epoch's
+// delta plus O(N) derivations, not a fresh pass over the map.
+func (e *Engine) MeasureGrowth() metrics.GrowthStats {
+	s := e.s
+	out := metrics.GrowthStats{
+		N:         s.N(),
+		M:         s.M(),
+		Strength:  s.TotalStrength(),
+		AvgDegree: s.AvgDegree(),
+		MaxDegree: s.MaxDegree(),
+	}
+	if s.N() == 0 {
+		return out
+	}
+	if fit, err := stats.FitPowerLawHistogram(e.DegreeHistogram()); err == nil {
+		out.Gamma = fit.Alpha
+		out.GammaKS = fit.KS
+	}
+	out.AvgClustering = e.AvgClustering()
+	out.Transitivity = e.Transitivity()
+	out.MaxCore = e.KCore().MaxCore
+	return out
+}

@@ -293,3 +293,12 @@ func (e *Engine) DegreesAsFloats() []float64 {
 		return metrics.DegreesAsFloatsFrozen(e.s)
 	}).([]float64)
 }
+
+// DegreeHistogram returns hist[k] = number of nodes of degree k.
+// Memoized and delta-maintained across Advance; do not modify the
+// result.
+func (e *Engine) DegreeHistogram() []int {
+	return e.Cached("degree-hist", func() any {
+		return metrics.DegreeHistogramFrozen(e.s)
+	}).([]int)
+}

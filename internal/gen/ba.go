@@ -41,6 +41,13 @@ func (m BA) validate() error {
 // tree, O(N·M·log N) overall. This is the sequential reference the
 // sharded kernel is pinned against.
 func (m BA) Generate(r *rng.Rand) (*Topology, error) {
+	return m.generate(r, Trajectory{})
+}
+
+// generate is the sequential growth loop with optional trajectory
+// observation; a disabled Trajectory reproduces Generate exactly
+// (observation draws no randomness and nodes take the same dense ids).
+func (m BA) generate(r *rng.Rand, traj Trajectory) (*Topology, error) {
 	if err := m.validate(); err != nil {
 		return nil, err
 	}
@@ -48,7 +55,8 @@ func (m BA) Generate(r *rng.Rand) (*Topology, error) {
 	if seed > m.N {
 		seed = m.N
 	}
-	g := graph.New(m.N)
+	cur := newTrajectoryCursor(traj, seed)
+	g := graph.New(seed)
 	f := rng.NewFenwick(r, m.N)
 	// Connected seed: a small clique so every seed node has degree > 0.
 	for u := 0; u < seed; u++ {
@@ -60,12 +68,19 @@ func (m BA) Generate(r *rng.Rand) (*Topology, error) {
 		f.Set(u, float64(g.Degree(u))+m.A)
 	}
 	for u := seed; u < m.N; u++ {
+		g.AddNode()
 		targets := f.SampleDistinct(m.M)
 		for _, v := range targets {
 			g.MustAddEdge(u, v)
 			f.Add(v, 1)
 		}
 		f.Set(u, float64(g.Degree(u))+m.A)
+		if err := cur.visit(g, g.N()); err != nil {
+			return nil, err
+		}
+	}
+	if err := cur.finish(g, g.N()); err != nil {
+		return nil, err
 	}
 	return &Topology{G: g}, nil
 }
@@ -77,8 +92,23 @@ func (m BA) Generate(r *rng.Rand) (*Topology, error) {
 // node to a pre-round node, so commits never conflict; weight updates
 // are plain array writes, O(1) against the Fenwick path's O(log N).
 func (m BA) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	return m.generateSharded(r, workers, Trajectory{})
+}
+
+// GenerateTrajectory implements TrajectoryGenerator: the growth loops
+// pause at every Every-node boundary and hand the live graph to the
+// observer, sequentially (workers <= 1) or inside the sharded kernel's
+// commit phase (workers >= 2).
+func (m BA) GenerateTrajectory(r *rng.Rand, workers int, t Trajectory) (*Topology, error) {
 	if workers <= 1 {
-		return m.Generate(r)
+		return m.generate(r, t)
+	}
+	return m.generateSharded(r, workers, t)
+}
+
+func (m BA) generateSharded(r *rng.Rand, workers int, traj Trajectory) (*Topology, error) {
+	if workers <= 1 {
+		return m.generate(r, traj)
 	}
 	if err := m.validate(); err != nil {
 		return nil, err
@@ -88,6 +118,10 @@ func (m BA) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
 		seed = m.N
 	}
 	k := newGrowth(r, workers, m.N)
+	cur := newTrajectoryCursor(traj, seed)
+	if cur != nil {
+		k.mirror()
+	}
 	for u := 0; u < seed; u++ {
 		k.addNode()
 	}
@@ -119,7 +153,13 @@ func (m BA) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
 				k.weights[v]++
 			}
 			k.weights[u] = float64(k.degree[u]) + m.A
+			if err := cur.visit(k.live, k.n); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if err := cur.finish(k.live, k.n); err != nil {
+		return nil, err
 	}
 	g, err := k.build()
 	if err != nil {

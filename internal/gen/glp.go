@@ -43,6 +43,20 @@ func (m GLP) validate() error {
 // Generate implements Generator. This is the sequential reference the
 // sharded kernel is pinned against.
 func (m GLP) Generate(r *rng.Rand) (*Topology, error) {
+	return m.generate(r, Trajectory{})
+}
+
+// GenerateTrajectory implements TrajectoryGenerator; internal-link
+// steps leave the node count unchanged, so epochs land exactly on
+// arrival boundaries in both the sequential and sharded paths.
+func (m GLP) GenerateTrajectory(r *rng.Rand, workers int, t Trajectory) (*Topology, error) {
+	if workers <= 1 {
+		return m.generate(r, t)
+	}
+	return m.generateSharded(r, workers, t)
+}
+
+func (m GLP) generate(r *rng.Rand, traj Trajectory) (*Topology, error) {
 	if err := m.validate(); err != nil {
 		return nil, err
 	}
@@ -50,6 +64,7 @@ func (m GLP) Generate(r *rng.Rand) (*Topology, error) {
 	if seed > m.N {
 		seed = m.N
 	}
+	cur := newTrajectoryCursor(traj, seed)
 	g := graph.New(seed)
 	f := rng.NewFenwick(r, m.N)
 	for u := 1; u < seed; u++ {
@@ -84,6 +99,12 @@ func (m GLP) Generate(r *rng.Rand) (*Topology, error) {
 			f.Set(v, weight(v))
 		}
 		f.Set(u, weight(u))
+		if err := cur.visit(g, g.N()); err != nil {
+			return nil, err
+		}
+	}
+	if err := cur.finish(g, g.N()); err != nil {
+		return nil, err
 	}
 	return &Topology{G: g}, nil
 }
@@ -97,8 +118,12 @@ func (m GLP) Generate(r *rng.Rand) (*Topology, error) {
 // discarding duplicate internal links exactly as the sequential model
 // does.
 func (m GLP) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	return m.generateSharded(r, workers, Trajectory{})
+}
+
+func (m GLP) generateSharded(r *rng.Rand, workers int, traj Trajectory) (*Topology, error) {
 	if workers <= 1 {
-		return m.Generate(r)
+		return m.generate(r, traj)
 	}
 	if err := m.validate(); err != nil {
 		return nil, err
@@ -107,7 +132,11 @@ func (m GLP) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
 	if seed > m.N {
 		seed = m.N
 	}
+	cur := newTrajectoryCursor(traj, seed)
 	k := newGrowth(r, workers, m.N)
+	if cur != nil {
+		k.mirror()
+	}
 	k.trackDuplicates(m.N)
 	for u := 0; u < seed; u++ {
 		k.addNode()
@@ -180,8 +209,14 @@ func (m GLP) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
 					k.weights[v] = wOf(v)
 				}
 				k.weights[u] = wOf(u)
+				if err := cur.visit(k.live, k.n); err != nil {
+					return nil, err
+				}
 			}
 		}
+	}
+	if err := cur.finish(k.live, k.n); err != nil {
+		return nil, err
 	}
 	g, err := k.build()
 	if err != nil {

@@ -75,6 +75,7 @@ type growth struct {
 	degree  []int32
 	edges   []graph.Edge
 	seen    map[uint64]struct{} // committed simple edges; nil unless the model needs duplicate checks
+	live    *graph.Graph        // trajectory mode: the graph, maintained commit by commit
 }
 
 // newGrowth starts a kernel run: the stream root derives from r's
@@ -106,11 +107,22 @@ func edgeKey(u, v int) uint64 {
 	return uint64(u)<<32 | uint64(v)
 }
 
+// mirror switches the kernel into trajectory mode: commits are applied
+// to a live graph as they happen, so epoch observers see real graph
+// states mid-run and build() returns the live graph instead of a final
+// parallel construction. Call before any node or edge is committed.
+func (g *growth) mirror() {
+	g.live = graph.New(g.n)
+}
+
 // addNode commits a new isolated node and returns its id.
 func (g *growth) addNode() int {
 	g.weights = append(g.weights, 0)
 	g.degree = append(g.degree, 0)
 	g.n++
+	if g.live != nil {
+		g.live.AddNode()
+	}
 	return g.n - 1
 }
 
@@ -118,7 +130,13 @@ func (g *growth) addNode() int {
 // model discards duplicates; repeated pairs would otherwise accumulate
 // multiplicity in the built graph.
 func (g *growth) addEdge(u, v int) {
-	g.edges = append(g.edges, graph.Edge{U: u, V: v, W: 1})
+	if g.live != nil {
+		// Trajectory mode: the live graph is the edge store; the flat
+		// list would never be read by build().
+		g.live.MustAddEdge(u, v)
+	} else {
+		g.edges = append(g.edges, graph.Edge{U: u, V: v, W: 1})
+	}
 	if g.seen != nil {
 		g.seen[edgeKey(u, v)] = struct{}{}
 	}
@@ -233,8 +251,12 @@ draws:
 }
 
 // build materializes the committed edge multiset as a Graph, sharding
-// adjacency construction across the pool.
+// adjacency construction across the pool. In trajectory mode the live
+// graph already is that multiset, maintained commit by commit.
 func (g *growth) build() (*graph.Graph, error) {
+	if g.live != nil {
+		return g.live, nil
+	}
 	return graph.Build(g.n, g.edges, g.workers)
 }
 

@@ -51,6 +51,20 @@ func (m PFP) validate() error {
 // Generate implements Generator. This is the sequential reference the
 // sharded kernel is pinned against.
 func (m PFP) Generate(r *rng.Rand) (*Topology, error) {
+	return m.generate(r, Trajectory{})
+}
+
+// GenerateTrajectory implements TrajectoryGenerator: observation lands
+// after each arrival's full step, host links and internal peer links
+// included.
+func (m PFP) GenerateTrajectory(r *rng.Rand, workers int, t Trajectory) (*Topology, error) {
+	if workers <= 1 {
+		return m.generate(r, t)
+	}
+	return m.generateSharded(r, workers, t)
+}
+
+func (m PFP) generate(r *rng.Rand, traj Trajectory) (*Topology, error) {
 	if err := m.validate(); err != nil {
 		return nil, err
 	}
@@ -58,6 +72,7 @@ func (m PFP) Generate(r *rng.Rand) (*Topology, error) {
 	if seed > m.N {
 		seed = m.N
 	}
+	cur := newTrajectoryCursor(traj, seed)
 	g := graph.New(seed)
 	f := rng.NewFenwick(r, m.N)
 	for u := 1; u < seed; u++ {
@@ -121,6 +136,12 @@ func (m PFP) Generate(r *rng.Rand) (*Topology, error) {
 				addInternal(hosts[0])
 			}
 		}
+		if err := cur.visit(g, g.N()); err != nil {
+			return nil, err
+		}
+	}
+	if err := cur.finish(g, g.N()); err != nil {
+		return nil, err
 	}
 	return &Topology{G: g}, nil
 }
@@ -137,8 +158,12 @@ const pfpSlots = 4
 // commits in step order, discarding duplicate internal links as the
 // sequential model does.
 func (m PFP) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
+	return m.generateSharded(r, workers, Trajectory{})
+}
+
+func (m PFP) generateSharded(r *rng.Rand, workers int, traj Trajectory) (*Topology, error) {
 	if workers <= 1 {
-		return m.Generate(r)
+		return m.generate(r, traj)
 	}
 	if err := m.validate(); err != nil {
 		return nil, err
@@ -147,7 +172,11 @@ func (m PFP) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
 	if seed > m.N {
 		seed = m.N
 	}
+	cur := newTrajectoryCursor(traj, seed)
 	k := newGrowth(r, workers, m.N)
+	if cur != nil {
+		k.mirror()
+	}
 	k.trackDuplicates(m.N)
 	for u := 0; u < seed; u++ {
 		k.addNode()
@@ -255,7 +284,13 @@ func (m PFP) GenerateSharded(r *rng.Rand, workers int) (*Topology, error) {
 				internal(seg[0], seg[2])
 				internal(seg[0], seg[3])
 			}
+			if err := cur.visit(k.live, k.n); err != nil {
+				return nil, err
+			}
 		}
+	}
+	if err := cur.finish(k.live, k.n); err != nil {
+		return nil, err
 	}
 	g, err := k.build()
 	if err != nil {

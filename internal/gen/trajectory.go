@@ -1,0 +1,99 @@
+package gen
+
+import (
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// Trajectory configures epoch-by-epoch observation of a growth run:
+// the generator pauses whenever the committed node count crosses a
+// multiple of Every and hands the live graph to Observe, then once
+// more at completion. Observation is read-only from the generator's
+// point of view and consumes no randomness, so a trajectory run builds
+// bit-for-bit the same topology as a plain run at the same seed and
+// worker count; observers typically Refreeze the graph against their
+// previous snapshot and advance a metrics engine, paying per epoch for
+// the delta instead of the map.
+type Trajectory struct {
+	// Every is the epoch stride in committed nodes; <= 0 disables
+	// trajectory observation. Boundaries inside a model's seed
+	// component are not observable — growth is observed, not seeding.
+	Every int
+	// Observe receives the live graph and its node count at each
+	// epoch. The graph keeps growing afterwards: observers that need
+	// the epoch state beyond the callback must freeze it (Refreeze
+	// makes that proportional to the delta). A non-nil error aborts
+	// the run.
+	Observe func(g *graph.Graph, n int) error
+}
+
+func (t Trajectory) enabled() bool { return t.Every > 0 && t.Observe != nil }
+
+// TrajectoryGenerator is implemented by growth families that can pause
+// at epoch boundaries: the degree-driven models whose kernels commit
+// arrivals one at a time (BA, GLP, PFP). The same worker contract as
+// ShardedGenerator applies: workers <= 1 observes the sequential
+// reference run, workers >= 2 the sharded kernel's seed-pure run.
+type TrajectoryGenerator interface {
+	Generator
+	GenerateTrajectory(r *rng.Rand, workers int, t Trajectory) (*Topology, error)
+}
+
+// GenerateTrajectoryWith is the trajectory counterpart of GenerateWith:
+// families with a trajectory kernel pause and observe along the run;
+// for everything else it generates normally and observes the finished
+// topology once, so sweep drivers can treat every model uniformly.
+func GenerateTrajectoryWith(g Generator, r *rng.Rand, workers int, t Trajectory) (*Topology, error) {
+	if tg, ok := g.(TrajectoryGenerator); ok && t.enabled() {
+		return tg.GenerateTrajectory(r, workers, t)
+	}
+	top, err := GenerateWith(g, r, workers)
+	if err != nil {
+		return nil, err
+	}
+	if t.Observe != nil {
+		if err := t.Observe(top.G, top.G.N()); err != nil {
+			return nil, err
+		}
+	}
+	return top, nil
+}
+
+// trajectoryCursor tracks epoch crossings for the growth loops. A nil
+// cursor is inert, so non-trajectory runs pay one nil check per
+// arrival.
+type trajectoryCursor struct {
+	t    Trajectory
+	next int // node count of the next observation boundary
+	last int // node count at the last observation, -1 before any
+}
+
+func newTrajectoryCursor(t Trajectory, startN int) *trajectoryCursor {
+	if !t.enabled() {
+		return nil
+	}
+	return &trajectoryCursor{t: t, next: (startN/t.Every + 1) * t.Every, last: -1}
+}
+
+// visit observes when n has reached the next epoch boundary; call it
+// after each committed arrival.
+func (c *trajectoryCursor) visit(g *graph.Graph, n int) error {
+	if c == nil || n < c.next {
+		return nil
+	}
+	for c.next <= n {
+		c.next += c.t.Every
+	}
+	c.last = n
+	return c.t.Observe(g, n)
+}
+
+// finish emits the final observation unless the last boundary already
+// covered the completed size.
+func (c *trajectoryCursor) finish(g *graph.Graph, n int) error {
+	if c == nil || c.last == n {
+		return nil
+	}
+	c.last = n
+	return c.t.Observe(g, n)
+}

@@ -1,0 +1,167 @@
+package gen
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+func trajectoryModels() []TrajectoryGenerator {
+	return []TrajectoryGenerator{
+		BA{N: 500, M: 2},
+		GLP{N: 500, M: 1, P: 0.45, Beta: 0.64},
+		DefaultPFP(400),
+	}
+}
+
+// TestTrajectoryDoesNotPerturbGeneration: observation draws no
+// randomness, so a trajectory run must build bit-for-bit the same
+// topology as the plain run at the same seed and worker count.
+func TestTrajectoryDoesNotPerturbGeneration(t *testing.T) {
+	for _, m := range trajectoryModels() {
+		for _, workers := range []int{1, 4} {
+			for seed := uint64(1); seed <= 3; seed++ {
+				plain, err := GenerateWith(m, rng.New(seed), workers)
+				if err != nil {
+					t.Fatalf("%s: %v", m.Name(), err)
+				}
+				epochs := 0
+				traj, err := m.GenerateTrajectory(rng.New(seed), workers, Trajectory{
+					Every: 97,
+					Observe: func(g *graph.Graph, n int) error {
+						epochs++
+						if g.N() != n {
+							return errors.New("observer node count mismatch")
+						}
+						return nil
+					},
+				})
+				if err != nil {
+					t.Fatalf("%s workers=%d: %v", m.Name(), workers, err)
+				}
+				if epochs < 3 {
+					t.Fatalf("%s workers=%d: only %d epochs observed", m.Name(), workers, epochs)
+				}
+				if !reflect.DeepEqual(plain.G.EdgeList(), traj.G.EdgeList()) {
+					t.Fatalf("%s workers=%d seed=%d: trajectory run changed the topology",
+						m.Name(), workers, seed)
+				}
+			}
+		}
+	}
+}
+
+// TestTrajectoryEpochBoundaries: epochs land exactly on multiples of
+// Every (the final completion observation aside), strictly increasing,
+// and the last observation covers the finished size.
+func TestTrajectoryEpochBoundaries(t *testing.T) {
+	for _, m := range trajectoryModels() {
+		for _, workers := range []int{1, 4} {
+			const every = 50
+			var ns []int
+			top, err := m.GenerateTrajectory(rng.New(7), workers, Trajectory{
+				Every: every,
+				Observe: func(g *graph.Graph, n int) error {
+					ns = append(ns, n)
+					return nil
+				},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ns) == 0 {
+				t.Fatalf("%s workers=%d: no observations", m.Name(), workers)
+			}
+			for i, n := range ns {
+				if i > 0 && n <= ns[i-1] {
+					t.Fatalf("%s workers=%d: epochs not increasing: %v", m.Name(), workers, ns)
+				}
+				if i < len(ns)-1 && n%every != 0 {
+					t.Fatalf("%s workers=%d: epoch at %d not a multiple of %d", m.Name(), workers, n, every)
+				}
+			}
+			if last := ns[len(ns)-1]; last != top.G.N() {
+				t.Fatalf("%s workers=%d: final observation at %d, topology has %d nodes",
+					m.Name(), workers, last, top.G.N())
+			}
+		}
+	}
+}
+
+// TestTrajectoryObserverCanRefreeze: the intended usage — the observer
+// refreezes the live graph against its previous snapshot — must yield
+// delta refreshes whose snapshots match fresh freezes at every epoch.
+func TestTrajectoryObserverCanRefreeze(t *testing.T) {
+	var prev *graph.Snapshot
+	deltas := 0
+	_, err := (BA{N: 600, M: 2}).GenerateTrajectory(rng.New(3), 4, Trajectory{
+		Every: 64,
+		Observe: func(g *graph.Graph, n int) error {
+			next, d, err := g.Refreeze(prev)
+			if err != nil {
+				return err
+			}
+			if prev != nil {
+				if d == nil {
+					return errors.New("expected a delta refresh")
+				}
+				deltas++
+			}
+			if next.N() != n || next.M() != g.M() {
+				return errors.New("refreshed snapshot out of sync with live graph")
+			}
+			prev = next
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deltas < 5 {
+		t.Fatalf("only %d delta refreshes", deltas)
+	}
+}
+
+// TestTrajectoryObserverErrorAborts: a failing observer stops the run.
+func TestTrajectoryObserverErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		_, err := (BA{N: 400, M: 2}).GenerateTrajectory(rng.New(1), workers, Trajectory{
+			Every:   50,
+			Observe: func(g *graph.Graph, n int) error { return boom },
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d: error %v, want %v", workers, err, boom)
+		}
+	}
+}
+
+// TestGenerateTrajectoryWithFallback: families without a trajectory
+// kernel are generated normally and observed once at completion.
+func TestGenerateTrajectoryWithFallback(t *testing.T) {
+	var ns []int
+	top, err := GenerateTrajectoryWith(GNP{N: 200, P: 0.02}, rng.New(5), 1, Trajectory{
+		Every: 50,
+		Observe: func(g *graph.Graph, n int) error {
+			ns = append(ns, n)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 1 || ns[0] != top.G.N() {
+		t.Fatalf("fallback observations %v, want one at %d", ns, top.G.N())
+	}
+	// Disabled trajectory: plain dispatch, no observation.
+	ns = nil
+	if _, err := GenerateTrajectoryWith(BA{N: 100, M: 2}, rng.New(5), 1, Trajectory{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 0 {
+		t.Fatal("disabled trajectory must not observe")
+	}
+}

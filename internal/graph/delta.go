@@ -1,0 +1,437 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+)
+
+// This file implements incremental freeze: instead of rebuilding the
+// whole CSR at every observation epoch of a growth trajectory, the
+// graph records an append-only log of the edges touched since its last
+// freeze, and Snapshot.Refresh merges that delta into the previous
+// snapshot in time proportional to the change.
+//
+// Immutability is preserved by construction. Rows whose update is a
+// pure append of larger neighbor ids — the common case in growth
+// models, where arrivals take the next dense id — are written into the
+// row's slack capacity, beyond every earlier snapshot's ends marker;
+// rows that shrink, reweight or interleave are relocated to fresh
+// space at the arena tail with new slack. Untouched rows keep their
+// storage. Relocation leaves garbage behind, so when the arena grows
+// past twice the live arc count the refresh compacts into a fresh
+// arena instead. Only the tip snapshot of a lineage may extend the
+// shared arena (see arena.claim); refreshing twice from the same base
+// silently degrades to the compacting copy, never to corruption.
+
+// DeltaEdge is one simple edge whose multiplicity changed between a
+// base snapshot and its refreshed successor. OldW == 0 means the edge
+// was inserted, NewW == 0 that it was removed; both non-zero is a pure
+// multiplicity (bandwidth) change. U < V always holds.
+type DeltaEdge struct {
+	U, V       int32
+	OldW, NewW int32
+}
+
+// Delta is the net change between a base snapshot and the graph state a
+// refreshed snapshot will capture: the new node count plus the deduped,
+// (U,V)-sorted list of edges whose multiplicity changed. Deltas are
+// produced by Graph.Refreeze and consumed by Snapshot.Refresh and the
+// incremental metric kernels; treat them as immutable.
+type Delta struct {
+	baseVersion uint64
+	baseN, n    int
+	edges       []DeltaEdge
+}
+
+// BaseVersion returns the version of the snapshot the delta extends.
+func (d *Delta) BaseVersion() uint64 { return d.baseVersion }
+
+// BaseN returns the node count of the base snapshot.
+func (d *Delta) BaseN() int { return d.baseN }
+
+// N returns the node count after the delta; nodes are only ever added.
+func (d *Delta) N() int { return d.n }
+
+// Edges returns the changed simple edges sorted by (U, V). The slice
+// aliases the delta and must not be modified.
+func (d *Delta) Edges() []DeltaEdge { return d.edges }
+
+// Counts returns how many simple edges the delta inserts and removes
+// (multiplicity-only changes are in neither count).
+func (d *Delta) Counts() (inserted, removed int) {
+	for _, e := range d.edges {
+		if e.OldW == 0 {
+			inserted++
+		} else if e.NewW == 0 {
+			removed++
+		}
+	}
+	return inserted, removed
+}
+
+// arena guards extension rights over a lineage's shared arc arrays.
+// Many snapshots alias the same backing; only the lineage tip may
+// append to it or write into row slack, because everything it writes
+// lies beyond every earlier snapshot's visible row ends.
+type arena struct {
+	mu  sync.Mutex
+	tip uint64
+}
+
+// claim transfers extension rights from the snapshot version `from` to
+// `to`; it fails when `from` is no longer the tip (a second refresh off
+// the same base), in which case the caller must copy instead of extend.
+func (a *arena) claim(from, to uint64) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.tip != from {
+		return false
+	}
+	a.tip = to
+	return true
+}
+
+// mutLog is the graph-side delta log: the edges touched since the last
+// freeze, relative to that snapshot's version. The log caps its own
+// length — once the mutation volume rivals the graph itself a refresh
+// would not beat a rebuild, so the log marks itself lost and Refreeze
+// falls back to a full freeze.
+type mutLog struct {
+	active      bool
+	lost        bool
+	baseVersion uint64
+	baseN       int
+	touched     [][2]int32
+}
+
+// startLog begins logging mutations relative to the snapshot s.
+func (g *Graph) startLog(s *Snapshot) {
+	g.log = mutLog{active: true, baseVersion: s.version, baseN: g.N()}
+}
+
+// logTouch records that the simple edge (u,v) changed. Out-of-envelope
+// ids or a log outgrowing the graph mark the log lost.
+func (g *Graph) logTouch(u, v int) {
+	if !g.log.active || g.log.lost {
+		return
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if v > math.MaxInt32 || len(g.log.touched) > 2*g.m+4096 {
+		g.log.lost = true
+		g.log.touched = nil
+		return
+	}
+	g.log.touched = append(g.log.touched, [2]int32{int32(u), int32(v)})
+}
+
+// Refreeze returns an up-to-date snapshot of g. When base is the
+// snapshot g most recently froze or refreshed and the mutation log is
+// intact, the result is produced by base.Refresh in time proportional
+// to the delta, which is also returned so version-aware caches (the
+// metrics engine) can maintain their values incrementally. Otherwise —
+// nil base, foreign snapshot, lost or overflowing log — it falls back
+// to a full FreezeChecked and the returned delta is nil.
+func (g *Graph) Refreeze(base *Snapshot) (*Snapshot, *Delta, error) {
+	if base != nil && g.log.active && !g.log.lost && g.log.baseVersion == base.version {
+		d := g.buildDelta(base)
+		next, err := base.Refresh(d)
+		if err == nil {
+			g.startLog(next)
+			return next, d, nil
+		}
+		// Refresh only fails on arena overflow; the full rebuild below
+		// re-checks the envelope and reports its own error.
+	}
+	s, err := g.FreezeChecked()
+	return s, nil, err
+}
+
+// buildDelta materializes the net change between base and g's current
+// adjacency from the touch log: dedupe the touched pairs, read old
+// multiplicities from the snapshot and new ones from the graph, and
+// drop pairs that changed and changed back.
+func (g *Graph) buildDelta(base *Snapshot) *Delta {
+	d := &Delta{baseVersion: base.version, baseN: g.log.baseN, n: g.N()}
+	touched := g.log.touched
+	sort.Slice(touched, func(i, j int) bool {
+		if touched[i][0] != touched[j][0] {
+			return touched[i][0] < touched[j][0]
+		}
+		return touched[i][1] < touched[j][1]
+	})
+	for i, p := range touched {
+		if i > 0 && p == touched[i-1] {
+			continue
+		}
+		u, v := int(p[0]), int(p[1])
+		oldW := base.EdgeWeight(u, v)
+		newW := g.adj[u][v]
+		if oldW == newW {
+			continue
+		}
+		d.edges = append(d.edges, DeltaEdge{U: p[0], V: p[1], OldW: int32(oldW), NewW: int32(newW)})
+	}
+	return d
+}
+
+// rowChange is one endpoint's view of a DeltaEdge, grouped per row
+// during a refresh.
+type rowChange struct {
+	node, nbr  int32
+	oldW, newW int32
+}
+
+// slackFor returns the extra capacity granted to a relocated row of the
+// given length, trading ~25% memory on hot rows for fewer relocations
+// as the trajectory grows.
+func slackFor(rowLen int) int { return rowLen/4 + 4 }
+
+// Refresh produces the next immutable snapshot by merging the delta
+// into this one: touched rows are appended in place (when the change is
+// a pure append into remaining slack), relocated to the arena tail with
+// fresh slack, or — when garbage from past relocations exceeds the
+// live arcs — compacted into a fresh arena. Untouched rows share their
+// storage with the base snapshot. The result is logically identical to
+// freezing the mutated graph from scratch: same rows, same counts, same
+// metrics. The delta must extend exactly this snapshot (by version);
+// drive refreshes through Graph.Refreeze to get that pairing for free.
+func (s *Snapshot) Refresh(d *Delta) (*Snapshot, error) {
+	if d == nil {
+		return nil, errors.New("graph: Refresh needs a non-nil delta")
+	}
+	if d.baseVersion != s.version {
+		return nil, fmt.Errorf("graph: delta extends snapshot v%d, not v%d", d.baseVersion, s.version)
+	}
+	if d.baseN != s.N() || d.n < d.baseN {
+		return nil, fmt.Errorf("graph: delta node counts %d -> %d do not extend a %d-node snapshot", d.baseN, d.n, s.N())
+	}
+	if d.n >= math.MaxInt32 {
+		return nil, fmt.Errorf("graph: snapshot overflow: %d nodes", d.n)
+	}
+	oldN, n := d.baseN, d.n
+
+	next := &Snapshot{
+		offsets:  make([]int32, n+1),
+		ends:     make([]int32, n),
+		caps:     make([]int32, n),
+		m:        s.m,
+		strength: s.strength,
+		version:  nextSnapshotVersion(),
+	}
+	copy(next.offsets, s.offsets[:oldN])
+	copy(next.ends, s.ends[:oldN])
+	if s.caps != nil {
+		copy(next.caps, s.caps[:oldN])
+	} else {
+		for u := 0; u < oldN; u++ {
+			next.caps[u] = s.ends[u] - s.offsets[u]
+		}
+	}
+
+	// Split each changed edge into its two row views and validate the
+	// delta against this snapshot as we go.
+	changes := make([]rowChange, 0, 2*len(d.edges))
+	for _, e := range d.edges {
+		if e.U < 0 || e.U >= e.V || int(e.V) >= n {
+			return nil, fmt.Errorf("graph: delta edge (%d,%d) out of range", e.U, e.V)
+		}
+		if e.OldW == e.NewW || e.OldW < 0 || e.NewW < 0 {
+			return nil, fmt.Errorf("graph: delta edge (%d,%d) weight %d -> %d is not a change", e.U, e.V, e.OldW, e.NewW)
+		}
+		if got := int32(s.EdgeWeight(int(e.U), int(e.V))); got != e.OldW {
+			return nil, fmt.Errorf("graph: delta edge (%d,%d) claims old weight %d, snapshot has %d", e.U, e.V, e.OldW, got)
+		}
+		changes = append(changes,
+			rowChange{node: e.U, nbr: e.V, oldW: e.OldW, newW: e.NewW},
+			rowChange{node: e.V, nbr: e.U, oldW: e.OldW, newW: e.NewW})
+		if e.OldW == 0 {
+			next.m++
+		} else if e.NewW == 0 {
+			next.m--
+		}
+		next.strength += int(e.NewW - e.OldW)
+	}
+	sort.Slice(changes, func(i, j int) bool {
+		if changes[i].node != changes[j].node {
+			return changes[i].node < changes[j].node
+		}
+		return changes[i].nbr < changes[j].nbr
+	})
+
+	liveArcs := 2 * next.m
+	// Compact when relocation garbage dominates, or when this snapshot
+	// is no longer the lineage tip (someone else extended the arena).
+	if len(s.neighbors) > 2*liveArcs+4096 || s.arena == nil || !s.arena.claim(s.version, next.version) {
+		if err := s.rebuildInto(next, changes, liveArcs); err != nil {
+			return nil, err
+		}
+		return next, nil
+	}
+
+	nb, wt := s.neighbors, s.weights
+	for i := 0; i < len(changes); {
+		j := i
+		for j < len(changes) && changes[j].node == changes[i].node {
+			j++
+		}
+		u := int(changes[i].node)
+		cs := changes[i:j]
+		i = j
+
+		off := next.offsets[u]
+		oldLen := int(next.ends[u] - off)
+		// Pure append: every change inserts a neighbor id above the
+		// current row tail, and the row's slack holds them all. The
+		// written region lies beyond every earlier snapshot's ends[u],
+		// so sharing the row storage stays safe.
+		pure := oldLen+len(cs) <= int(next.caps[u])
+		for _, c := range cs {
+			if c.oldW != 0 || (oldLen > 0 && c.nbr <= nb[off+int32(oldLen)-1]) {
+				pure = false
+				break
+			}
+		}
+		if pure {
+			for k, c := range cs {
+				nb[off+int32(oldLen+k)] = c.nbr
+				wt[off+int32(oldLen+k)] = c.newW
+			}
+			next.ends[u] = off + int32(oldLen+len(cs))
+			continue
+		}
+
+		// Relocate: merge the old row with the changes into fresh space
+		// at the arena tail, with new slack.
+		newLen := mergedLen(oldLen, cs)
+		newCap := newLen + slackFor(newLen)
+		if int64(len(nb))+int64(newCap) > math.MaxInt32 {
+			return nil, fmt.Errorf("graph: snapshot overflow: arena beyond int32 at node %d", u)
+		}
+		start := int32(len(nb))
+		nb, wt = mergeRow(nb, wt, s.neighbors[off:off+int32(oldLen)], s.weights[off:off+int32(oldLen)], cs)
+		for len(nb) < int(start)+newCap {
+			nb = append(nb, 0)
+			wt = append(wt, 0)
+		}
+		next.offsets[u] = start
+		next.ends[u] = start + int32(newLen)
+		next.caps[u] = int32(newCap)
+	}
+	next.offsets[n] = int32(len(nb))
+	next.neighbors, next.weights = nb, wt
+	next.arena = s.arena
+	next.recountMaxDeg()
+	return next, nil
+}
+
+// mergedLen returns the row length after applying the changes: old
+// entries minus removals plus insertions.
+func mergedLen(oldLen int, cs []rowChange) int {
+	n := oldLen
+	for _, c := range cs {
+		if c.oldW == 0 {
+			n++
+		} else if c.newW == 0 {
+			n--
+		}
+	}
+	return n
+}
+
+// mergeRow appends the merge of a sorted row with its sorted change
+// list onto the arena slices, applying insertions, removals and weight
+// updates in one pass.
+func mergeRow(nb, wt, rowNb, rowWt []int32, cs []rowChange) ([]int32, []int32) {
+	i, j := 0, 0
+	for i < len(rowNb) || j < len(cs) {
+		switch {
+		case j >= len(cs) || (i < len(rowNb) && rowNb[i] < cs[j].nbr):
+			nb = append(nb, rowNb[i])
+			wt = append(wt, rowWt[i])
+			i++
+		case i >= len(rowNb) || rowNb[i] > cs[j].nbr:
+			// Insertion; a removal of an absent edge cannot pass the
+			// old-weight validation, so newW > 0 here.
+			nb = append(nb, cs[j].nbr)
+			wt = append(wt, cs[j].newW)
+			j++
+		default: // same neighbor: removal or weight change
+			if cs[j].newW > 0 {
+				nb = append(nb, rowNb[i])
+				wt = append(wt, cs[j].newW)
+			}
+			i++
+			j++
+		}
+	}
+	return nb, wt
+}
+
+// rebuildInto compacts the refreshed topology into a fresh arena:
+// every row is copied (touched rows merged with their changes) with
+// fresh slack, dropping all relocation garbage. next already carries
+// offsets/ends/caps copies and updated counters.
+func (s *Snapshot) rebuildInto(next *Snapshot, changes []rowChange, liveArcs int) error {
+	n := next.N()
+	budget := int64(liveArcs) + int64(liveArcs)/8 + 2*int64(n)
+	if budget > math.MaxInt32 {
+		budget = math.MaxInt32
+	}
+	nb := make([]int32, 0, budget)
+	wt := make([]int32, 0, budget)
+	oldN := s.N()
+	ci := 0
+	for u := 0; u < n; u++ {
+		cj := ci
+		for cj < len(changes) && int(changes[cj].node) == u {
+			cj++
+		}
+		cs := changes[ci:cj]
+		ci = cj
+		var rowNb, rowWt []int32
+		if u < oldN {
+			rowNb, rowWt = s.Neighbors(u), s.Weights(u)
+		}
+		newLen := mergedLen(len(rowNb), cs)
+		newCap := newLen + newLen/8 + 2
+		if int64(len(nb))+int64(newCap) > math.MaxInt32 {
+			return fmt.Errorf("graph: snapshot overflow: compaction beyond int32 at node %d", u)
+		}
+		start := int32(len(nb))
+		if len(cs) == 0 {
+			nb = append(nb, rowNb...)
+			wt = append(wt, rowWt...)
+		} else {
+			nb, wt = mergeRow(nb, wt, rowNb, rowWt, cs)
+		}
+		for len(nb) < int(start)+newCap {
+			nb = append(nb, 0)
+			wt = append(wt, 0)
+		}
+		next.offsets[u] = start
+		next.ends[u] = start + int32(newLen)
+		next.caps[u] = int32(newCap)
+	}
+	next.offsets[n] = int32(len(nb))
+	next.neighbors, next.weights = nb, wt
+	next.arena = &arena{tip: next.version}
+	next.recountMaxDeg()
+	return nil
+}
+
+// recountMaxDeg rescans row lengths; removals can shrink the old
+// maximum, so the O(N) recount keeps MaxDegree exact.
+func (s *Snapshot) recountMaxDeg() {
+	maxDeg := 0
+	for u := range s.ends {
+		if d := int(s.ends[u] - s.offsets[u]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	s.maxDeg = maxDeg
+}

@@ -25,6 +25,7 @@ type Graph struct {
 	adj      []map[int]int // neighbor -> multiplicity
 	m        int           // number of simple edges
 	strength int           // total multiplicity over simple edges (counted once per edge)
+	log      mutLog        // edges touched since the last freeze (see delta.go)
 }
 
 // Edge is a simple edge with its multiplicity; U < V always holds for
@@ -80,6 +81,7 @@ func (g *Graph) AddEdge(u, v int) (created bool, err error) {
 	if !existed {
 		g.m++
 	}
+	g.logTouch(u, v)
 	return !existed, nil
 }
 
@@ -108,6 +110,7 @@ func (g *Graph) RemoveEdge(u, v int) error {
 		delete(g.adj[v], u)
 		g.m--
 	}
+	g.logTouch(u, v)
 	return nil
 }
 
@@ -223,7 +226,8 @@ func (g *Graph) MaxDegree() int {
 	return max
 }
 
-// Copy returns a deep copy of g.
+// Copy returns a deep copy of g. The copy starts with no mutation log;
+// its first Refreeze after a Freeze of its own pays a full rebuild.
 func (g *Graph) Copy() *Graph {
 	c := &Graph{adj: make([]map[int]int, len(g.adj)), m: g.m, strength: g.strength}
 	for u, nb := range g.adj {

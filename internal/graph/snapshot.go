@@ -5,40 +5,76 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Snapshot is an immutable compressed-sparse-row (CSR) view of a Graph,
-// built once with Freeze. The adjacency of node u is the slice
-// neighbors[offsets[u]:offsets[u+1]], sorted ascending, with parallel
-// edge multiplicities in weights. Flat arrays turn the per-source
-// traversals of the analysis packages (BFS, Brandes, triangle counting)
-// from pointer-chasing over maps into sequential cache-friendly scans,
-// and, being immutable, a Snapshot is safe to share across goroutines
-// without locking — the substrate of the parallel metrics engine.
+// built with Freeze and advanced along a growth trajectory with Refresh.
+// The adjacency of node u is the slice neighbors[offsets[u]:ends[u]],
+// sorted ascending, with parallel edge multiplicities in weights. Flat
+// arrays turn the per-source traversals of the analysis packages (BFS,
+// Brandes, triangle counting) from pointer-chasing over maps into
+// sequential cache-friendly scans, and, being immutable, a Snapshot is
+// safe to share across goroutines without locking — the substrate of
+// the parallel metrics engine.
+//
+// Snapshots produced by Freeze are tight: ends aliases offsets[1:], so
+// rows tile the arc arrays exactly. Snapshots produced by Refresh may
+// carry slack — rows with storage capacity beyond their length, and
+// relocated rows leaving gaps — so arc indices are only meaningful
+// inside a row's [offsets[u], ends[u]) range. Every snapshot carries a
+// process-unique monotonically increasing version (see Version), the
+// identity the engine's memoization keys on.
 //
 // The mutable map-backed Graph remains the API for generation and
-// rewiring; analysis freezes once and reads the snapshot.
+// rewiring; analysis freezes once and reads the snapshot, refreshing
+// from the graph's mutation delta at each later observation epoch.
 type Snapshot struct {
-	offsets   []int32 // len N+1; arc range of node u is [offsets[u], offsets[u+1])
-	neighbors []int32 // len 2M; sorted ascending within each node
-	weights   []int32 // len 2M; multiplicity of each arc
+	offsets   []int32 // len N+1; row of node u starts at offsets[u]
+	ends      []int32 // len N; row of node u ends at ends[u]; tight snapshots alias offsets[1:]
+	caps      []int32 // len N or nil; per-row storage capacity (nil = rows are tight)
+	neighbors []int32 // arc arena; sorted ascending within each row
+	weights   []int32 // arc arena; multiplicity of each arc
 	m         int     // number of simple edges
 	strength  int     // total multiplicity over simple edges
 	maxDeg    int
+	version   uint64
+	arena     *arena // growth rights over the shared arc arena (see delta.go)
 
 	edgeOnce sync.Once
 	arcEdge  []int32 // lazy: arc index -> simple-edge index in [0, M)
 }
 
-// Freeze builds the CSR snapshot of g. Neighbor lists are sorted
-// ascending, so the snapshot is deterministic for a given topology.
-// Freeze panics if the arc count overflows int32 (graphs beyond ~1
-// billion arcs are outside the design envelope of this toolkit).
+// snapshotVersions hands out process-unique snapshot versions, so any
+// two snapshots ever built — across graphs, chains and compactions —
+// carry distinct identities.
+var snapshotVersions atomic.Uint64
+
+func nextSnapshotVersion() uint64 { return snapshotVersions.Add(1) }
+
+// Freeze builds the CSR snapshot of g and starts the graph's mutation
+// delta log, so a later Refreeze against the returned snapshot costs
+// time proportional to the changes rather than the graph. Neighbor
+// lists are sorted ascending, so the snapshot is deterministic for a
+// given topology. Freeze panics if the arc count overflows int32; CLI
+// entry points use FreezeChecked to turn that into an error.
 func (g *Graph) Freeze() *Snapshot {
+	s, err := g.FreezeChecked()
+	if err != nil {
+		panic(err.Error())
+	}
+	return s
+}
+
+// FreezeChecked is Freeze returning an error instead of panicking when
+// the node or arc count overflows the snapshot's int32 design envelope
+// (~1 billion arcs). Oversized maps fail with a message; the tools
+// route through this variant.
+func (g *Graph) FreezeChecked() (*Snapshot, error) {
 	n := g.N()
 	arcs := 2 * g.m
 	if arcs > math.MaxInt32 || n >= math.MaxInt32 {
-		panic(fmt.Sprintf("graph: snapshot overflow: %d nodes, %d arcs", n, arcs))
+		return nil, fmt.Errorf("graph: snapshot overflow: %d nodes, %d arcs exceed the int32 CSR envelope", n, arcs)
 	}
 	s := &Snapshot{
 		offsets:   make([]int32, n+1),
@@ -46,7 +82,10 @@ func (g *Graph) Freeze() *Snapshot {
 		weights:   make([]int32, arcs),
 		m:         g.m,
 		strength:  g.strength,
+		version:   nextSnapshotVersion(),
 	}
+	s.ends = s.offsets[1:]
+	s.arena = &arena{tip: s.version}
 	for u := 0; u < n; u++ {
 		d := len(g.adj[u])
 		s.offsets[u+1] = s.offsets[u] + int32(d)
@@ -56,7 +95,7 @@ func (g *Graph) Freeze() *Snapshot {
 	}
 	for u := 0; u < n; u++ {
 		base := s.offsets[u]
-		row := s.neighbors[base:s.offsets[u+1]]
+		row := s.neighbors[base:s.ends[u]]
 		i := 0
 		for v := range g.adj[u] {
 			row[i] = int32(v)
@@ -67,8 +106,14 @@ func (g *Graph) Freeze() *Snapshot {
 			s.weights[base+int32(j)] = int32(g.adj[u][int(v)])
 		}
 	}
-	return s
+	g.startLog(s)
+	return s, nil
 }
+
+// Version returns the snapshot's process-unique identity. Versions
+// increase monotonically along a Freeze/Refresh lineage, so caches
+// keyed by version can never serve a stale entry after a refresh.
+func (s *Snapshot) Version() uint64 { return s.version }
 
 // N returns the number of nodes.
 func (s *Snapshot) N() int { return len(s.offsets) - 1 }
@@ -81,30 +126,38 @@ func (s *Snapshot) TotalStrength() int { return s.strength }
 
 // Degree returns the topological degree of u.
 func (s *Snapshot) Degree(u int) int {
-	return int(s.offsets[u+1] - s.offsets[u])
+	return int(s.ends[u] - s.offsets[u])
 }
 
 // Neighbors returns the sorted neighbor slice of u. The slice aliases
 // the snapshot and must not be modified.
 func (s *Snapshot) Neighbors(u int) []int32 {
-	return s.neighbors[s.offsets[u]:s.offsets[u+1]]
+	return s.neighbors[s.offsets[u]:s.ends[u]]
 }
 
 // Weights returns the multiplicities parallel to Neighbors(u). The
 // slice aliases the snapshot and must not be modified.
 func (s *Snapshot) Weights(u int) []int32 {
-	return s.weights[s.offsets[u]:s.offsets[u+1]]
+	return s.weights[s.offsets[u]:s.ends[u]]
 }
 
 // ArcRange returns the half-open arc index range of node u, for callers
-// indexing per-arc data (see ArcEdgeIDs).
+// indexing per-arc data (see ArcEdgeIDs). In refreshed snapshots rows
+// need not tile the arena, so arc indices are only valid within a row.
 func (s *Snapshot) ArcRange(u int) (lo, hi int32) {
-	return s.offsets[u], s.offsets[u+1]
+	return s.offsets[u], s.ends[u]
 }
+
+// ArcSpace returns the size of the arc index space: every arc index
+// handed out by ArcRange is below it. Parallel per-arc arrays must be
+// allocated with this length, not 2M — in refreshed snapshots rows
+// carry slack and relocation gaps, so live arcs need not tile the
+// space.
+func (s *Snapshot) ArcSpace() int { return len(s.neighbors) }
 
 // arcOf returns the arc index of (u,v), or -1 when the edge is absent.
 func (s *Snapshot) arcOf(u, v int) int32 {
-	lo, hi := s.offsets[u], s.offsets[u+1]
+	lo, hi := s.offsets[u], s.ends[u]
 	row := s.neighbors[lo:hi]
 	i := sort.Search(len(row), func(i int) bool { return row[i] >= int32(v) })
 	if i < len(row) && row[i] == int32(v) {
@@ -159,7 +212,7 @@ func (s *Snapshot) DegreeSequence() []int {
 func (s *Snapshot) Edges(fn func(u, v, w int) bool) {
 	n := s.N()
 	for u := 0; u < n; u++ {
-		lo, hi := s.offsets[u], s.offsets[u+1]
+		lo, hi := s.offsets[u], s.ends[u]
 		for a := lo; a < hi; a++ {
 			v := int(s.neighbors[a])
 			if v > u {
@@ -186,14 +239,14 @@ func (s *Snapshot) EdgeList() []Edge {
 // [0, M). Both arcs of an edge map to the same id, and ids follow the
 // (u, v) sorted order of EdgeList, so EdgeList()[id] is the edge. The
 // mapping is computed once and cached; the returned slice must not be
-// modified.
+// modified. Entries outside live row ranges are meaningless.
 func (s *Snapshot) ArcEdgeIDs() []int32 {
 	s.edgeOnce.Do(func() {
 		s.arcEdge = make([]int32, len(s.neighbors))
 		next := int32(0)
 		n := s.N()
 		for u := 0; u < n; u++ {
-			lo, hi := s.offsets[u], s.offsets[u+1]
+			lo, hi := s.offsets[u], s.ends[u]
 			for a := lo; a < hi; a++ {
 				v := int(s.neighbors[a])
 				if v > u {
@@ -268,7 +321,8 @@ func (s *Snapshot) Induced(nodes []int) (*Snapshot, []int, error) {
 		toNew[u] = int32(i)
 		toOld[i] = u
 	}
-	sub := &Snapshot{offsets: make([]int32, len(nodes)+1)}
+	sub := &Snapshot{offsets: make([]int32, len(nodes)+1), version: nextSnapshotVersion()}
+	sub.ends = sub.offsets[1:]
 	arcs := int32(0)
 	for i, u := range toOld {
 		for _, v := range s.Neighbors(u) {
@@ -280,9 +334,10 @@ func (s *Snapshot) Induced(nodes []int) (*Snapshot, []int, error) {
 	}
 	sub.neighbors = make([]int32, arcs)
 	sub.weights = make([]int32, arcs)
+	sub.arena = &arena{tip: sub.version}
 	for i, u := range toOld {
 		a := sub.offsets[i]
-		lo, hi := s.offsets[u], s.offsets[u+1]
+		lo, hi := s.offsets[u], s.ends[u]
 		for arc := lo; arc < hi; arc++ {
 			j := toNew[s.neighbors[arc]]
 			if j < 0 {
@@ -330,7 +385,9 @@ func (r *arcRow) Swap(i, j int) {
 func (s *Snapshot) GiantComponent() (*Snapshot, []int) {
 	comps := s.Components()
 	if len(comps) == 0 {
-		return &Snapshot{offsets: make([]int32, 1)}, nil
+		empty := &Snapshot{offsets: make([]int32, 1), version: nextSnapshotVersion()}
+		empty.ends = empty.offsets[1:]
+		return empty, nil
 	}
 	sub, mapping, err := s.Induced(comps[0])
 	if err != nil {

@@ -141,6 +141,61 @@ func TestSnapshotInduced(t *testing.T) {
 	}
 }
 
+// TestSnapshotInducedEdgeCases covers the degenerate inputs: an empty
+// node list, a singleton graph, and a giant component that is the whole
+// graph.
+func TestSnapshotInducedEdgeCases(t *testing.T) {
+	g := randomMultigraph(t, 19, 30, 70)
+	s := g.Freeze()
+
+	empty, mapping, err := s.Induced(nil)
+	if err != nil {
+		t.Fatalf("empty node list: %v", err)
+	}
+	if empty.N() != 0 || empty.M() != 0 || len(mapping) != 0 {
+		t.Fatalf("empty induced snapshot: N=%d M=%d mapping=%v", empty.N(), empty.M(), mapping)
+	}
+	if comps := empty.Components(); len(comps) != 0 {
+		t.Fatalf("empty induced snapshot has %d components", len(comps))
+	}
+
+	single := New(1).Freeze()
+	sub, mapping, err := single.Induced([]int{0})
+	if err != nil {
+		t.Fatalf("singleton: %v", err)
+	}
+	if sub.N() != 1 || sub.M() != 0 || sub.Degree(0) != 0 || mapping[0] != 0 {
+		t.Fatal("singleton induced snapshot malformed")
+	}
+	giant, gm := single.GiantComponent()
+	if giant.N() != 1 || gm[0] != 0 {
+		t.Fatal("singleton giant component malformed")
+	}
+
+	// A connected graph's giant component is the whole graph.
+	conn := New(6)
+	for u := 1; u < 6; u++ {
+		conn.MustAddEdge(u-1, u)
+	}
+	conn.MustAddEdge(0, 5)
+	cs := conn.Freeze()
+	whole, wm, err := cs.Induced([]int{0, 1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSnapshotsEqual(t, "whole-induced", whole, cs)
+	for i, u := range wm {
+		if i != u {
+			t.Fatalf("identity mapping broken at %d -> %d", i, u)
+		}
+	}
+	gsub, gmap := cs.GiantComponent()
+	assertSnapshotsEqual(t, "whole-giant", gsub, cs)
+	if len(gmap) != 6 {
+		t.Fatalf("giant mapping %v", gmap)
+	}
+}
+
 func TestSnapshotArcEdgeIDs(t *testing.T) {
 	g := randomMultigraph(t, 13, 40, 90)
 	s := g.Freeze()

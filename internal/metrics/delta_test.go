@@ -1,0 +1,207 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+	"netmodel/internal/stats"
+)
+
+// trajectoryFamilies builds the generator matrix of the equivalence
+// requirement: ≥3 families × 3 seeds, replayed as growth trajectories.
+func trajectoryFamilies() []struct {
+	name string
+	g    gen.Generator
+} {
+	return []struct {
+		name string
+		g    gen.Generator
+	}{
+		{"ba", gen.BA{N: 300, M: 2}},
+		{"glp", gen.GLP{N: 300, M: 1, P: 0.45, Beta: 0.64}},
+		{"pfp", gen.DefaultPFP(250)},
+		{"er", gen.GNP{N: 300, P: 4.2 / 299}},
+	}
+}
+
+// replayEpochs replays a generated topology's edge list into a growing
+// graph, calling check(prev, next, delta, g) at every epoch of the
+// given stride. Node ids appear densely in generated maps, so growing
+// the node set to each edge's endpoints reproduces a plausible arrival
+// order.
+func replayEpochs(t *testing.T, top *gen.Topology, every int,
+	check func(prev, next *graph.Snapshot, d *graph.Delta, g *graph.Graph)) {
+	t.Helper()
+	g := graph.New(0)
+	prev, err := g.FreezeChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := top.G.EdgeList()
+	for i, e := range edges {
+		for g.N() <= e.V || g.N() <= e.U {
+			g.AddNode()
+		}
+		for w := 0; w < e.W; w++ {
+			g.MustAddEdge(e.U, e.V)
+		}
+		if (i+1)%every == 0 || i == len(edges)-1 {
+			next, d, err := g.Refreeze(prev)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d == nil {
+				t.Fatal("replay expected a delta refresh")
+			}
+			check(prev, next, d, g)
+			prev = next
+		}
+	}
+}
+
+// TestRefreshKernelsMatchFullRecompute pins every incremental kernel
+// against its full recompute at every epoch of every family × seed
+// trajectory.
+func TestRefreshKernelsMatchFullRecompute(t *testing.T) {
+	for _, fam := range trajectoryFamilies() {
+		for seed := uint64(1); seed <= 3; seed++ {
+			top, err := fam.g.Generate(rng.New(seed))
+			if err != nil {
+				t.Fatalf("%s/%d: %v", fam.name, seed, err)
+			}
+			tri := []int(nil)
+			hist := []int(nil)
+			core := KCoreResult{Coreness: []int{}}
+			replayEpochs(t, top, 37, func(prev, next *graph.Snapshot, d *graph.Delta, g *graph.Graph) {
+				tri = RefreshTriangles(prev, next, d, tri)
+				if want := TrianglesPerNodeFrozen(next); !reflect.DeepEqual(tri, want) {
+					t.Fatalf("%s/%d n=%d: triangles diverged", fam.name, seed, next.N())
+				}
+				hist = RefreshDegreeHistogram(prev, next, d, hist)
+				if want := DegreeHistogramFrozen(next); !reflect.DeepEqual(hist, want) {
+					t.Fatalf("%s/%d n=%d: degree histogram diverged: %v vs %v",
+						fam.name, seed, next.N(), hist, want)
+				}
+				core = RefreshKCore(prev, next, d, core)
+				if want := KCoreFrozen(next); !reflect.DeepEqual(core, want) {
+					t.Fatalf("%s/%d n=%d: k-core diverged", fam.name, seed, next.N())
+				}
+			})
+		}
+	}
+}
+
+// TestRefreshKernelsUnderChurn drives inserts, multiplicity changes and
+// removals through the kernels; RefreshKCore must detect the removals
+// and fall back, RefreshTriangles must stay exact on both sides.
+func TestRefreshKernelsUnderChurn(t *testing.T) {
+	r := rng.New(5)
+	g := graph.New(30)
+	for i := 0; i < 120; i++ {
+		u, v := r.Intn(30), r.Intn(30)
+		if u != v {
+			g.MustAddEdge(u, v)
+		}
+	}
+	prev := g.Freeze()
+	tri := TrianglesPerNodeFrozen(prev)
+	hist := DegreeHistogramFrozen(prev)
+	core := KCoreFrozen(prev)
+	for epoch := 0; epoch < 40; epoch++ {
+		for i := 0; i < 15; i++ {
+			u, v := r.Intn(g.N()), r.Intn(g.N())
+			if u == v {
+				continue
+			}
+			switch x := r.Float64(); {
+			case x < 0.3 && g.HasEdge(u, v):
+				if err := g.RemoveEdge(u, v); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				g.MustAddEdge(u, v)
+			}
+		}
+		if epoch%5 == 0 {
+			g.AddNode()
+		}
+		next, d, err := g.Refreeze(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tri = RefreshTriangles(prev, next, d, tri)
+		if want := TrianglesPerNodeFrozen(next); !reflect.DeepEqual(tri, want) {
+			t.Fatalf("epoch %d: triangles diverged", epoch)
+		}
+		hist = RefreshDegreeHistogram(prev, next, d, hist)
+		if want := DegreeHistogramFrozen(next); !reflect.DeepEqual(hist, want) {
+			t.Fatalf("epoch %d: histogram diverged", epoch)
+		}
+		core = RefreshKCore(prev, next, d, core)
+		if want := KCoreFrozen(next); !reflect.DeepEqual(core, want) {
+			t.Fatalf("epoch %d: k-core diverged", epoch)
+		}
+		prev = next
+	}
+}
+
+// TestRefreshKCoreCycleClosure pins the subtle insertion case: closing
+// a long path into a cycle promotes every interior node 1 → 2 even
+// though only the endpoints touch the delta.
+func TestRefreshKCoreCycleClosure(t *testing.T) {
+	g := graph.New(12)
+	for u := 1; u < 12; u++ {
+		g.MustAddEdge(u-1, u)
+	}
+	prev := g.Freeze()
+	core := KCoreFrozen(prev)
+	g.MustAddEdge(0, 11)
+	next, d, err := g.Refreeze(prev)
+	if err != nil || d == nil {
+		t.Fatalf("refreeze: %v", err)
+	}
+	core = RefreshKCore(prev, next, d, core)
+	want := KCoreFrozen(next)
+	if !reflect.DeepEqual(core, want) {
+		t.Fatalf("cycle closure: %v vs %v", core.Coreness, want.Coreness)
+	}
+	for u, c := range core.Coreness {
+		if c != 2 {
+			t.Fatalf("node %d coreness %d after cycle closure, want 2", u, c)
+		}
+	}
+}
+
+// TestMeasureGrowthSequentialReference checks the sequential reference
+// against its parts on a generated map.
+func TestMeasureGrowthSequentialReference(t *testing.T) {
+	top, err := gen.BA{N: 400, M: 2}.Generate(rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := top.G
+	st := MeasureGrowth(g)
+	if st.N != g.N() || st.M != g.M() || st.Strength != g.TotalStrength() ||
+		st.MaxDegree != g.MaxDegree() || st.AvgDegree != g.AvgDegree() {
+		t.Fatalf("size fields wrong: %+v", st)
+	}
+	if st.AvgClustering != AvgClustering(g) || st.Transitivity != Transitivity(g) {
+		t.Fatal("clustering fields wrong")
+	}
+	if st.MaxCore != KCore(g).MaxCore {
+		t.Fatal("core field wrong")
+	}
+	fit, err := stats.FitPowerLawHistogram(DegreeHistogram(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Gamma != fit.Alpha || st.GammaKS != fit.KS {
+		t.Fatal("fit fields wrong")
+	}
+	if empty := (MeasureGrowth(graph.New(0))); empty.N != 0 || empty.Gamma != 0 {
+		t.Fatalf("empty growth stats %+v", empty)
+	}
+}

@@ -61,6 +61,79 @@ func FitPowerLawDiscrete(xs []float64) (PowerLawFit, error) {
 	return best, nil
 }
 
+// FitPowerLawHistogram is FitPowerLawDiscrete computed from a value
+// histogram (hist[k] = number of samples of value k) instead of raw
+// samples: the same xmin scan, MLE exponent and KS selection, but in
+// O(D²) over the D distinct values rather than O(n·D) over samples.
+// This is the fit the trajectory engine runs every observation epoch,
+// where the degree histogram is maintained incrementally and n·D work
+// per epoch would dominate the refresh. Within a tied group the
+// empirical CDF is monotone, so checking the group's two endpoint gaps
+// reproduces the per-sample KS scan exactly; results agree with
+// FitPowerLawDiscrete up to floating-point summation order.
+func FitPowerLawHistogram(hist []int) (PowerLawFit, error) {
+	var ks []int
+	total := 0
+	for k := 1; k < len(hist); k++ {
+		if hist[k] > 0 {
+			ks = append(ks, k)
+			total += hist[k]
+		}
+	}
+	if total < 10 {
+		return PowerLawFit{}, errors.New("stats: too few samples for power-law fit")
+	}
+	// Suffix sums over distinct values: tail counts and Σ cnt·ln k, so
+	// each candidate's MLE is O(1).
+	sufN := make([]int, len(ks)+1)
+	sufL := make([]float64, len(ks)+1)
+	for i := len(ks) - 1; i >= 0; i-- {
+		cnt := hist[ks[i]]
+		sufN[i] = sufN[i+1] + cnt
+		sufL[i] = sufL[i+1] + float64(cnt)*math.Log(float64(ks[i]))
+	}
+	best := PowerLawFit{KS: math.Inf(1)}
+	for i, k := range ks {
+		nTail := sufN[i]
+		if nTail < 10 {
+			break
+		}
+		xmin := float64(k)
+		s := sufL[i] - float64(nTail)*math.Log(xmin-0.5)
+		if s <= 0 {
+			continue
+		}
+		alpha := 1 + float64(nTail)/s
+		if alpha <= 1 || math.IsNaN(alpha) {
+			continue
+		}
+		// KS over the tail: the empirical CDF is checked at both ends
+		// of each tied group, the extremes of the per-sample scan.
+		maxD := 0.0
+		before := 0
+		for j := i; j < len(ks); j++ {
+			cnt := hist[ks[j]]
+			model := 1 - math.Pow((float64(ks[j])+0.5)/(xmin-0.5), 1-alpha)
+			lo := math.Abs(float64(before+1)/float64(nTail) - model)
+			hi := math.Abs(float64(before+cnt)/float64(nTail) - model)
+			if lo > maxD {
+				maxD = lo
+			}
+			if hi > maxD {
+				maxD = hi
+			}
+			before += cnt
+		}
+		if maxD < best.KS {
+			best = PowerLawFit{Alpha: alpha, Xmin: xmin, KS: maxD, NTail: nTail}
+		}
+	}
+	if math.IsInf(best.KS, 1) {
+		return PowerLawFit{}, errors.New("stats: no valid power-law regime found")
+	}
+	return best, nil
+}
+
 func discreteMLE(tail []float64, xmin float64) float64 {
 	var s float64
 	for _, x := range tail {

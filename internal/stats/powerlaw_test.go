@@ -181,3 +181,58 @@ func TestBootstrapErrors(t *testing.T) {
 		t.Fatal("too few replicates should fail")
 	}
 }
+
+// TestFitPowerLawHistogramMatchesDiscrete: the histogram fit is the
+// same scan grouped by distinct value, so on identical data it must
+// select the same regime and agree on the exponent and KS distance up
+// to floating-point summation order.
+func TestFitPowerLawHistogramMatchesDiscrete(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		r := rng.New(seed)
+		xs := paretoSample(r, 3000, 1, 2.2)
+		maxK := 0
+		ints := make([]float64, len(xs))
+		for i, x := range xs {
+			k := int(math.Round(x))
+			if k < 1 {
+				k = 1
+			}
+			if k > 500 {
+				k = 500 // clamp the extreme tail so histograms stay small
+			}
+			ints[i] = float64(k)
+			if k > maxK {
+				maxK = k
+			}
+		}
+		hist := make([]int, maxK+1)
+		for _, x := range ints {
+			hist[int(x)]++
+		}
+		want, err := FitPowerLawDiscrete(ints)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := FitPowerLawHistogram(hist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Xmin != want.Xmin || got.NTail != want.NTail {
+			t.Fatalf("seed %d: regime (%v,%d) vs (%v,%d)", seed, got.Xmin, got.NTail, want.Xmin, want.NTail)
+		}
+		if math.Abs(got.Alpha-want.Alpha) > 1e-9 || math.Abs(got.KS-want.KS) > 1e-9 {
+			t.Fatalf("seed %d: fit (%v,%v) vs (%v,%v)", seed, got.Alpha, got.KS, want.Alpha, want.KS)
+		}
+	}
+}
+
+// TestFitPowerLawHistogramErrors covers the too-few-samples and
+// no-regime error paths.
+func TestFitPowerLawHistogramErrors(t *testing.T) {
+	if _, err := FitPowerLawHistogram([]int{0, 3}); err == nil {
+		t.Fatal("too few samples must error")
+	}
+	if _, err := FitPowerLawHistogram(nil); err == nil {
+		t.Fatal("empty histogram must error")
+	}
+}

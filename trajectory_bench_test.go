@@ -1,0 +1,148 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"netmodel/internal/core"
+	"netmodel/internal/engine"
+	"netmodel/internal/gen"
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+)
+
+// The trajectory benchmarks are the acceptance surface of incremental
+// freeze: the same BA growth run observed at every epoch, measured
+// either by delta-refreshing the previous CSR snapshot and advancing
+// one version-aware engine (refresh), or by a full Freeze and a cold
+// engine per epoch (refreeze — what every trajectory study cost before
+// this change). The measured vector is engine.MeasureGrowth: degree
+// histogram and tail fit, clustering from triangle counts, k-core
+// depth. The 10k rows are the CI smoke; the 100k × 100-epoch rows are
+// the acceptance scale (target ≥ 5x):
+//
+//	make bench-trajectory          # writes BENCH_trajectory.json
+//	go test -bench Trajectory .    # standard benchmark rows
+var (
+	trajBenchOut    = flag.String("trajectory-bench-out", "", "write refresh-vs-refreeze trajectory timings to this JSON file")
+	trajBenchN      = flag.Int("trajectory-bench-n", 100000, "trajectory benchmark map size")
+	trajBenchEpochs = flag.Int("trajectory-bench-epochs", 100, "trajectory benchmark observation epochs")
+)
+
+// runTrajectory drives one BA growth run of n nodes observed every
+// n/epochs arrivals and returns the number of epochs measured. With
+// refresh, epochs ride the incremental path; without, every epoch pays
+// a full freeze and a cold engine, metrics recomputed from scratch.
+func runTrajectory(tb testing.TB, n, epochs, workers int, refresh bool) int {
+	tb.Helper()
+	every := n / epochs
+	if every < 1 {
+		every = 1
+	}
+	measured := 0
+	var observe func(g *graph.Graph, nn int) error
+	if refresh {
+		obs := core.NewTrajectoryObserver(workers)
+		observe = func(g *graph.Graph, nn int) error {
+			if err := obs.Observe(g, nn); err != nil {
+				return err
+			}
+			measured++
+			return nil
+		}
+	} else {
+		observe = func(g *graph.Graph, nn int) error {
+			snap, err := g.FreezeChecked()
+			if err != nil {
+				return err
+			}
+			eng := engine.New(snap, engine.WithWorkers(workers))
+			if st := eng.MeasureGrowth(); st.N != nn {
+				return fmt.Errorf("measured %d nodes, want %d", st.N, nn)
+			}
+			measured++
+			return nil
+		}
+	}
+	_, err := gen.BA{N: n, M: 2}.GenerateTrajectory(rng.New(1), workers, gen.Trajectory{
+		Every:   every,
+		Observe: observe,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return measured
+}
+
+func benchTrajectory(b *testing.B, n, epochs int, refresh bool) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := runTrajectory(b, n, epochs, genBenchWorkers, refresh); got < epochs {
+			b.Fatalf("measured %d epochs, want >= %d", got, epochs)
+		}
+	}
+}
+
+func BenchmarkTrajectoryRefresh10k(b *testing.B)  { benchTrajectory(b, 10000, 20, true) }
+func BenchmarkTrajectoryRefreeze10k(b *testing.B) { benchTrajectory(b, 10000, 20, false) }
+
+// The 100k-node, 100-epoch rows are the acceptance-criterion scale.
+func BenchmarkTrajectoryRefresh100k(b *testing.B)  { benchTrajectory(b, 100000, 100, true) }
+func BenchmarkTrajectoryRefreeze100k(b *testing.B) { benchTrajectory(b, 100000, 100, false) }
+
+// TestTrajectoryBenchJSON times both arms once and records the rows in
+// the JSON file named by -trajectory-bench-out (BENCH_trajectory.json
+// via `make bench-trajectory`). Disabled unless the flag is set; the CI
+// smoke runs the 10k variant under -race, so the file also documents
+// that the incremental path is race-clean.
+func TestTrajectoryBenchJSON(t *testing.T) {
+	if *trajBenchOut == "" {
+		t.Skip("enable with -trajectory-bench-out <file>")
+	}
+	n, epochs := *trajBenchN, *trajBenchEpochs
+	workers := genBenchWorkers
+
+	time1 := func(refresh bool) time.Duration {
+		start := time.Now()
+		if got := runTrajectory(t, n, epochs, workers, refresh); got < epochs {
+			t.Fatalf("measured %d epochs, want >= %d", got, epochs)
+		}
+		return time.Since(start)
+	}
+	refreeze := time1(false)
+	refresh := time1(true)
+	speedup := float64(refreeze) / float64(refresh)
+
+	type row struct {
+		Name    string  `json:"name"`
+		Model   string  `json:"model"`
+		N       int     `json:"n"`
+		Epochs  int     `json:"epochs"`
+		Workers int     `json:"workers"`
+		Cores   int     `json:"cores"`
+		NsPerOp int64   `json:"ns_per_op"`
+		Speedup float64 `json:"speedup,omitempty"`
+	}
+	rows := []row{
+		{Name: "trajectory-refreeze", Model: "ba", N: n, Epochs: epochs, Workers: workers,
+			Cores: runtime.GOMAXPROCS(0), NsPerOp: refreeze.Nanoseconds()},
+		{Name: "trajectory-refresh", Model: "ba", N: n, Epochs: epochs, Workers: workers,
+			Cores: runtime.GOMAXPROCS(0), NsPerOp: refresh.Nanoseconds(), Speedup: speedup},
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*trajBenchOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=%d epochs=%d workers=%d: refreeze %v, refresh %v, speedup %.2fx",
+		n, epochs, workers, refreeze, refresh, speedup)
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-gen bench-trajectory lint fmt ci
+.PHONY: all build test bench bench-gen bench-trajectory bench-sweep lint fmt ci
 
 all: build
 
@@ -31,6 +31,13 @@ bench-gen:
 # BENCH_trajectory.json; the CI smoke runs the 10k variant under -race.
 bench-trajectory:
 	$(GO) test -run TestTrajectoryBenchJSON -trajectory-bench-out BENCH_trajectory.json .
+
+# Sweep smoke: the (ba,glp,pfp) × 4-seed grid at 2000 nodes, cells run
+# sequentially vs fanned across the pool, byte-identical summaries
+# checked and timings recorded in BENCH_sweep.json. The CI smoke runs a
+# smaller grid; for real speedups raise -sweep-bench-n.
+bench-sweep:
+	$(GO) test -run TestSweepBenchJSON -sweep-bench-out BENCH_sweep.json .
 
 lint:
 	$(GO) vet ./...

@@ -5,8 +5,14 @@
 // Usage:
 //
 //	topocmp -model glp -n 11000          # one model vs the AS map
-//	topocmp -all -n 4000                  # rank every model
+//	topocmp -all -n 4000 -workers 8       # rank every model, sharded kernels
 //	topocmp -file map.txt -target asplus  # a file vs the AS+ map
+//
+// -workers shards generation (families with a parallel kernel) and the
+// metrics engine: 1 keeps the sequential reference generators, 0 uses
+// every core for both; left unset, generation stays sequential and the
+// engine uses every core. For full grid sweeps with cross-seed
+// aggregation, see toposweep.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"netmodel/internal/compare"
 	"netmodel/internal/core"
@@ -39,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	target := fs.String("target", "as", "reference target: as, asplus")
 	sources := fs.Int("path-sources", 300, "BFS sources for path stats (0 = exact)")
+	workers := fs.Int("workers", 1, "pool for sharded generation and the metrics engine; 1 = sequential generation, 0 = GOMAXPROCS, unset = sequential generation with an all-core engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -48,6 +56,21 @@ func run(args []string, stdout io.Writer) error {
 	} else if *target != "as" {
 		return fmt.Errorf("unknown target %q", *target)
 	}
+	// -workers unset keeps the historical default: sequential reference
+	// generation with the metrics engine on every core (pool 0 means
+	// GOMAXPROCS to the engine and "don't shard" to generation — engine
+	// width never changes measured values). An explicit -workers sizes
+	// both pools, with 0 resolved to all cores so generation shards too,
+	// mirroring topogen.
+	pool := 0
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			pool = *workers
+			if pool <= 0 {
+				pool = runtime.GOMAXPROCS(0)
+			}
+		}
+	})
 	switch {
 	case *file != "":
 		f, err := os.Open(*file)
@@ -65,7 +88,7 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		eng := engine.New(frozen)
+		eng := engine.New(frozen, engine.WithWorkers(pool))
 		rep, err := compare.AgainstFrozen(eng, tgt, compare.Options{PathSources: *sources, Rand: rng.New(*seed)})
 		if err != nil {
 			return err
@@ -73,7 +96,7 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprint(stdout, rep.String())
 		return nil
 	case *all:
-		p := core.Pipeline{N: *n, Seed: *seed, Target: tgt, PathSources: *sources}
+		p := core.Pipeline{N: *n, Seed: *seed, Target: tgt, PathSources: *sources, Workers: pool}
 		results, err := p.RunAll()
 		if err != nil {
 			return err
@@ -88,7 +111,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	case *model != "":
-		p := core.Pipeline{N: *n, Seed: *seed, Target: tgt, PathSources: *sources}
+		p := core.Pipeline{N: *n, Seed: *seed, Target: tgt, PathSources: *sources, Workers: pool}
 		res, err := p.Run(*model)
 		if err != nil {
 			return err

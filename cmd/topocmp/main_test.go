@@ -49,6 +49,30 @@ func TestCompareAllRanks(t *testing.T) {
 	}
 }
 
+// TestCompareWorkersPlumbed: -workers must flow into the pipeline (and
+// with workers=1 reproduce the sequential default exactly).
+func TestCompareWorkersPlumbed(t *testing.T) {
+	var seq, par bytes.Buffer
+	if err := run([]string{"-model", "ba", "-n", "300", "-path-sources", "50"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-model", "ba", "-n", "300", "-path-sources", "50",
+		"-workers", "1"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Fatal("-workers 1 must match the default run")
+	}
+	par.Reset()
+	if err := run([]string{"-model", "ba", "-n", "300", "-path-sources", "50",
+		"-workers", "4"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(par.String(), "aggregate score") {
+		t.Fatalf("sharded run missing report:\n%s", par.String())
+	}
+}
+
 func TestCompareErrors(t *testing.T) {
 	var out bytes.Buffer
 	if err := run(nil, &out); err == nil {

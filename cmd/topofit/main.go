@@ -7,6 +7,11 @@
 //	topofit -knob ba-attract   -n 4000   # BA initial attractiveness
 //	topofit -knob glp-beta     -n 4000   # GLP preference shift
 //	topofit -knob waxman-beta  -n 2000   # Waxman distance scale
+//
+// -workers shards each evaluation's generation (families with a
+// parallel kernel) and metrics engine: 1 keeps the sequential
+// reference generators, 0 uses every core for both; left unset,
+// generation stays sequential and the engine uses every core.
 package main
 
 import (
@@ -14,8 +19,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"netmodel/internal/compare"
+	"netmodel/internal/engine"
 	"netmodel/internal/fit"
 	"netmodel/internal/gen"
 	"netmodel/internal/refdata"
@@ -54,9 +61,22 @@ func run(args []string, stdout io.Writer) error {
 	grid := fs.Int("grid", 7, "coarse grid points")
 	refine := fs.Int("refine", 8, "golden-section refinement steps")
 	sources := fs.Int("path-sources", 200, "BFS sources for path stats")
+	workers := fs.Int("workers", 1, "pool for sharded generation and the metrics engine; 1 = sequential generation, 0 = GOMAXPROCS, unset = sequential generation with an all-core engine")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Same -workers resolution as topocmp: unset keeps sequential
+	// reference generation with the engine on every core; explicit
+	// values size both pools (0 = all cores for both).
+	pool := 0
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			pool = *workers
+			if pool <= 0 {
+				pool = runtime.GOMAXPROCS(0)
+			}
+		}
+	})
 	k, ok := knobs[*name]
 	if !ok {
 		names := make([]string, 0, len(knobs))
@@ -69,11 +89,19 @@ func run(args []string, stdout io.Writer) error {
 	evals := 0
 	obj := func(x float64) (float64, error) {
 		evals++
-		top, err := k.build(*n, x).Generate(rng.New(*seed))
+		// Each evaluation runs the candidate through the sharded kernel
+		// (pool > 1) and a pool-wide metrics engine, so calibration
+		// saturates the hardware the same way the sweep driver does.
+		top, err := gen.GenerateWith(k.build(*n, x), rng.New(*seed), pool)
 		if err != nil {
 			return 0, err
 		}
-		rep, err := compare.Against(top.G, tgt,
+		frozen, err := top.G.FreezeChecked()
+		if err != nil {
+			return 0, err
+		}
+		eng := engine.New(frozen, engine.WithWorkers(pool))
+		rep, err := compare.AgainstFrozen(eng, tgt,
 			compare.Options{PathSources: *sources, Rand: rng.New(*seed + 1)})
 		if err != nil {
 			return 0, err

@@ -22,6 +22,20 @@ func TestFitSmallRun(t *testing.T) {
 	}
 }
 
+// TestFitWorkersPlumbed: -workers must reach the sharded kernels
+// without changing what the search reports.
+func TestFitWorkersPlumbed(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-knob", "glp-beta", "-n", "400", "-grid", "3",
+		"-refine", "2", "-path-sources", "50", "-workers", "4"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "best glp-beta") {
+		t.Fatalf("missing result line:\n%s", out.String())
+	}
+}
+
 func TestFitUnknownKnob(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-knob", "nope"}, &out); err == nil {

@@ -1,0 +1,165 @@
+// Command toposweep runs parameter sweeps: a (model × size × seed)
+// grid fanned out across a worker pool, every cell validated against
+// the published AS-map statistics, and the per-cell reports folded into
+// cross-seed aggregates and per-size rankings — the many-maps workload
+// the generator-validation literature evaluates with.
+//
+// Usage:
+//
+//	toposweep -models ba,glp,pfp -sizes 1000,2000 -seeds 1,2,3,4
+//	toposweep -grid grid.json -workers 8 -format csv -o sweep.csv
+//	toposweep -models ba,glp -sizes 2000 -seeds 1,2 -measure-every 500 -format json
+//
+// The grid comes either from the axis flags or from a JSON file
+// (-grid), which can additionally carry per-model parameter overrides:
+//
+//	{
+//	  "models": ["ba", "glp", "pfp"],
+//	  "sizes": [1000, 2000],
+//	  "seeds": [1, 2, 3, 4],
+//	  "params": {"glp": {"beta": 0.7}},
+//	  "path_sources": 200
+//	}
+//
+// When -grid is given it specifies the sweep completely and the axis
+// flags are rejected. -workers sizes the cell pool and never changes
+// results: the same grid is bit-identical at every pool width, because
+// each cell draws only from random streams split off its own seed.
+// -cell-workers (or "cell_workers" in the grid file) switches the
+// cells themselves to the sharded generation kernels — different,
+// equally valid maps — and is the knob for few-huge-cell sweeps, while
+// -workers is the knob for many-small-cell grids.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"netmodel/internal/graphio"
+	"netmodel/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "toposweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("toposweep", flag.ContinueOnError)
+	models := fs.String("models", "", "comma-separated model families to sweep")
+	sizes := fs.String("sizes", "", "comma-separated target sizes")
+	seeds := fs.String("seeds", "", "comma-separated replicate seeds")
+	gridFile := fs.String("grid", "", "JSON grid specification (replaces the axis flags)")
+	target := fs.String("target", "as", "reference target: as, asplus")
+	sources := fs.Int("path-sources", 200, "BFS sources for path stats per cell (0 = exact)")
+	workers := fs.Int("workers", 0, "cell pool width; 0 = GOMAXPROCS (never changes results)")
+	cellWorkers := fs.Int("cell-workers", 1, "per-cell generation/engine pool; >= 2 uses the sharded kernels")
+	measureEvery := fs.Int("measure-every", 0, "record growth trajectories every k nodes (growth families)")
+	format := fs.String("format", "table", "output format: table, csv, json")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g sweep.Grid
+	if *gridFile != "" {
+		// The grid file specifies the sweep completely; any sweep-shaping
+		// flag alongside it would be silently ignored, so reject them all
+		// (-workers, -format and -o still apply — they never shape the grid).
+		var conflict []string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "models", "sizes", "seeds", "target", "path-sources", "cell-workers", "measure-every":
+				conflict = append(conflict, "-"+f.Name)
+			}
+		})
+		if len(conflict) > 0 {
+			return fmt.Errorf("-grid specifies the sweep completely; drop %s", strings.Join(conflict, ", "))
+		}
+		f, err := os.Open(*gridFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if g, err = sweep.LoadGrid(f); err != nil {
+			return err
+		}
+	} else {
+		var err error
+		g.Models = splitList(*models)
+		if g.Sizes, err = parseInts(*sizes); err != nil {
+			return fmt.Errorf("-sizes: %w", err)
+		}
+		if g.Seeds, err = parseSeeds(*seeds); err != nil {
+			return fmt.Errorf("-seeds: %w", err)
+		}
+		g.Target = *target
+		g.PathSources = *sources
+		g.CellWorkers = *cellWorkers
+		g.MeasureEvery = *measureEvery
+	}
+	s, err := sweep.Run(g, *workers)
+	if err != nil {
+		return err
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "table":
+		_, err = io.WriteString(w, s.String())
+		return err
+	case "csv":
+		return graphio.WriteSweepCSV(w, s)
+	case "json":
+		return graphio.WriteSweepJSON(w, s)
+	default:
+		return fmt.Errorf("unknown format %q", *format)
+	}
+}
+
+// splitList splits a comma-separated flag into trimmed non-empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, item := range splitList(s) {
+		v, err := strconv.Atoi(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, item := range splitList(s) {
+		v, err := strconv.ParseUint(item, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -171,16 +171,36 @@ func MeasureSpectraFrozen(e *engine.Engine) Spectra {
 }
 
 // RankModels orders named reports by ascending score (best match
-// first), returning the names.
+// first), returning the names. The order is fully deterministic; see
+// RankScores.
 func RankModels(reports map[string]*Report) []string {
-	names := make([]string, 0, len(reports))
-	for n := range reports {
+	scores := make(map[string]float64, len(reports))
+	for n, r := range reports {
+		scores[n] = r.Score
+	}
+	return RankScores(scores)
+}
+
+// RankScores orders names by ascending score (best match first). The
+// order is fully deterministic: NaN scores sort after every finite
+// score, and equal scores — including two NaNs, which compare unequal
+// under IEEE semantics and would otherwise leave the order up to the
+// sort's whims — fall back to the name. Sweep summaries rank per size
+// tier on cross-seed mean scores through this function, so rankings
+// never flap across runs or worker counts.
+func RankScores(scores map[string]float64) []string {
+	names := make([]string, 0, len(scores))
+	for n := range scores {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		ri, rj := reports[names[i]], reports[names[j]]
-		if ri.Score != rj.Score {
-			return ri.Score < rj.Score
+		si, sj := scores[names[i]], scores[names[j]]
+		ni, nj := math.IsNaN(si), math.IsNaN(sj)
+		switch {
+		case ni != nj:
+			return nj // the finite score wins
+		case !ni && si != sj:
+			return si < sj
 		}
 		return names[i] < names[j]
 	})

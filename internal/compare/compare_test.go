@@ -109,3 +109,27 @@ func TestRankModels(t *testing.T) {
 		t.Fatalf("ranking = %v", got)
 	}
 }
+
+// TestRankScoresDeterministic pins the tie-handling contract: equal
+// scores break by name, NaN sorts last, and NaN-NaN ties — where IEEE
+// comparisons are all false and a naive comparator degenerates — also
+// break by name. Every permutation of the input map must rank the same.
+func TestRankScoresDeterministic(t *testing.T) {
+	scores := map[string]float64{
+		"tie-b": 0.4, "tie-a": 0.4,
+		"best": 0.1, "worst": 2.5,
+		"nan-b": math.NaN(), "nan-a": math.NaN(),
+	}
+	want := []string{"best", "tie-a", "tie-b", "worst", "nan-a", "nan-b"}
+	for trial := 0; trial < 20; trial++ {
+		got := RankScores(scores)
+		if len(got) != len(want) {
+			t.Fatalf("ranked %d names, want %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: ranking = %v, want %v", trial, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"netmodel/internal/compare"
+	"netmodel/internal/engine"
+	"netmodel/internal/gen"
+	"netmodel/internal/par"
+	"netmodel/internal/refdata"
+	"netmodel/internal/rng"
+)
+
+// Params are numeric parameter overrides applied on top of a model
+// family's default parameterization, keyed by lowercase knob name
+// ("m", "beta", ...). They are plain numbers so grid specifications
+// serialize to JSON; integer knobs are rounded from the float value.
+type Params map[string]float64
+
+// paramReader hands knob values to the registry builders while
+// tracking which keys were consumed, so a misspelled override fails
+// loudly instead of silently running the defaults.
+type paramReader struct {
+	p    Params
+	used map[string]bool
+}
+
+func newParamReader(p Params) *paramReader {
+	return &paramReader{p: p, used: make(map[string]bool, len(p))}
+}
+
+func (r *paramReader) float(key string, def float64) float64 {
+	r.used[key] = true
+	if v, ok := r.p[key]; ok {
+		return v
+	}
+	return def
+}
+
+func (r *paramReader) int(key string, def int) int {
+	r.used[key] = true
+	if v, ok := r.p[key]; ok {
+		return int(v + 0.5)
+	}
+	return def
+}
+
+// check returns an error naming every override key no knob consumed.
+func (r *paramReader) check(model string) error {
+	var unknown []string
+	for k := range r.p {
+		if !r.used[k] {
+			unknown = append(unknown, k)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	return fmt.Errorf("core: model %s has no parameter %v", model, unknown)
+}
+
+// BuildModel returns the named family parameterized at size n with the
+// given overrides applied on top of its defaults. An empty override set
+// is always valid; a non-empty one requires the family to expose knobs
+// (Model.BuildWith) and every key to name one of them.
+func BuildModel(name string, n int, overrides Params) (gen.Generator, error) {
+	m, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(overrides) == 0 {
+		return m.Build(n), nil
+	}
+	if m.BuildWith == nil {
+		return nil, fmt.Errorf("core: model %q accepts no parameter overrides", name)
+	}
+	return m.BuildWith(n, overrides)
+}
+
+// Cell is one grid cell of a parameter sweep: a single (model, size,
+// seed) run through generation, measurement and validation, optionally
+// with trajectory observation. It is the unit the sweep driver fans out
+// and the unit Pipeline wraps for single runs — both paths execute
+// through RunCell, so there is exactly one pipeline implementation.
+type Cell struct {
+	// Model is the registry name of the family to run.
+	Model string
+	// N is the target size.
+	N int
+	// Seed keys every random stream of the cell (see RunCell), so a
+	// cell is bit-reproducible in isolation from its spec alone.
+	Seed uint64
+	// Params are optional overrides of the family's default
+	// parameterization.
+	Params Params
+	// Target is the reference map to validate against.
+	Target refdata.Target
+	// PathSources caps BFS roots for path statistics (0 = exact).
+	PathSources int
+	// Workers sizes the cell-internal pools: sharded generation (<= 1
+	// runs the sequential reference) and the metrics engine (<= 0 means
+	// GOMAXPROCS). Sweeps that parallelize across cells keep this at 1
+	// so the cell pool is the only parallelism.
+	Workers int
+	// MeasureEvery > 0 turns on trajectory observation every that many
+	// committed nodes (growth families; everything else records a
+	// single completion epoch).
+	MeasureEvery int
+}
+
+// The per-cell random streams are split off a root generator keyed by
+// the cell seed, one stream per stage. Splitting (rather than seed
+// arithmetic) keeps the stages independent and keeps cells with
+// adjacent seeds from sharing streams: under the old seed/seed+1/
+// seed+2 scheme, the measurement stream of seed s was the generation
+// stream of seed s+1.
+const (
+	streamGenerate = iota
+	streamMeasure
+	streamCompare
+)
+
+// streams derives the cell's stage streams from its seed.
+func (c Cell) streams() (gr, mr, cr *rng.Rand) {
+	root := rng.New(c.Seed)
+	return root.Split(streamGenerate), root.Split(streamMeasure), root.Split(streamCompare)
+}
+
+// RunCell executes one cell: build the generator, generate (through the
+// sharded kernel when Workers > 1, observing epochs when MeasureEvery
+// > 0), freeze, measure, and score against the cell's target. Every
+// random draw comes from streams split off the cell seed, so the result
+// is a pure function of the Cell value — any cell of any grid can be
+// re-run alone, bit for bit.
+func RunCell(c Cell) (*PipelineResult, error) {
+	if c.N <= 0 {
+		return nil, fmt.Errorf("core: cell needs a positive size, got %d", c.N)
+	}
+	g, err := BuildModel(c.Model, c.N, c.Params)
+	if err != nil {
+		return nil, err
+	}
+	gr, mr, cr := c.streams()
+	var (
+		top        *gen.Topology
+		eng        *engine.Engine
+		trajectory []TrajectoryPoint
+	)
+	if c.MeasureEvery > 0 {
+		// Trajectory mode: one engine advances along delta-refreshed
+		// snapshots; the final epoch's warm engine then serves the full
+		// measurement below.
+		obs := NewTrajectoryObserver(c.Workers)
+		top, err = gen.GenerateTrajectoryWith(g, gr, c.Workers,
+			gen.Trajectory{Every: c.MeasureEvery, Observe: obs.Observe})
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %s trajectory: %w", c.Model, err)
+		}
+		eng = obs.Engine()
+		trajectory = obs.Points()
+	} else {
+		top, err = gen.GenerateWith(g, gr, c.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("core: generating %s: %w", c.Model, err)
+		}
+		// Freeze once; measurement and validation share one engine so
+		// the memoized whole-graph metrics (triangles, k-core, giant
+		// component) are computed a single time.
+		snap, err := top.G.FreezeChecked()
+		if err != nil {
+			return nil, fmt.Errorf("core: freezing %s: %w", c.Model, err)
+		}
+		eng = engine.New(snap, engine.WithWorkers(c.Workers))
+	}
+	snap, err := eng.Measure(mr, c.PathSources)
+	if err != nil {
+		return nil, fmt.Errorf("core: measuring %s: %w", c.Model, err)
+	}
+	rep, err := compare.AgainstFrozen(eng, c.Target, compare.Options{PathSources: c.PathSources, Rand: cr})
+	if err != nil {
+		return nil, fmt.Errorf("core: comparing %s: %w", c.Model, err)
+	}
+	return &PipelineResult{Model: c.Model, Topology: top, Snapshot: snap, Report: rep, Trajectory: trajectory}, nil
+}
+
+// RunCells executes cells across a pool of the given width (<= 0 means
+// GOMAXPROCS, 1 runs them in order on the caller's goroutine). This is
+// the one execution engine behind both Pipeline.RunAll (a degenerate
+// 1×N sweep at pool width 1) and the sweep driver. Each slot of the
+// result slice is written only by the worker that ran that cell, and
+// RunCell draws exclusively from cell-seed-split streams, so the output
+// — including which error surfaces, always the lowest-index failure —
+// is invariant to the worker count.
+func RunCells(cells []Cell, workers int) ([]*PipelineResult, error) {
+	results := make([]*PipelineResult, len(cells))
+	errs := make([]error, len(cells))
+	par.ForEach(len(cells), workers, func(_, i int) {
+		results[i], errs[i] = RunCell(cells[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: cell %d (%s, n=%d, seed=%d): %w",
+				i, cells[i].Model, cells[i].N, cells[i].Seed, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/refdata"
+	"netmodel/internal/rng"
+)
+
+func TestBuildModelOverrides(t *testing.T) {
+	g, err := BuildModel("ba", 500, Params{"m": 3, "a": 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ba, ok := g.(gen.BA)
+	if !ok {
+		t.Fatalf("built %T, want gen.BA", g)
+	}
+	if ba.N != 500 || ba.M != 3 || ba.A != 0.5 {
+		t.Fatalf("overrides not applied: %+v", ba)
+	}
+	// No overrides falls back to the registry default build.
+	g, err = BuildModel("glp", 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if glp := g.(gen.GLP); glp.M != 1 || glp.P != 0.45 || glp.Beta != 0.64 {
+		t.Fatalf("default GLP changed: %+v", glp)
+	}
+}
+
+func TestBuildModelRejectsUnknownKnob(t *testing.T) {
+	if _, err := BuildModel("ba", 500, Params{"nope": 1}); err == nil ||
+		!strings.Contains(err.Error(), "nope") {
+		t.Fatalf("want unknown-knob error naming the key, got %v", err)
+	}
+	if _, err := BuildModel("econ", 500, Params{"m": 2}); err == nil ||
+		!strings.Contains(err.Error(), "no parameter overrides") {
+		t.Fatalf("knobless model must reject overrides, got %v", err)
+	}
+	if _, err := BuildModel("unknown", 500, nil); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+// TestEveryKnobbedModelDefaultsMatchBuild: the zero-override BuildWith
+// path must reproduce the registry default parameterization exactly —
+// the two builders generate identical topologies at the same seed.
+func TestEveryKnobbedModelDefaultsMatchBuild(t *testing.T) {
+	for _, name := range Names() {
+		m, err := Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.BuildWith == nil {
+			continue
+		}
+		a, err := m.Build(250).Generate(rng.New(9))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		g, err := m.BuildWith(250, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b, err := g.Generate(rng.New(9))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if a.G.N() != b.G.N() || a.G.M() != b.G.M() {
+			t.Fatalf("%s: BuildWith(nil) diverges from Build: (%d,%d) vs (%d,%d)",
+				name, a.G.N(), a.G.M(), b.G.N(), b.G.M())
+		}
+	}
+}
+
+func TestRunCellMatchesPipelineRun(t *testing.T) {
+	p := Pipeline{N: 400, Seed: 17, Target: refdata.ASMap2001, PathSources: 50}
+	a, err := p.Run("ba")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell(p.Cell("ba"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Snapshot != b.Snapshot || a.Report.Score != b.Report.Score {
+		t.Fatalf("RunCell diverges from Pipeline.Run:\n%+v\n%+v", a.Snapshot, b.Snapshot)
+	}
+}
+
+func TestRunCellErrors(t *testing.T) {
+	if _, err := RunCell(Cell{Model: "ba", N: 0, Target: refdata.ASMap2001}); err == nil {
+		t.Fatal("zero size should fail")
+	}
+	if _, err := RunCell(Cell{Model: "ba", N: 200, Params: Params{"x": 1},
+		Target: refdata.ASMap2001}); err == nil {
+		t.Fatal("unknown knob should fail")
+	}
+}
+
+// TestRunCellsWorkerInvariance: the cell pool merges results by index
+// and every cell draws only from its own seed-split streams, so the
+// pool width must not change a single bit of any result.
+func TestRunCellsWorkerInvariance(t *testing.T) {
+	var cells []Cell
+	for _, model := range []string{"ba", "glp"} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			cells = append(cells, Cell{Model: model, N: 300, Seed: seed,
+				Target: refdata.ASMap2001, PathSources: 40, Workers: 1})
+		}
+	}
+	base, err := RunCells(cells, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		got, err := RunCells(cells, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cells {
+			if base[i].Snapshot != got[i].Snapshot {
+				t.Fatalf("workers=%d cell %d: snapshot diverged:\n%+v\n%+v",
+					workers, i, base[i].Snapshot, got[i].Snapshot)
+			}
+			if base[i].Report.Score != got[i].Report.Score {
+				t.Fatalf("workers=%d cell %d: score diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestRunCellsFirstErrorDeterministic: which failure surfaces must not
+// depend on scheduling — always the lowest-index failing cell.
+func TestRunCellsFirstErrorDeterministic(t *testing.T) {
+	cells := []Cell{
+		{Model: "ba", N: 200, Seed: 1, Target: refdata.ASMap2001, PathSources: 20},
+		{Model: "bad-one", N: 200, Seed: 1, Target: refdata.ASMap2001},
+		{Model: "bad-two", N: 200, Seed: 1, Target: refdata.ASMap2001},
+	}
+	for _, workers := range []int{1, 4} {
+		_, err := RunCells(cells, workers)
+		if err == nil || !strings.Contains(err.Error(), "cell 1") ||
+			!strings.Contains(err.Error(), "bad-one") {
+			t.Fatalf("workers=%d: want the cell-1 failure, got %v", workers, err)
+		}
+	}
+}

@@ -34,6 +34,11 @@ type Model struct {
 	// Build returns the family's default parameterization targeting
 	// roughly n nodes.
 	Build func(n int) gen.Generator
+	// BuildWith, when non-nil, builds the family at size n with numeric
+	// overrides applied on top of the defaults — the knob surface the
+	// sweep grids drive. Builders must reject unknown keys (see
+	// paramReader). Families without tunable knobs leave it nil.
+	BuildWith func(n int, overrides Params) (gen.Generator, error)
 }
 
 // econAdapter exposes the econ growth engine through the Generator
@@ -69,49 +74,111 @@ func (e econDistAdapter) Name() string { return "econ-dist" }
 // registry holds every model family, keyed by name.
 var registry = map[string]Model{}
 
+// register adds a model to the registry, deriving the default Build
+// from BuildWith (no overrides) when only the knobbed builder is given.
 func register(m Model) {
 	if _, dup := registry[m.Name]; dup {
 		panic("core: duplicate model " + m.Name)
+	}
+	if m.Build == nil {
+		if m.BuildWith == nil {
+			panic("core: model " + m.Name + " has no builder")
+		}
+		bw := m.BuildWith
+		m.Build = func(n int) gen.Generator {
+			g, err := bw(n, nil)
+			if err != nil {
+				// Unreachable: an empty override set consumes no keys.
+				panic("core: default build of " + m.Name + ": " + err.Error())
+			}
+			return g
+		}
 	}
 	registry[m.Name] = m
 }
 
 func init() {
-	register(Model{"gnp", "Erdős–Rényi G(n,p) random graph",
-		func(n int) gen.Generator { return gen.GNP{N: n, P: 4.2 / float64(n-1)} }})
-	register(Model{"gnm", "Erdős–Rényi G(n,m) random graph",
-		func(n int) gen.Generator { return gen.GNM{N: n, M: 2 * n} }})
-	register(Model{"ws", "Watts–Strogatz small world",
-		func(n int) gen.Generator { return gen.WS{N: n, K: 4, Beta: 0.1} }})
-	register(Model{"waxman", "Waxman distance-probability graph",
-		func(n int) gen.Generator {
-			return gen.Waxman{N: n, Alpha: 0.12, Beta: 0.15}
+	register(Model{Name: "gnp", Description: "Erdős–Rényi G(n,p) random graph",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.GNP{N: n, P: r.float("k", 4.2) / float64(n-1)}
+			return g, r.check("gnp")
 		}})
-	register(Model{"rgg", "random geometric graph",
-		func(n int) gen.Generator {
-			// mean degree ~ n*pi*r^2 = 4.2
-			return gen.RGG{N: n, Radius: 1.16 / math.Sqrt(float64(n))}
+	register(Model{Name: "gnm", Description: "Erdős–Rényi G(n,m) random graph",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.GNM{N: n, M: int(r.float("k", 4)*float64(n)/2 + 0.5)}
+			return g, r.check("gnm")
 		}})
-	register(Model{"ba", "Barabási–Albert preferential attachment (γ=3)",
-		func(n int) gen.Generator { return gen.BA{N: n, M: 2} }})
-	register(Model{"gba", "BA with initial attractiveness tuned to γ≈2.2",
-		func(n int) gen.Generator { return gen.BA{N: n, M: 2, A: -1.6} }})
-	register(Model{"glp", "Generalized Linear Preference (Bu–Towsley)",
-		func(n int) gen.Generator { return gen.GLP{N: n, M: 1, P: 0.45, Beta: 0.64} }})
-	register(Model{"pfp", "Positive-Feedback Preference (Zhou–Mondragón)",
-		func(n int) gen.Generator { return gen.DefaultPFP(n) }})
-	register(Model{"fkp", "FKP/HOT optimization-driven tree",
-		func(n int) gen.Generator { return gen.FKP{N: n, Alpha: 8} }})
-	register(Model{"inet", "Inet-style degree-targeted synthesis",
-		func(n int) gen.Generator { return gen.Inet{N: n, Gamma: 2.2, MinDeg: 1} }})
-	register(Model{"brite", "BRITE-style degree+distance hybrid growth",
-		func(n int) gen.Generator { return gen.BRITE{N: n, M: 2, Beta: 0.15} }})
-	register(Model{"transitstub", "GT-ITM-style transit-stub hierarchy",
-		func(n int) gen.Generator { return gen.DefaultTransitStub(n) }})
-	register(Model{"econ", "demand/supply competition-adaptation growth",
-		func(n int) gen.Generator { return econAdapter{econ.Default(n)} }})
-	register(Model{"econ-dist", "econ with geographic link costs",
-		func(n int) gen.Generator { return econDistAdapter{econAdapter{econ.DefaultDistance(n)}} }})
+	register(Model{Name: "ws", Description: "Watts–Strogatz small world",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.WS{N: n, K: r.int("k", 4), Beta: r.float("beta", 0.1)}
+			return g, r.check("ws")
+		}})
+	register(Model{Name: "waxman", Description: "Waxman distance-probability graph",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.Waxman{N: n, Alpha: r.float("alpha", 0.12), Beta: r.float("beta", 0.15)}
+			return g, r.check("waxman")
+		}})
+	register(Model{Name: "rgg", Description: "random geometric graph",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			// mean degree ~ n*pi*r^2, so r = sqrt(k/pi)/sqrt(n); the
+			// default k of 4.2 gives the historical 1.16/sqrt(n).
+			r := newParamReader(p)
+			g := gen.RGG{N: n, Radius: math.Sqrt(r.float("k", 4.2)/math.Pi) / math.Sqrt(float64(n))}
+			return g, r.check("rgg")
+		}})
+	register(Model{Name: "ba", Description: "Barabási–Albert preferential attachment (γ=3)",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.BA{N: n, M: r.int("m", 2), A: r.float("a", 0)}
+			return g, r.check("ba")
+		}})
+	register(Model{Name: "gba", Description: "BA with initial attractiveness tuned to γ≈2.2",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.BA{N: n, M: r.int("m", 2), A: r.float("a", -1.6)}
+			return g, r.check("gba")
+		}})
+	register(Model{Name: "glp", Description: "Generalized Linear Preference (Bu–Towsley)",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.GLP{N: n, M: r.int("m", 1), P: r.float("p", 0.45), Beta: r.float("beta", 0.64)}
+			return g, r.check("glp")
+		}})
+	register(Model{Name: "pfp", Description: "Positive-Feedback Preference (Zhou–Mondragón)",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			d := gen.DefaultPFP(n)
+			g := gen.PFP{N: n, P: r.float("p", d.P), Q: r.float("q", d.Q), Delta: r.float("delta", d.Delta)}
+			return g, r.check("pfp")
+		}})
+	register(Model{Name: "fkp", Description: "FKP/HOT optimization-driven tree",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.FKP{N: n, Alpha: r.float("alpha", 8)}
+			return g, r.check("fkp")
+		}})
+	register(Model{Name: "inet", Description: "Inet-style degree-targeted synthesis",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.Inet{N: n, Gamma: r.float("gamma", 2.2), MinDeg: r.int("mindeg", 1)}
+			return g, r.check("inet")
+		}})
+	register(Model{Name: "brite", Description: "BRITE-style degree+distance hybrid growth",
+		BuildWith: func(n int, p Params) (gen.Generator, error) {
+			r := newParamReader(p)
+			g := gen.BRITE{N: n, M: r.int("m", 2), Beta: r.float("beta", 0.15), A: r.float("a", 0)}
+			return g, r.check("brite")
+		}})
+	register(Model{Name: "transitstub", Description: "GT-ITM-style transit-stub hierarchy",
+		Build: func(n int) gen.Generator { return gen.DefaultTransitStub(n) }})
+	register(Model{Name: "econ", Description: "demand/supply competition-adaptation growth",
+		Build: func(n int) gen.Generator { return econAdapter{econ.Default(n)} }})
+	register(Model{Name: "econ-dist", Description: "econ with geographic link costs",
+		Build: func(n int) gen.Generator { return econDistAdapter{econAdapter{econ.DefaultDistance(n)}} }})
 }
 
 // Names returns all registered model names, sorted.
@@ -246,69 +313,47 @@ type Pipeline struct {
 	MeasureEvery int
 }
 
-// Run generates the named model and validates it.
+// Cell returns the sweep cell a pipeline run of the named model
+// corresponds to: the pipeline is the 1×1 special case of the grid.
+func (p Pipeline) Cell(name string) Cell {
+	return Cell{
+		Model:        name,
+		N:            p.N,
+		Seed:         p.Seed,
+		Target:       p.Target,
+		PathSources:  p.PathSources,
+		Workers:      p.Workers,
+		MeasureEvery: p.MeasureEvery,
+	}
+}
+
+// Run generates the named model and validates it, by executing the
+// corresponding single cell.
 func (p Pipeline) Run(name string) (*PipelineResult, error) {
-	m, err := Lookup(name)
-	if err != nil {
+	if _, err := Lookup(name); err != nil {
 		return nil, err
 	}
-	if p.N <= 0 {
-		return nil, fmt.Errorf("core: pipeline needs a positive size, got %d", p.N)
-	}
-	r := rng.New(p.Seed)
-	var (
-		top        *gen.Topology
-		eng        *engine.Engine
-		trajectory []TrajectoryPoint
-	)
-	if p.MeasureEvery > 0 {
-		// Trajectory mode: one engine advances along delta-refreshed
-		// snapshots; the final epoch's warm engine then serves the full
-		// measurement below.
-		obs := NewTrajectoryObserver(p.Workers)
-		top, err = gen.GenerateTrajectoryWith(m.Build(p.N), r, p.Workers,
-			gen.Trajectory{Every: p.MeasureEvery, Observe: obs.Observe})
-		if err != nil {
-			return nil, fmt.Errorf("core: generating %s trajectory: %w", name, err)
-		}
-		eng = obs.Engine()
-		trajectory = obs.Points()
-	} else {
-		top, err = gen.GenerateWith(m.Build(p.N), r, p.Workers)
-		if err != nil {
-			return nil, fmt.Errorf("core: generating %s: %w", name, err)
-		}
-		// Freeze once; measurement and validation share one engine so
-		// the memoized whole-graph metrics (triangles, k-core, giant
-		// component) are computed a single time.
-		snap, err := top.G.FreezeChecked()
-		if err != nil {
-			return nil, fmt.Errorf("core: freezing %s: %w", name, err)
-		}
-		eng = engine.New(snap, engine.WithWorkers(p.Workers))
-	}
-	mr := rng.New(p.Seed + 1)
-	snap, err := eng.Measure(mr, p.PathSources)
-	if err != nil {
-		return nil, fmt.Errorf("core: measuring %s: %w", name, err)
-	}
-	rep, err := compare.AgainstFrozen(eng, p.Target, compare.Options{PathSources: p.PathSources, Rand: rng.New(p.Seed + 2)})
-	if err != nil {
-		return nil, fmt.Errorf("core: comparing %s: %w", name, err)
-	}
-	return &PipelineResult{Model: name, Topology: top, Snapshot: snap, Report: rep, Trajectory: trajectory}, nil
+	return RunCell(p.Cell(name))
 }
 
 // RunAll runs the pipeline for every registered model and returns the
-// results keyed by name. Individual failures abort the sweep.
+// results keyed by name — a degenerate 1×N sweep (every registered
+// model at one size and one seed) through the same cell runner the
+// sweep driver uses, at pool width 1 so cells keep their internal
+// Workers pools. Individual failures abort the sweep.
 func (p Pipeline) RunAll() (map[string]*PipelineResult, error) {
-	out := make(map[string]*PipelineResult, len(registry))
-	for _, name := range Names() {
-		res, err := p.Run(name)
-		if err != nil {
-			return nil, err
-		}
-		out[name] = res
+	names := Names()
+	cells := make([]Cell, len(names))
+	for i, name := range names {
+		cells[i] = p.Cell(name)
+	}
+	results, err := RunCells(cells, 1)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*PipelineResult, len(names))
+	for i, name := range names {
+		out[name] = results[i]
 	}
 	return out, nil
 }

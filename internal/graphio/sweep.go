@@ -1,0 +1,80 @@
+package graphio
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"netmodel/internal/sweep"
+)
+
+// WriteSweepCSV renders a sweep summary as one wide CSV table: a row
+// per cell with the aggregate score and every measured metric, followed
+// by four cross-seed aggregate rows (mean, std, min, max) per
+// (model, size) group with the statistic's name in the seed column. The
+// column set comes from the comparison report, whose row order is fixed
+// by compare.Score, so the header is stable across grids and runs.
+func WriteSweepCSV(w io.Writer, s *sweep.Summary) error {
+	if len(s.Cells) == 0 {
+		return errors.New("graphio: empty sweep summary")
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"model", "n", "seed", "score"}
+	for _, row := range s.Cells[0].Report.Rows {
+		header = append(header, row.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range s.Cells {
+		rec := []string{c.Model, strconv.Itoa(c.N), strconv.FormatUint(c.Seed, 10), f(c.Score)}
+		if len(c.Report.Rows) != len(header)-4 {
+			return fmt.Errorf("graphio: cell (%s, %d, %d) has %d metric rows, header has %d",
+				c.Model, c.N, c.Seed, len(c.Report.Rows), len(header)-4)
+		}
+		for _, row := range c.Report.Rows {
+			rec = append(rec, f(row.Measured))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	for _, a := range s.Aggregates {
+		for _, stat := range []struct {
+			label string
+			pick  func(sweep.MetricAggregate) float64
+		}{
+			{"mean", func(m sweep.MetricAggregate) float64 { return m.Mean }},
+			{"std", func(m sweep.MetricAggregate) float64 { return m.Std }},
+			{"min", func(m sweep.MetricAggregate) float64 { return m.Min }},
+			{"max", func(m sweep.MetricAggregate) float64 { return m.Max }},
+		} {
+			rec := []string{a.Model, strconv.Itoa(a.N), stat.label, f(stat.pick(a.Score))}
+			for _, m := range a.Metrics {
+				rec = append(rec, f(stat.pick(m)))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSweepJSON encodes the full summary — grid, per-cell reports and
+// trajectories, aggregates, rankings — as indented JSON, the machine
+// interchange format of toposweep. The encoding is byte-deterministic:
+// slices encode in grid order and struct fields in declaration order.
+func WriteSweepJSON(w io.Writer, s *sweep.Summary) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

@@ -1,0 +1,83 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"netmodel/internal/sweep"
+)
+
+func sweepSummary(t *testing.T) *sweep.Summary {
+	t.Helper()
+	s, err := sweep.Run(sweep.Grid{
+		Models:      []string{"ba", "glp"},
+		Sizes:       []int{200},
+		Seeds:       []uint64{1, 2},
+		PathSources: 20,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	s := sweepSummary(t)
+	var buf bytes.Buffer
+	if err := WriteSweepCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 4 cells + 2 groups × 4 aggregate rows
+	if len(recs) != 1+4+8 {
+		t.Fatalf("CSV has %d rows, want 13", len(recs))
+	}
+	header := recs[0]
+	if header[0] != "model" || header[1] != "n" || header[2] != "seed" || header[3] != "score" {
+		t.Fatalf("bad header: %v", header)
+	}
+	wantCols := 4 + len(s.Cells[0].Report.Rows)
+	for i, r := range recs {
+		if len(r) != wantCols {
+			t.Fatalf("row %d has %d columns, want %d", i, len(r), wantCols)
+		}
+	}
+	// The aggregate block labels its rows in the seed column.
+	seen := map[string]bool{}
+	for _, r := range recs[5:] {
+		seen[r[2]] = true
+	}
+	for _, label := range []string{"mean", "std", "min", "max"} {
+		if !seen[label] {
+			t.Fatalf("missing %q aggregate rows:\n%s", label, buf.String())
+		}
+	}
+	if err := WriteSweepCSV(&buf, &sweep.Summary{}); err == nil {
+		t.Fatal("empty summary must fail")
+	}
+}
+
+func TestWriteSweepJSONRoundTrip(t *testing.T) {
+	s := sweepSummary(t)
+	var buf bytes.Buffer
+	if err := WriteSweepJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var back sweep.Summary
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Target != s.Target || len(back.Cells) != len(s.Cells) ||
+		len(back.Aggregates) != len(s.Aggregates) || len(back.Rankings) != len(s.Rankings) {
+		t.Fatalf("round trip lost structure: %+v", back)
+	}
+	if back.Cells[0].Score != s.Cells[0].Score || back.Cells[0].Report == nil {
+		t.Fatal("round trip lost cell reports")
+	}
+}

@@ -1,0 +1,318 @@
+// Package sweep is the parameter-sweep subsystem: it expands a
+// (model × size × seed) grid — optionally with per-model parameter
+// overrides — into pipeline cells, fans the cells out across a worker
+// pool, and folds the per-cell comparison reports into cross-seed
+// aggregates and per-size-tier rankings. This is the many-maps workload
+// of the generator-validation literature: no conclusion about a model
+// family rests on a single seed, so every evaluation sweeps the axes
+// first and reports moments across the replicas.
+//
+// Determinism contract: every cell draws exclusively from streams split
+// off its own seed (core.RunCell), cells merge by grid index, and the
+// aggregation pass is sequential — so a Summary is a pure function of
+// the Grid, bit-identical at every pool width, and any single cell can
+// be reproduced in isolation from its row in the summary.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"netmodel/internal/compare"
+	"netmodel/internal/core"
+	"netmodel/internal/metrics"
+	"netmodel/internal/refdata"
+	"netmodel/internal/stats"
+)
+
+// Grid specifies a sweep: the cross product of Models × Sizes × Seeds,
+// validated against one reference target. It is the JSON wire format of
+// `toposweep -grid`.
+type Grid struct {
+	// Models are registry names; every model runs at every size and seed.
+	Models []string `json:"models"`
+	// Sizes are target node counts — the size tiers of the summary.
+	Sizes []int `json:"sizes"`
+	// Seeds are the replicate seeds aggregated over per (model, size).
+	Seeds []uint64 `json:"seeds"`
+	// Params optionally overrides a family's default parameterization,
+	// keyed by model name (which must appear in Models).
+	Params map[string]core.Params `json:"params,omitempty"`
+	// Target names the reference map: "as" (default) or "asplus".
+	Target string `json:"target,omitempty"`
+	// PathSources caps BFS roots for path statistics (0 = exact).
+	PathSources int `json:"path_sources,omitempty"`
+	// CellWorkers sizes each cell's internal generation/engine pool.
+	// Leave at the zero default (sequential generation) when the sweep
+	// itself runs cells in parallel; the sweep pool width never changes
+	// results, but CellWorkers >= 2 switches generation to the sharded
+	// kernels, which produce different (equally valid) maps.
+	CellWorkers int `json:"cell_workers,omitempty"`
+	// MeasureEvery > 0 records a growth trajectory per cell (growth
+	// families) every that many committed nodes.
+	MeasureEvery int `json:"measure_every,omitempty"`
+}
+
+// LoadGrid decodes a JSON grid specification, rejecting unknown fields
+// so a typo fails loudly instead of silently sweeping defaults.
+func LoadGrid(r io.Reader) (Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("sweep: parsing grid: %w", err)
+	}
+	return g, nil
+}
+
+// target resolves the named reference map.
+func (g Grid) target() (refdata.Target, error) {
+	switch g.Target {
+	case "", "as":
+		return refdata.ASMap2001, nil
+	case "asplus":
+		return refdata.ASPlusMap2001, nil
+	}
+	return refdata.Target{}, fmt.Errorf("sweep: unknown target %q (have as, asplus)", g.Target)
+}
+
+// Validate checks the grid axes: non-empty, no duplicates (a duplicate
+// axis value would run identical cells and silently bias the moments),
+// every model registered, every override keyed by a swept model.
+func (g Grid) Validate() error {
+	if len(g.Models) == 0 || len(g.Sizes) == 0 || len(g.Seeds) == 0 {
+		return fmt.Errorf("sweep: grid needs models, sizes and seeds (got %d×%d×%d)",
+			len(g.Models), len(g.Sizes), len(g.Seeds))
+	}
+	models := make(map[string]bool, len(g.Models))
+	for _, m := range g.Models {
+		if _, err := core.Lookup(m); err != nil {
+			return fmt.Errorf("sweep: %w", err)
+		}
+		if models[m] {
+			return fmt.Errorf("sweep: duplicate model %q", m)
+		}
+		models[m] = true
+	}
+	sizes := make(map[int]bool, len(g.Sizes))
+	for _, n := range g.Sizes {
+		if n <= 0 {
+			return fmt.Errorf("sweep: sizes must be positive, got %d", n)
+		}
+		if sizes[n] {
+			return fmt.Errorf("sweep: duplicate size %d", n)
+		}
+		sizes[n] = true
+	}
+	seeds := make(map[uint64]bool, len(g.Seeds))
+	for _, s := range g.Seeds {
+		if seeds[s] {
+			return fmt.Errorf("sweep: duplicate seed %d", s)
+		}
+		seeds[s] = true
+	}
+	for m := range g.Params {
+		if !models[m] {
+			return fmt.Errorf("sweep: params for %q, which is not a swept model", m)
+		}
+	}
+	if _, err := g.target(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Cells expands the grid into pipeline cells in the canonical order:
+// size-major, then model, then seed — so each size tier's cells are
+// contiguous and the cell at (si, mi, ki) has index
+// (si*len(Models)+mi)*len(Seeds)+ki.
+func (g Grid) Cells() ([]core.Cell, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	tgt, err := g.target()
+	if err != nil {
+		return nil, err
+	}
+	// The zero default means fully sequential cells — the sweep pool is
+	// the only parallelism. (Cell.Workers <= 0 would otherwise hand the
+	// metrics engine GOMAXPROCS workers per cell and oversubscribe.)
+	cellWorkers := g.CellWorkers
+	if cellWorkers <= 0 {
+		cellWorkers = 1
+	}
+	cells := make([]core.Cell, 0, len(g.Models)*len(g.Sizes)*len(g.Seeds))
+	for _, n := range g.Sizes {
+		for _, model := range g.Models {
+			for _, seed := range g.Seeds {
+				cells = append(cells, core.Cell{
+					Model:        model,
+					N:            n,
+					Seed:         seed,
+					Params:       g.Params[model],
+					Target:       tgt,
+					PathSources:  g.PathSources,
+					Workers:      cellWorkers,
+					MeasureEvery: g.MeasureEvery,
+				})
+			}
+		}
+	}
+	return cells, nil
+}
+
+// CellResult is one grid cell's outcome: the cell coordinates plus the
+// full comparison report and metric vector, and the growth trajectory
+// when the grid swept with MeasureEvery.
+type CellResult struct {
+	Model      string                 `json:"model"`
+	N          int                    `json:"n"`
+	Seed       uint64                 `json:"seed"`
+	Score      float64                `json:"score"`
+	Report     *compare.Report        `json:"report"`
+	Snapshot   metrics.Snapshot       `json:"snapshot"`
+	Trajectory []core.TrajectoryPoint `json:"trajectory,omitempty"`
+}
+
+// MetricAggregate is the cross-seed distribution of one metric.
+type MetricAggregate struct {
+	Name string  `json:"name"`
+	Mean float64 `json:"mean"`
+	Std  float64 `json:"std"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// Aggregate is the cross-seed summary of one (model, size) cell group:
+// moments of the aggregate score and of every measured metric.
+type Aggregate struct {
+	Model   string            `json:"model"`
+	N       int               `json:"n"`
+	Seeds   int               `json:"seeds"`
+	Score   MetricAggregate   `json:"score"`
+	Metrics []MetricAggregate `json:"metrics"`
+}
+
+// Ranking orders the swept models within one size tier by ascending
+// cross-seed mean score (best statistical match first).
+type Ranking struct {
+	N      int      `json:"n"`
+	Models []string `json:"models"`
+}
+
+// Summary is the folded outcome of a sweep: per-cell reports in grid
+// order, cross-seed aggregates per (size, model), and a ranking per
+// size tier.
+type Summary struct {
+	Target     string       `json:"target"`
+	Grid       Grid         `json:"grid"`
+	Cells      []CellResult `json:"cells"`
+	Aggregates []Aggregate  `json:"aggregates"`
+	Rankings   []Ranking    `json:"rankings"`
+}
+
+// Run expands the grid, executes every cell across a pool of the given
+// width (<= 0 means GOMAXPROCS) and folds the results. The returned
+// Summary is bit-identical at every pool width.
+func Run(g Grid, workers int) (*Summary, error) {
+	cells, err := g.Cells()
+	if err != nil {
+		return nil, err
+	}
+	results, err := core.RunCells(cells, workers)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return fold(g, cells, results)
+}
+
+// fold reduces the per-cell results into the summary. It runs on one
+// goroutine in grid order, so the reduction adds no scheduling freedom.
+func fold(g Grid, cells []core.Cell, results []*core.PipelineResult) (*Summary, error) {
+	tgt, err := g.target()
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{Target: tgt.Name, Grid: g, Cells: make([]CellResult, len(cells))}
+	for i, res := range results {
+		s.Cells[i] = CellResult{
+			Model:      cells[i].Model,
+			N:          cells[i].N,
+			Seed:       cells[i].Seed,
+			Score:      res.Report.Score,
+			Report:     res.Report,
+			Snapshot:   res.Snapshot,
+			Trajectory: res.Trajectory,
+		}
+	}
+	nm, ns := len(g.Models), len(g.Seeds)
+	for si, n := range g.Sizes {
+		scores := make(map[string]float64, nm)
+		for mi, model := range g.Models {
+			group := s.Cells[(si*nm+mi)*ns : (si*nm+mi)*ns+ns]
+			agg := aggregate(model, n, group)
+			s.Aggregates = append(s.Aggregates, agg)
+			scores[model] = agg.Score.Mean
+		}
+		s.Rankings = append(s.Rankings, Ranking{N: n, Models: compare.RankScores(scores)})
+	}
+	return s, nil
+}
+
+// aggregate folds one (model, size) group's per-seed reports through
+// streaming moments: the aggregate score plus every report row's
+// measured value. Row order is fixed by compare.Score, so the metric
+// list is identical across cells and the fold is positional.
+func aggregate(model string, n int, group []CellResult) Aggregate {
+	agg := Aggregate{Model: model, N: n, Seeds: len(group)}
+	var score stats.Moments
+	rows := make([]stats.Moments, len(group[0].Report.Rows))
+	for _, c := range group {
+		score.Add(c.Score)
+		for ri, row := range c.Report.Rows {
+			rows[ri].Add(row.Measured)
+		}
+	}
+	agg.Score = metricAggregate("score", &score)
+	for ri, row := range group[0].Report.Rows {
+		agg.Metrics = append(agg.Metrics, metricAggregate(row.Name, &rows[ri]))
+	}
+	return agg
+}
+
+func metricAggregate(name string, m *stats.Moments) MetricAggregate {
+	return MetricAggregate{Name: name, Mean: m.Mean(), Std: m.Std(), Min: m.Min(), Max: m.Max()}
+}
+
+// String renders the summary as the text the toposweep tool prints:
+// the per-cell score table followed by, per size tier, the models
+// ranked by cross-seed mean score with std and range.
+func (s *Summary) String() string {
+	var b strings.Builder
+	g := s.Grid
+	fmt.Fprintf(&b, "sweep against %s: %d models × %d sizes × %d seeds = %d cells\n",
+		s.Target, len(g.Models), len(g.Sizes), len(g.Seeds), len(s.Cells))
+	fmt.Fprintf(&b, "\n%-12s %8s %8s %8s\n", "model", "n", "seed", "score")
+	for _, c := range s.Cells {
+		fmt.Fprintf(&b, "%-12s %8d %8d %7.1f%%\n", c.Model, c.N, c.Seed, 100*c.Score)
+	}
+	byModel := make(map[int]map[string]Aggregate, len(g.Sizes))
+	for _, a := range s.Aggregates {
+		if byModel[a.N] == nil {
+			byModel[a.N] = make(map[string]Aggregate, len(g.Models))
+		}
+		byModel[a.N][a.Model] = a
+	}
+	for _, r := range s.Rankings {
+		fmt.Fprintf(&b, "\ncross-seed score at n=%d (mean ± std [min, max], %d seeds)\n",
+			r.N, len(g.Seeds))
+		for rank, model := range r.Models {
+			a := byModel[r.N][model]
+			fmt.Fprintf(&b, "%2d. %-12s %6.1f%% ± %4.1f%%  [%5.1f%%, %5.1f%%]\n",
+				rank+1, model, 100*a.Score.Mean, 100*a.Score.Std, 100*a.Score.Min, 100*a.Score.Max)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,209 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"netmodel/internal/core"
+)
+
+// testGrid is the small grid the determinism and aggregation tests
+// share: 2 models × 2 sizes × 3 seeds at trivial size.
+func testGrid() Grid {
+	return Grid{
+		Models:      []string{"ba", "glp"},
+		Sizes:       []int{200, 300},
+		Seeds:       []uint64{1, 2, 3},
+		PathSources: 30,
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	for name, g := range map[string]Grid{
+		"empty":          {},
+		"no sizes":       {Models: []string{"ba"}, Seeds: []uint64{1}},
+		"bad model":      {Models: []string{"nope"}, Sizes: []int{100}, Seeds: []uint64{1}},
+		"dup model":      {Models: []string{"ba", "ba"}, Sizes: []int{100}, Seeds: []uint64{1}},
+		"bad size":       {Models: []string{"ba"}, Sizes: []int{0}, Seeds: []uint64{1}},
+		"dup size":       {Models: []string{"ba"}, Sizes: []int{100, 100}, Seeds: []uint64{1}},
+		"dup seed":       {Models: []string{"ba"}, Sizes: []int{100}, Seeds: []uint64{1, 1}},
+		"stray params":   {Models: []string{"ba"}, Sizes: []int{100}, Seeds: []uint64{1}, Params: map[string]core.Params{"glp": {"m": 1}}},
+		"unknown target": {Models: []string{"ba"}, Sizes: []int{100}, Seeds: []uint64{1}, Target: "x"},
+	} {
+		if err := g.Validate(); err == nil {
+			t.Fatalf("%s: want validation error", name)
+		}
+	}
+	if err := testGrid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGridCellsOrder(t *testing.T) {
+	g := testGrid()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*2*3 {
+		t.Fatalf("expanded %d cells, want 12", len(cells))
+	}
+	// Size-major, then model, then seed.
+	idx := 0
+	for _, n := range g.Sizes {
+		for _, model := range g.Models {
+			for _, seed := range g.Seeds {
+				c := cells[idx]
+				if c.Model != model || c.N != n || c.Seed != seed {
+					t.Fatalf("cell %d = (%s, %d, %d), want (%s, %d, %d)",
+						idx, c.Model, c.N, c.Seed, model, n, seed)
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestLoadGrid(t *testing.T) {
+	spec := `{"models": ["ba", "glp"], "sizes": [500], "seeds": [1, 2],
+		"params": {"glp": {"beta": 0.7}}, "path_sources": 50}`
+	g, err := LoadGrid(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Models) != 2 || g.Params["glp"]["beta"] != 0.7 || g.PathSources != 50 {
+		t.Fatalf("grid parsed wrong: %+v", g)
+	}
+	if _, err := LoadGrid(strings.NewReader(`{"modles": ["ba"]}`)); err == nil {
+		t.Fatal("unknown field must fail")
+	}
+}
+
+// TestSummaryByteIdenticalAcrossWorkers is the sweep determinism
+// acceptance test: the same grid must produce byte-identical output —
+// JSON encoding and rendered table alike — at every pool width.
+func TestSummaryByteIdenticalAcrossWorkers(t *testing.T) {
+	g := testGrid()
+	var baseJSON []byte
+	var baseText string
+	for _, workers := range []int{1, 2, 4, 8} {
+		s, err := Run(g, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := json.NewEncoder(&buf).Encode(s); err != nil {
+			t.Fatal(err)
+		}
+		if baseJSON == nil {
+			baseJSON, baseText = buf.Bytes(), s.String()
+			continue
+		}
+		if !bytes.Equal(buf.Bytes(), baseJSON) {
+			t.Fatalf("workers=%d: summary JSON diverged from workers=1", workers)
+		}
+		if s.String() != baseText {
+			t.Fatalf("workers=%d: summary table diverged from workers=1", workers)
+		}
+	}
+}
+
+func TestSummaryAggregation(t *testing.T) {
+	g := testGrid()
+	s, err := Run(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Cells) != 12 || len(s.Aggregates) != 4 || len(s.Rankings) != 2 {
+		t.Fatalf("summary shape: %d cells, %d aggregates, %d rankings",
+			len(s.Cells), len(s.Aggregates), len(s.Rankings))
+	}
+	// The aggregate score moments must match a direct fold of the cells.
+	for _, a := range s.Aggregates {
+		var sum, min, max float64
+		min, max = math.Inf(1), math.Inf(-1)
+		count := 0
+		for _, c := range s.Cells {
+			if c.Model != a.Model || c.N != a.N {
+				continue
+			}
+			sum += c.Score
+			min = math.Min(min, c.Score)
+			max = math.Max(max, c.Score)
+			count++
+		}
+		if count != a.Seeds || count != len(g.Seeds) {
+			t.Fatalf("%s n=%d: %d seeds folded, want %d", a.Model, a.N, a.Seeds, len(g.Seeds))
+		}
+		if math.Abs(a.Score.Mean-sum/float64(count)) > 1e-12 ||
+			a.Score.Min != min || a.Score.Max != max {
+			t.Fatalf("%s n=%d: aggregate moments wrong: %+v", a.Model, a.N, a.Score)
+		}
+		if len(a.Metrics) != len(s.Cells[0].Report.Rows) {
+			t.Fatalf("%s n=%d: %d metric aggregates, want %d",
+				a.Model, a.N, len(a.Metrics), len(s.Cells[0].Report.Rows))
+		}
+	}
+	// Each ranking orders its tier by ascending mean score.
+	for _, r := range s.Rankings {
+		means := make(map[string]float64)
+		for _, a := range s.Aggregates {
+			if a.N == r.N {
+				means[a.Model] = a.Score.Mean
+			}
+		}
+		if len(r.Models) != len(g.Models) {
+			t.Fatalf("n=%d: ranking covers %d models", r.N, len(r.Models))
+		}
+		for i := 1; i < len(r.Models); i++ {
+			if means[r.Models[i-1]] > means[r.Models[i]] {
+				t.Fatalf("n=%d: ranking not sorted: %v with means %v", r.N, r.Models, means)
+			}
+		}
+	}
+}
+
+// TestCellReproducibleInIsolation: any summary row re-runs bit-for-bit
+// as a standalone cell — the property that makes sweep failures
+// debuggable without re-running the grid.
+func TestCellReproducibleInIsolation(t *testing.T) {
+	g := testGrid()
+	s, err := Run(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pick := 7 // arbitrary interior cell
+	res, err := core.RunCell(cells[pick])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Snapshot != s.Cells[pick].Snapshot || res.Report.Score != s.Cells[pick].Score {
+		t.Fatalf("cell %d not reproducible in isolation:\n%+v\n%+v",
+			pick, res.Snapshot, s.Cells[pick].Snapshot)
+	}
+}
+
+// TestParamsChangeCells: per-model overrides reach the generators.
+func TestParamsChangeCells(t *testing.T) {
+	g := Grid{Models: []string{"ba"}, Sizes: []int{300}, Seeds: []uint64{5}, PathSources: 20}
+	plain, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Params = map[string]core.Params{"ba": {"m": 3}}
+	tuned, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tuned.Cells[0].Snapshot.M <= plain.Cells[0].Snapshot.M {
+		t.Fatalf("override m=3 did not densify: %d vs %d edges",
+			tuned.Cells[0].Snapshot.M, plain.Cells[0].Snapshot.M)
+	}
+}

@@ -1,0 +1,129 @@
+package netmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"netmodel/internal/graphio"
+	"netmodel/internal/sweep"
+)
+
+// The sweep benchmarks measure the cell-fan-out speedup: the same
+// (ba, glp, pfp) × seeds grid executed with cells in sequence
+// (workers=1) versus cells spread across the pool — the many-maps
+// workload toposweep serves. Cells are embarrassingly parallel and
+// seed-split streams make the fold order-free, so the speedup should
+// track the core count until memory bandwidth bites:
+//
+//	make bench-sweep            # writes BENCH_sweep.json
+//	go test -bench SweepCells . # standard benchmark rows
+var (
+	sweepBenchOut   = flag.String("sweep-bench-out", "", "write sequential-vs-parallel sweep timings to this JSON file")
+	sweepBenchN     = flag.Int("sweep-bench-n", 2000, "sweep benchmark cell size")
+	sweepBenchSeeds = flag.Int("sweep-bench-seeds", 4, "sweep benchmark seeds per model")
+)
+
+// sweepBenchGrid is the benchmark workload: the acceptance-criterion
+// model trio at one size, PathSources capped so the cell cost is
+// dominated by generation + whole-graph metrics.
+func sweepBenchGrid(n, seeds int) sweep.Grid {
+	sd := make([]uint64, seeds)
+	for i := range sd {
+		sd[i] = uint64(i + 1)
+	}
+	return sweep.Grid{
+		Models:      []string{"ba", "glp", "pfp"},
+		Sizes:       []int{n},
+		Seeds:       sd,
+		PathSources: 100,
+	}
+}
+
+func runSweepBench(tb testing.TB, g sweep.Grid, workers int) *sweep.Summary {
+	tb.Helper()
+	s, err := sweep.Run(g, workers)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if len(s.Cells) != len(g.Models)*len(g.Sizes)*len(g.Seeds) {
+		tb.Fatalf("sweep ran %d cells", len(s.Cells))
+	}
+	return s
+}
+
+func benchSweepCells(b *testing.B, workers int) {
+	g := sweepBenchGrid(1000, 2)
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runSweepBench(b, g, workers)
+	}
+}
+
+func BenchmarkSweepCellsSequential(b *testing.B) { benchSweepCells(b, 1) }
+func BenchmarkSweepCellsParallel(b *testing.B)   { benchSweepCells(b, genBenchWorkers) }
+
+// TestSweepBenchJSON times the grid at both pool widths, checks the
+// two summaries are byte-identical (the sweep determinism contract at
+// benchmark scale), and records the rows in the JSON file named by
+// -sweep-bench-out (BENCH_sweep.json via `make bench-sweep`).
+func TestSweepBenchJSON(t *testing.T) {
+	if *sweepBenchOut == "" {
+		t.Skip("enable with -sweep-bench-out <file>")
+	}
+	g := sweepBenchGrid(*sweepBenchN, *sweepBenchSeeds)
+	workers := genBenchWorkers
+
+	encode := func(s *sweep.Summary) []byte {
+		var buf bytes.Buffer
+		if err := graphio.WriteSweepJSON(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	start := time.Now()
+	seq := runSweepBench(t, g, 1)
+	seqTime := time.Since(start)
+	start = time.Now()
+	par := runSweepBench(t, g, workers)
+	parTime := time.Since(start)
+	if !bytes.Equal(encode(seq), encode(par)) {
+		t.Fatalf("workers=%d summary diverged from sequential", workers)
+	}
+	speedup := float64(seqTime) / float64(parTime)
+
+	type row struct {
+		Name    string  `json:"name"`
+		Models  string  `json:"models"`
+		N       int     `json:"n"`
+		Seeds   int     `json:"seeds"`
+		Cells   int     `json:"cells"`
+		Workers int     `json:"workers"`
+		Cores   int     `json:"cores"`
+		NsPerOp int64   `json:"ns_per_op"`
+		Speedup float64 `json:"speedup,omitempty"`
+	}
+	models := fmt.Sprintf("%v", g.Models)
+	rows := []row{
+		{Name: "sweep-sequential-cells", Models: models, N: *sweepBenchN, Seeds: *sweepBenchSeeds,
+			Cells: len(seq.Cells), Workers: 1, Cores: runtime.GOMAXPROCS(0), NsPerOp: seqTime.Nanoseconds()},
+		{Name: "sweep-parallel-cells", Models: models, N: *sweepBenchN, Seeds: *sweepBenchSeeds,
+			Cells: len(par.Cells), Workers: workers, Cores: runtime.GOMAXPROCS(0),
+			NsPerOp: parTime.Nanoseconds(), Speedup: speedup},
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*sweepBenchOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=%d seeds=%d cells=%d: sequential %v, %d workers %v, speedup %.2fx",
+		*sweepBenchN, *sweepBenchSeeds, len(seq.Cells), seqTime, workers, parTime, speedup)
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-gen bench-trajectory bench-sweep lint fmt ci
+.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-traffic lint fmt ci
 
 all: build
 
@@ -38,6 +38,13 @@ bench-trajectory:
 # smaller grid; for real speedups raise -sweep-bench-n.
 bench-sweep:
 	$(GO) test -run TestSweepBenchJSON -sweep-bench-out BENCH_sweep.json .
+
+# Workload acceptance: the flow-level simulator over a frozen BA map
+# at 10k (smoke) and 100k (acceptance) nodes, sequential vs sharded
+# tree builds, byte-identical outputs checked and timings recorded in
+# BENCH_traffic.json. The CI smoke runs a 2k variant under -race.
+bench-traffic:
+	$(GO) test -run TestTrafficBenchJSON -traffic-bench-out BENCH_traffic.json .
 
 lint:
 	$(GO) vet ./...

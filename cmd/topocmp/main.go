@@ -20,8 +20,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 
+	"netmodel/internal/cliutil"
 	"netmodel/internal/compare"
 	"netmodel/internal/core"
 	"netmodel/internal/engine"
@@ -62,15 +62,7 @@ func run(args []string, stdout io.Writer) error {
 	// width never changes measured values). An explicit -workers sizes
 	// both pools, with 0 resolved to all cores so generation shards too,
 	// mirroring topogen.
-	pool := 0
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "workers" {
-			pool = *workers
-			if pool <= 0 {
-				pool = runtime.GOMAXPROCS(0)
-			}
-		}
-	})
+	pool := cliutil.VisitedWorkers(fs, "workers", *workers)
 	switch {
 	case *file != "":
 		f, err := os.Open(*file)

@@ -19,8 +19,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 
+	"netmodel/internal/cliutil"
 	"netmodel/internal/compare"
 	"netmodel/internal/engine"
 	"netmodel/internal/fit"
@@ -68,15 +68,7 @@ func run(args []string, stdout io.Writer) error {
 	// Same -workers resolution as topocmp: unset keeps sequential
 	// reference generation with the engine on every core; explicit
 	// values size both pools (0 = all cores for both).
-	pool := 0
-	fs.Visit(func(f *flag.Flag) {
-		if f.Name == "workers" {
-			pool = *workers
-			if pool <= 0 {
-				pool = runtime.GOMAXPROCS(0)
-			}
-		}
-	})
+	pool := cliutil.VisitedWorkers(fs, "workers", *workers)
 	k, ok := knobs[*name]
 	if !ok {
 		names := make([]string, 0, len(knobs))

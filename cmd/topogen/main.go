@@ -27,8 +27,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 
+	"netmodel/internal/cliutil"
 	"netmodel/internal/core"
 	"netmodel/internal/gen"
 	"netmodel/internal/graphio"
@@ -71,10 +71,7 @@ func run(args []string, stdout io.Writer) error {
 	// versions of the sharded kernel); -workers>=2 runs the sharded
 	// path, whose output is deterministic in (seed) alone; -workers=0
 	// shards across GOMAXPROCS.
-	pool := *workers
-	if pool <= 0 {
-		pool = runtime.GOMAXPROCS(0)
-	}
+	pool := cliutil.ResolveWorkers(*workers)
 	var top *gen.Topology
 	if *measureEvery > 0 {
 		obs := core.NewTrajectoryObserver(pool)
@@ -83,16 +80,9 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		tw := io.Writer(os.Stderr)
-		if *trajOut != "" {
-			f, err := os.Create(*trajOut)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			tw = f
-		}
-		if err := core.WriteTrajectory(tw, obs.Points()); err != nil {
+		if err := cliutil.WriteOutput(*trajOut, os.Stderr, func(tw io.Writer) error {
+			return core.WriteTrajectory(tw, obs.Points())
+		}); err != nil {
 			return err
 		}
 	} else {
@@ -101,23 +91,16 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			return err
+	return cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
+		switch *format {
+		case "edgelist":
+			return graphio.WriteEdgeList(w, top.G)
+		case "json":
+			return graphio.WriteJSON(w, top.G)
+		case "dot":
+			return graphio.WriteDOT(w, top.G, *model)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
 		}
-		defer f.Close()
-		w = f
-	}
-	switch *format {
-	case "edgelist":
-		return graphio.WriteEdgeList(w, top.G)
-	case "json":
-		return graphio.WriteJSON(w, top.G)
-	case "dot":
-		return graphio.WriteDOT(w, top.G, *model)
-	default:
-		return fmt.Errorf("unknown format %q", *format)
-	}
+	})
 }

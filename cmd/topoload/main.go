@@ -1,0 +1,117 @@
+// Command topoload runs flow-level traffic workloads over synthetic
+// topologies: a (load factor × tail index × seed) grid of workload
+// simulations on one model family, the toposweep-style front end of the
+// traffic workload subsystem. Each cell generates the topology, routes
+// flows arriving on gravity-weighted origin-destination pairs along
+// shortest paths with max-min fair bandwidth sharing, and reports flow
+// completion times, link-utilization CCDFs and overload fractions;
+// cross-seed moments are folded per (load, tail) combination.
+//
+// Usage:
+//
+//	topoload -model ba -n 2000 -load 0.3,0.6,1.2 -tail 1.3,2.5 -seeds 1,2,3
+//	topoload -model glp -n 5000 -arrivals onoff -sizes lognormal -format csv -o wl.csv
+//	topoload -model ba -n 2000 -load 1 -epochs 50 -workers 8 -format json
+//
+// -workers sizes the cell pool and never changes results: every cell
+// draws only from streams split off its own seed and the simulation
+// loop is sequential, so the same grid is byte-identical at every pool
+// width. -cell-workers hands each cell an internal pool instead
+// (sharded generation and parallel shortest-path tree builds) — the
+// knob for few-huge-cell runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"netmodel/internal/cliutil"
+	"netmodel/internal/graphio"
+	"netmodel/internal/sweep"
+	"netmodel/internal/traffic"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "topoload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("topoload", flag.ContinueOnError)
+	model := fs.String("model", "ba", "model family to load")
+	n := fs.Int("n", 2000, "target number of nodes")
+	seeds := fs.String("seeds", "1", "comma-separated replicate seeds")
+	loads := fs.String("load", "0.5", "comma-separated load factors (offered load / total capacity)")
+	tails := fs.String("tail", "", "comma-separated flow-size tail indexes (default: the distribution's)")
+	arrivals := fs.String("arrivals", "poisson", "arrival process: poisson, onoff")
+	sizes := fs.String("sizes", "pareto", "flow-size distribution: pareto, lognormal, exp")
+	meanSize := fs.Float64("mean-size", 0, "mean flow size in capacity*time units (default 1)")
+	meanOn := fs.Float64("mean-on", 0, "on-off mean on-duration (default 1)")
+	meanOff := fs.Float64("mean-off", 0, "on-off mean off-duration (default 4)")
+	epochs := fs.Int("epochs", 0, "simulated epochs (default 20)")
+	dt := fs.Float64("dt", 0, "epoch length (default 1)")
+	capacity := fs.Float64("capacity", 0, "capacity of a multiplicity-1 link (default 1)")
+	target := fs.String("target", "as", "reference target: as, asplus")
+	sources := fs.Int("path-sources", 50, "BFS sources for path stats per cell (0 = exact)")
+	workers := fs.Int("workers", 0, "cell pool width; 0 = GOMAXPROCS (never changes results)")
+	cellWorkers := fs.Int("cell-workers", 1, "per-cell generation/simulation pool; >= 2 uses the sharded kernels")
+	format := fs.String("format", "table", "output format: table, csv, json")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	loadFactors, err := cliutil.ParseFloats(*loads)
+	if err != nil {
+		return fmt.Errorf("-load: %w", err)
+	}
+	tailIndexes, err := cliutil.ParseFloats(*tails)
+	if err != nil {
+		return fmt.Errorf("-tail: %w", err)
+	}
+	seedList, err := cliutil.ParseSeeds(*seeds)
+	if err != nil {
+		return fmt.Errorf("-seeds: %w", err)
+	}
+	g := sweep.Grid{
+		Models:      []string{*model},
+		Sizes:       []int{*n},
+		Seeds:       seedList,
+		Target:      *target,
+		PathSources: *sources,
+		CellWorkers: *cellWorkers,
+		Workload: &sweep.WorkloadAxes{
+			Spec: traffic.WorkloadSpec{
+				Arrivals:     *arrivals,
+				Sizes:        *sizes,
+				MeanSize:     *meanSize,
+				MeanOn:       *meanOn,
+				MeanOff:      *meanOff,
+				Epochs:       *epochs,
+				EpochLen:     *dt,
+				CapacityUnit: *capacity,
+			},
+			LoadFactors: loadFactors,
+			TailIndexes: tailIndexes,
+		},
+	}
+	s, err := sweep.Run(g, *workers)
+	if err != nil {
+		return err
+	}
+	return cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
+		switch *format {
+		case "table":
+			return graphio.WriteWorkloadTable(w, s)
+		case "csv":
+			return graphio.WriteWorkloadCSV(w, s)
+		case "json":
+			return graphio.WriteWorkloadJSON(w, s)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
+		}
+	})
+}

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 
+	"netmodel/internal/cliutil"
 	"netmodel/internal/compare"
 	"netmodel/internal/core"
 	"netmodel/internal/engine"
@@ -54,9 +55,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	// The shared policy: <= 0 means every core, for both the trajectory
+	// observer and the metrics engine.
+	pool := cliutil.ResolveWorkers(*workers)
 	var eng *engine.Engine
 	if *measureEvery > 0 {
-		obs := core.NewTrajectoryObserver(*workers)
+		obs := core.NewTrajectoryObserver(pool)
 		if err := replayTrajectory(g, *measureEvery, obs); err != nil {
 			return err
 		}
@@ -73,7 +77,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		eng = engine.New(frozen, engine.WithWorkers(*workers))
+		eng = engine.New(frozen, engine.WithWorkers(pool))
 	}
 	snap, err := eng.Measure(rng.New(*seed), *sources)
 	if err != nil {

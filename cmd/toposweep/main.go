@@ -36,9 +36,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
+	"netmodel/internal/cliutil"
 	"netmodel/internal/graphio"
 	"netmodel/internal/sweep"
 )
@@ -91,11 +91,11 @@ func run(args []string, stdout io.Writer) error {
 		}
 	} else {
 		var err error
-		g.Models = splitList(*models)
-		if g.Sizes, err = parseInts(*sizes); err != nil {
+		g.Models = cliutil.SplitList(*models)
+		if g.Sizes, err = cliutil.ParseInts(*sizes); err != nil {
 			return fmt.Errorf("-sizes: %w", err)
 		}
-		if g.Seeds, err = parseSeeds(*seeds); err != nil {
+		if g.Seeds, err = cliutil.ParseSeeds(*seeds); err != nil {
 			return fmt.Errorf("-seeds: %w", err)
 		}
 		g.Target = *target
@@ -107,59 +107,17 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	w := stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
+	return cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
+		switch *format {
+		case "table":
+			_, err := io.WriteString(w, s.String())
 			return err
+		case "csv":
+			return graphio.WriteSweepCSV(w, s)
+		case "json":
+			return graphio.WriteSweepJSON(w, s)
+		default:
+			return fmt.Errorf("unknown format %q", *format)
 		}
-		defer f.Close()
-		w = f
-	}
-	switch *format {
-	case "table":
-		_, err = io.WriteString(w, s.String())
-		return err
-	case "csv":
-		return graphio.WriteSweepCSV(w, s)
-	case "json":
-		return graphio.WriteSweepJSON(w, s)
-	default:
-		return fmt.Errorf("unknown format %q", *format)
-	}
-}
-
-// splitList splits a comma-separated flag into trimmed non-empty items.
-func splitList(s string) []string {
-	var out []string
-	for _, item := range strings.Split(s, ",") {
-		if item = strings.TrimSpace(item); item != "" {
-			out = append(out, item)
-		}
-	}
-	return out
-}
-
-func parseInts(s string) ([]int, error) {
-	var out []int
-	for _, item := range splitList(s) {
-		v, err := strconv.Atoi(item)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
-}
-
-func parseSeeds(s string) ([]uint64, error) {
-	var out []uint64
-	for _, item := range splitList(s) {
-		v, err := strconv.ParseUint(item, 10, 64)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, v)
-	}
-	return out, nil
+	})
 }

@@ -1,0 +1,121 @@
+// Package cliutil holds the flag-handling conventions shared by the
+// netmodel command-line tools: comma-separated axis lists, the two
+// -workers resolution policies, and -o output redirection. Extracting
+// them keeps the six CLIs (topogen, topostat, topocmp, topofit,
+// toposweep, topoload) answering the same flags the same way.
+package cliutil
+
+import (
+	"flag"
+	"io"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// SplitList splits a comma-separated flag value into trimmed non-empty
+// items.
+func SplitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// ParseInts parses a comma-separated list of integers.
+func ParseInts(s string) ([]int, error) {
+	var out []int
+	for _, item := range SplitList(s) {
+		v, err := strconv.Atoi(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseSeeds parses a comma-separated list of uint64 seeds.
+func ParseSeeds(s string) ([]uint64, error) {
+	var out []uint64
+	for _, item := range SplitList(s) {
+		v, err := strconv.ParseUint(item, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated list of floats.
+func ParseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, item := range SplitList(s) {
+		v, err := strconv.ParseFloat(item, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ResolveWorkers is the topogen policy: an explicit value stands, and
+// anything <= 0 means every core.
+func ResolveWorkers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// VisitedWorkers is the topocmp/topofit policy: -workers left unset
+// keeps the historical default of 0 (sequential reference generation
+// with an all-core metrics engine), while an explicit value sizes both
+// pools, with <= 0 resolved to every core so generation shards too.
+func VisitedWorkers(fs *flag.FlagSet, name string, value int) int {
+	pool := 0
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			pool = ResolveWorkers(value)
+		}
+	})
+	return pool
+}
+
+// Output returns the writer the tool should emit to: the file named by
+// path when non-empty (created fresh), stdout otherwise. The returned
+// close function is a no-op in the stdout case; call it before relying
+// on the file's contents. Most tools should use WriteOutput, which
+// never loses the close error.
+func Output(path string, stdout io.Writer) (io.Writer, func() error, error) {
+	if path == "" {
+		return stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, f.Close, nil
+}
+
+// WriteOutput resolves the tool's output (Output), runs emit against
+// it, and closes it, reporting the first failure — so a failed flush or
+// close (full disk, remote filesystem) surfaces as a command error
+// instead of a silently truncated file.
+func WriteOutput(path string, stdout io.Writer, emit func(io.Writer) error) error {
+	w, closeOut, err := Output(path, stdout)
+	if err != nil {
+		return err
+	}
+	if err := emit(w); err != nil {
+		closeOut()
+		return err
+	}
+	return closeOut()
+}

@@ -1,0 +1,148 @@
+package cliutil
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+func TestSplitList(t *testing.T) {
+	if got := SplitList(" a, b ,,c ,"); !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("SplitList = %v", got)
+	}
+	if got := SplitList(""); got != nil {
+		t.Fatalf("SplitList(\"\") = %v, want nil", got)
+	}
+}
+
+func TestParseLists(t *testing.T) {
+	ints, err := ParseInts("1, 2,30")
+	if err != nil || !reflect.DeepEqual(ints, []int{1, 2, 30}) {
+		t.Fatalf("ParseInts = %v, %v", ints, err)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Fatal("ParseInts should reject junk")
+	}
+	seeds, err := ParseSeeds("1,18446744073709551615")
+	if err != nil || seeds[1] != 18446744073709551615 {
+		t.Fatalf("ParseSeeds = %v, %v", seeds, err)
+	}
+	if _, err := ParseSeeds("-1"); err == nil {
+		t.Fatal("ParseSeeds should reject negatives")
+	}
+	floats, err := ParseFloats("0.5, 1.25")
+	if err != nil || !reflect.DeepEqual(floats, []float64{0.5, 1.25}) {
+		t.Fatalf("ParseFloats = %v, %v", floats, err)
+	}
+	if _, err := ParseFloats("0.5,nope"); err == nil {
+		t.Fatal("ParseFloats should reject junk")
+	}
+}
+
+func TestResolveWorkers(t *testing.T) {
+	if got := ResolveWorkers(3); got != 3 {
+		t.Fatalf("ResolveWorkers(3) = %d", got)
+	}
+	if got := ResolveWorkers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ResolveWorkers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := ResolveWorkers(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ResolveWorkers(-5) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestVisitedWorkers(t *testing.T) {
+	newSet := func(args ...string) (*flag.FlagSet, *int) {
+		fs := flag.NewFlagSet("t", flag.ContinueOnError)
+		w := fs.Int("workers", 1, "")
+		if err := fs.Parse(args); err != nil {
+			t.Fatal(err)
+		}
+		return fs, w
+	}
+	fs, w := newSet()
+	if got := VisitedWorkers(fs, "workers", *w); got != 0 {
+		t.Fatalf("unset -workers resolved to %d, want 0", got)
+	}
+	fs, w = newSet("-workers", "4")
+	if got := VisitedWorkers(fs, "workers", *w); got != 4 {
+		t.Fatalf("-workers 4 resolved to %d", got)
+	}
+	fs, w = newSet("-workers", "0")
+	if got := VisitedWorkers(fs, "workers", *w); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("-workers 0 resolved to %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestOutput(t *testing.T) {
+	var buf bytes.Buffer
+	w, closeFn, err := Output("", &buf)
+	if err != nil || w != &buf {
+		t.Fatalf("Output(\"\") = %v, %v", w, err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "out.txt")
+	w, closeFn, err = Output(path, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := closeFn(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("file contents %q, %v", data, err)
+	}
+	if buf.Len() != 0 {
+		t.Fatal("file output leaked to stdout")
+	}
+	if _, _, err := Output(filepath.Join(path, "nested", "x"), &buf); err == nil {
+		t.Fatal("uncreatable path should error")
+	}
+}
+
+func TestWriteOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	var buf bytes.Buffer
+	err := WriteOutput(path, &buf, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "payload" {
+		t.Fatalf("file contents %q, %v", data, err)
+	}
+	// Emit errors surface and win over close errors.
+	sentinel := errors.New("emit failed")
+	if err := WriteOutput(filepath.Join(t.TempDir(), "e.txt"), &buf, func(io.Writer) error {
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("emit error lost: %v", err)
+	}
+	if err := WriteOutput(filepath.Join(path, "nested", "x"), &buf, func(io.Writer) error {
+		t.Fatal("emit must not run when the output cannot be created")
+		return nil
+	}); err == nil {
+		t.Fatal("uncreatable path should error")
+	}
+	if err := WriteOutput("", &buf, func(w io.Writer) error {
+		_, err := w.Write([]byte("to stdout"))
+		return err
+	}); err != nil || buf.String() != "to stdout" {
+		t.Fatalf("stdout path: %q, %v", buf.String(), err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"netmodel/internal/par"
 	"netmodel/internal/refdata"
 	"netmodel/internal/rng"
+	"netmodel/internal/traffic"
 )
 
 // Params are numeric parameter overrides applied on top of a model
@@ -108,6 +109,13 @@ type Cell struct {
 	// committed nodes (growth families; everything else records a
 	// single completion epoch).
 	MeasureEvery int
+	// Workload, when non-nil, appends a flow-level traffic stage: after
+	// measurement the workload is simulated over the cell's frozen
+	// snapshot with degree masses, drawing from the cell's own workload
+	// stream (PipelineResult.Workload). The simulation reuses the
+	// engine's memoized routing state, so it shares shortest-path trees
+	// with anything else that routed over the snapshot.
+	Workload *traffic.WorkloadSpec
 }
 
 // The per-cell random streams are split off a root generator keyed by
@@ -120,12 +128,16 @@ const (
 	streamGenerate = iota
 	streamMeasure
 	streamCompare
+	streamWorkload
 )
 
-// streams derives the cell's stage streams from its seed.
-func (c Cell) streams() (gr, mr, cr *rng.Rand) {
+// streams derives the cell's stage streams from its seed. The workload
+// stream exists whether or not the cell runs a workload stage, so
+// adding or dropping the stage never perturbs the other stages' draws.
+func (c Cell) streams() (gr, mr, cr, wr *rng.Rand) {
 	root := rng.New(c.Seed)
-	return root.Split(streamGenerate), root.Split(streamMeasure), root.Split(streamCompare)
+	return root.Split(streamGenerate), root.Split(streamMeasure),
+		root.Split(streamCompare), root.Split(streamWorkload)
 }
 
 // RunCell executes one cell: build the generator, generate (through the
@@ -135,14 +147,53 @@ func (c Cell) streams() (gr, mr, cr *rng.Rand) {
 // is a pure function of the Cell value — any cell of any grid can be
 // re-run alone, bit for bit.
 func RunCell(c Cell) (*PipelineResult, error) {
-	if c.N <= 0 {
-		return nil, fmt.Errorf("core: cell needs a positive size, got %d", c.N)
-	}
-	g, err := BuildModel(c.Model, c.N, c.Params)
+	res, eng, err := c.runTopology()
 	if err != nil {
 		return nil, err
 	}
-	gr, mr, cr := c.streams()
+	if c.Workload != nil {
+		if res.Workload, err = c.runWorkload(eng, *c.Workload); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// RunCellWorkloads executes the cell's topology stages once and then
+// simulates every workload spec over the warm engine. Each spec draws
+// from a fresh workload stream split off the cell seed — exactly the
+// stream a dedicated cell would use — and the engine's memoized routing
+// state carries across the specs, so the reports are bit-identical to
+// running one cell per spec at a single topology's cost: this is how
+// the sweep driver runs (load factor × tail index) grids. c.Workload is
+// ignored; the specs replace it.
+func RunCellWorkloads(c Cell, specs []*traffic.WorkloadSpec) (*PipelineResult, []*traffic.SimReport, error) {
+	c.Workload = nil
+	res, eng, err := c.runTopology()
+	if err != nil {
+		return nil, nil, err
+	}
+	reports := make([]*traffic.SimReport, len(specs))
+	for i, sp := range specs {
+		if reports[i], err = c.runWorkload(eng, *sp); err != nil {
+			return nil, nil, err
+		}
+	}
+	return res, reports, nil
+}
+
+// runTopology is the generate → freeze → measure → compare backbone of
+// a cell, returning the warm engine alongside the result so workload
+// stages can reuse its snapshot and memoized routing state.
+func (c Cell) runTopology() (*PipelineResult, *engine.Engine, error) {
+	if c.N <= 0 {
+		return nil, nil, fmt.Errorf("core: cell needs a positive size, got %d", c.N)
+	}
+	g, err := BuildModel(c.Model, c.N, c.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	gr, mr, cr, _ := c.streams()
 	var (
 		top        *gen.Topology
 		eng        *engine.Engine
@@ -156,33 +207,53 @@ func RunCell(c Cell) (*PipelineResult, error) {
 		top, err = gen.GenerateTrajectoryWith(g, gr, c.Workers,
 			gen.Trajectory{Every: c.MeasureEvery, Observe: obs.Observe})
 		if err != nil {
-			return nil, fmt.Errorf("core: generating %s trajectory: %w", c.Model, err)
+			return nil, nil, fmt.Errorf("core: generating %s trajectory: %w", c.Model, err)
 		}
 		eng = obs.Engine()
 		trajectory = obs.Points()
 	} else {
 		top, err = gen.GenerateWith(g, gr, c.Workers)
 		if err != nil {
-			return nil, fmt.Errorf("core: generating %s: %w", c.Model, err)
+			return nil, nil, fmt.Errorf("core: generating %s: %w", c.Model, err)
 		}
 		// Freeze once; measurement and validation share one engine so
 		// the memoized whole-graph metrics (triangles, k-core, giant
 		// component) are computed a single time.
 		snap, err := top.G.FreezeChecked()
 		if err != nil {
-			return nil, fmt.Errorf("core: freezing %s: %w", c.Model, err)
+			return nil, nil, fmt.Errorf("core: freezing %s: %w", c.Model, err)
 		}
 		eng = engine.New(snap, engine.WithWorkers(c.Workers))
 	}
 	snap, err := eng.Measure(mr, c.PathSources)
 	if err != nil {
-		return nil, fmt.Errorf("core: measuring %s: %w", c.Model, err)
+		return nil, nil, fmt.Errorf("core: measuring %s: %w", c.Model, err)
 	}
 	rep, err := compare.AgainstFrozen(eng, c.Target, compare.Options{PathSources: c.PathSources, Rand: cr})
 	if err != nil {
-		return nil, fmt.Errorf("core: comparing %s: %w", c.Model, err)
+		return nil, nil, fmt.Errorf("core: comparing %s: %w", c.Model, err)
 	}
-	return &PipelineResult{Model: c.Model, Topology: top, Snapshot: snap, Report: rep, Trajectory: trajectory}, nil
+	return &PipelineResult{Model: c.Model, Topology: top, Snapshot: snap, Report: rep, Trajectory: trajectory}, eng, nil
+}
+
+// runWorkload simulates one flow-level workload over the cell's warm
+// engine, with the standard degree masses (gravity demand proportional
+// to connectivity). SimulateWith reuses the engine's memoized routing
+// state and pool, and every draw comes from a fresh workload stream
+// split off the cell seed, so the stage is a pure function of
+// (Cell, spec) no matter how many specs share the engine.
+func (c Cell) runWorkload(eng *engine.Engine, spec traffic.WorkloadSpec) (*traffic.SimReport, error) {
+	_, _, _, wr := c.streams()
+	frozen := eng.Snapshot()
+	masses := make([]float64, frozen.N())
+	for u := range masses {
+		masses[u] = float64(frozen.Degree(u))
+	}
+	wl, err := traffic.SimulateWith(eng, masses, spec, wr)
+	if err != nil {
+		return nil, fmt.Errorf("core: workload on %s: %w", c.Model, err)
+	}
+	return wl, nil
 }
 
 // RunCells executes cells across a pool of the given width (<= 0 means

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
 	"netmodel/internal/gen"
 	"netmodel/internal/refdata"
 	"netmodel/internal/rng"
+	"netmodel/internal/traffic"
 )
 
 func TestBuildModelOverrides(t *testing.T) {
@@ -147,5 +150,49 @@ func TestRunCellsFirstErrorDeterministic(t *testing.T) {
 			!strings.Contains(err.Error(), "bad-one") {
 			t.Fatalf("workers=%d: want the cell-1 failure, got %v", workers, err)
 		}
+	}
+}
+
+func TestRunCellWorkloadStage(t *testing.T) {
+	cell := Cell{Model: "ba", N: 250, Seed: 5, Target: refdata.ASMap2001, PathSources: 20,
+		Workload: &traffic.WorkloadSpec{LoadFactor: 0.6, Epochs: 6}}
+	res, err := RunCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload == nil || len(res.Workload.Epochs) != 6 {
+		t.Fatalf("workload report = %+v", res.Workload)
+	}
+	if res.Workload.Arrived == 0 {
+		t.Fatal("workload stage admitted no flows")
+	}
+	// The workload stage must not perturb the other stages: the same
+	// cell without it yields an identical topology and report.
+	plain := cell
+	plain.Workload = nil
+	base, err := RunCell(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Report.Score != res.Report.Score || base.Snapshot != res.Snapshot {
+		t.Fatal("workload stage changed the measurement stages")
+	}
+	// And the stage itself is a pure function of the cell value.
+	again, err := RunCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(again.Workload)
+	rj, _ := json.Marshal(res.Workload)
+	if !bytes.Equal(aj, rj) {
+		t.Fatal("workload stage not reproducible from the cell spec")
+	}
+}
+
+func TestRunCellWorkloadErrorSurfaces(t *testing.T) {
+	cell := Cell{Model: "ba", N: 250, Seed: 5, Target: refdata.ASMap2001, PathSources: 20,
+		Workload: &traffic.WorkloadSpec{LoadFactor: -2}}
+	if _, err := RunCell(cell); err == nil {
+		t.Fatal("invalid workload spec must fail the cell")
 	}
 }

@@ -23,6 +23,7 @@ import (
 	"netmodel/internal/metrics"
 	"netmodel/internal/refdata"
 	"netmodel/internal/rng"
+	"netmodel/internal/traffic"
 )
 
 // Model is a registered topology model family.
@@ -295,6 +296,9 @@ type PipelineResult struct {
 	// pipeline ran with MeasureEvery > 0 (one final entry for families
 	// without a trajectory kernel), nil otherwise.
 	Trajectory []TrajectoryPoint
+	// Workload holds the flow-level traffic report when the cell ran a
+	// workload stage (Cell.Workload), nil otherwise.
+	Workload *traffic.SimReport
 }
 
 // Pipeline configures a run.
@@ -311,6 +315,9 @@ type Pipeline struct {
 	// every MeasureEvery committed nodes and the growing map is measured
 	// through delta-refreshed snapshots (PipelineResult.Trajectory).
 	MeasureEvery int
+	// Workload, when non-nil, appends the flow-level traffic stage to
+	// every run (PipelineResult.Workload).
+	Workload *traffic.WorkloadSpec
 }
 
 // Cell returns the sweep cell a pipeline run of the named model
@@ -324,6 +331,7 @@ func (p Pipeline) Cell(name string) Cell {
 		PathSources:  p.PathSources,
 		Workers:      p.Workers,
 		MeasureEvery: p.MeasureEvery,
+		Workload:     p.Workload,
 	}
 }
 

@@ -85,8 +85,9 @@ func (e *Engine) Workers() int { return e.workers }
 // Cached exposes the engine's per-snapshot memoization to sibling
 // analysis layers (policy metrics, traffic studies) so that everything
 // computed over one frozen topology shares a single cache. Keys are
-// namespaced by convention ("aspolicy:cone", ...); the engine's own
-// metrics use bare keys. Every entry is stored under the current
+// namespaced by convention ("aspolicy:cone", "traffic:routing" — the
+// workload simulator's shortest-path trees, reused across repeated
+// simulations of one snapshot); the engine's own metrics use bare keys. Every entry is stored under the current
 // snapshot's version, so after an Advance an old entry can never be
 // served for the refreshed topology. Concurrent callers of the same
 // key block on a single computation; callers must not modify returned

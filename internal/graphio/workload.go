@@ -1,0 +1,102 @@
+package graphio
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+
+	"netmodel/internal/sweep"
+	"netmodel/internal/traffic"
+)
+
+// errNoWorkload guards the workload emitters: they render the workload
+// projection of a sweep summary, which only exists for workload grids.
+var errNoWorkload = errors.New("graphio: summary has no workload results")
+
+// workloadHeader is the per-cell column set of the workload CSV: the
+// cell coordinates (with the workload axes) followed by the flow
+// counters and the folded scalar schema.
+func workloadHeader() []string {
+	return append([]string{"model", "n", "seed", "load_factor", "tail_index",
+		"arrived", "completed", "undelivered", "residual_flows"},
+		traffic.WorkloadMetricNames()...)
+}
+
+// WriteWorkloadCSV renders the workload projection of a sweep summary
+// as one CSV table: a row per cell with the flow counters and scalar
+// metrics, followed by four cross-seed aggregate rows (mean, std, min,
+// max) per (model, size, load factor, tail index) group with the
+// statistic's name in the seed column. Column order is fixed by
+// traffic.WorkloadMetricNames, so the header is stable across grids.
+func WriteWorkloadCSV(w io.Writer, s *sweep.Summary) error {
+	if len(s.Cells) == 0 || s.Cells[0].Workload == nil {
+		return errNoWorkload
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(workloadHeader()); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, c := range s.Cells {
+		wl := c.Workload
+		if wl == nil {
+			return fmt.Errorf("graphio: cell (%s, %d, %d) has no workload report", c.Model, c.N, c.Seed)
+		}
+		rec := []string{c.Model, strconv.Itoa(c.N), strconv.FormatUint(c.Seed, 10),
+			f(c.LoadFactor), f(c.TailIndex),
+			strconv.Itoa(wl.Arrived), strconv.Itoa(wl.Completed),
+			strconv.Itoa(wl.Undelivered), strconv.Itoa(wl.ResidualFlows)}
+		for _, v := range wl.Scalars() {
+			rec = append(rec, f(v))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	names := traffic.WorkloadMetricNames()
+	for _, a := range s.Aggregates {
+		for _, stat := range []struct {
+			label string
+			pick  func(sweep.MetricAggregate) float64
+		}{
+			{"mean", func(m sweep.MetricAggregate) float64 { return m.Mean }},
+			{"std", func(m sweep.MetricAggregate) float64 { return m.Std }},
+			{"min", func(m sweep.MetricAggregate) float64 { return m.Min }},
+			{"max", func(m sweep.MetricAggregate) float64 { return m.Max }},
+		} {
+			rec := []string{a.Model, strconv.Itoa(a.N), stat.label,
+				f(a.LoadFactor), f(a.TailIndex), "", "", "", ""}
+			for _, name := range names {
+				rec = append(rec, f(stat.pick(sweep.FindMetric(a.Metrics, name))))
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteWorkloadTable renders the workload cells and their per-epoch
+// utilization summary as an aligned text table — the topoload default.
+func WriteWorkloadTable(w io.Writer, s *sweep.Summary) error {
+	if len(s.Cells) == 0 || s.Cells[0].Workload == nil {
+		return errNoWorkload
+	}
+	_, err := io.WriteString(w, s.String())
+	return err
+}
+
+// WriteWorkloadJSON encodes the full workload summary — grid with its
+// workload axes, per-cell reports (epoch rows and utilization CCDFs
+// included), aggregates and rankings — as indented JSON. Like the sweep
+// encoder, the output is byte-deterministic.
+func WriteWorkloadJSON(w io.Writer, s *sweep.Summary) error {
+	if len(s.Cells) == 0 || s.Cells[0].Workload == nil {
+		return errNoWorkload
+	}
+	return WriteSweepJSON(w, s)
+}

@@ -1,0 +1,103 @@
+package graphio
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"netmodel/internal/sweep"
+	"netmodel/internal/traffic"
+)
+
+func workloadSummary(t *testing.T) *sweep.Summary {
+	t.Helper()
+	s, err := sweep.Run(sweep.Grid{
+		Models:      []string{"ba"},
+		Sizes:       []int{200},
+		Seeds:       []uint64{1, 2},
+		PathSources: 20,
+		Workload: &sweep.WorkloadAxes{
+			Spec:        traffic.WorkloadSpec{Epochs: 4},
+			LoadFactors: []float64{0.5, 1.5},
+		},
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWriteWorkloadCSV(t *testing.T) {
+	s := workloadSummary(t)
+	var buf bytes.Buffer
+	if err := WriteWorkloadCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + 4 cells + 2 groups × 4 aggregate rows
+	if len(recs) != 1+4+8 {
+		t.Fatalf("CSV has %d rows, want 13", len(recs))
+	}
+	header := recs[0]
+	wantCols := 9 + len(traffic.WorkloadMetricNames())
+	if len(header) != wantCols || header[3] != "load_factor" || header[9] != "wl_mean_fct" {
+		t.Fatalf("header = %v", header)
+	}
+	for i, rec := range recs[1:] {
+		if len(rec) != wantCols {
+			t.Fatalf("row %d has %d columns, want %d", i, len(rec), wantCols)
+		}
+	}
+	// Aggregate rows carry the statistic label in the seed column.
+	var labels []string
+	for _, rec := range recs[5:] {
+		labels = append(labels, rec[2])
+	}
+	if labels[0] != "mean" || labels[1] != "std" || labels[2] != "min" || labels[3] != "max" {
+		t.Fatalf("aggregate labels = %v", labels)
+	}
+}
+
+func TestWriteWorkloadTableAndJSON(t *testing.T) {
+	s := workloadSummary(t)
+	var table bytes.Buffer
+	if err := WriteWorkloadTable(&table, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "workload sweep") {
+		t.Fatalf("table missing workload banner:\n%s", table.String())
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkloadJSON(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var round sweep.Summary
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatal(err)
+	}
+	if len(round.Cells) != 4 || round.Cells[0].Workload == nil {
+		t.Fatalf("JSON round trip lost workload cells: %+v", round.Cells)
+	}
+	if round.Grid.Workload == nil || len(round.Grid.Workload.LoadFactors) != 2 {
+		t.Fatal("JSON round trip lost the workload axes")
+	}
+}
+
+func TestWorkloadEmittersRejectPlainSummary(t *testing.T) {
+	plain := sweepSummary(t)
+	var buf bytes.Buffer
+	if err := WriteWorkloadCSV(&buf, plain); err == nil {
+		t.Fatal("CSV emitter must reject a summary without workload results")
+	}
+	if err := WriteWorkloadTable(&buf, plain); err == nil {
+		t.Fatal("table emitter must reject a summary without workload results")
+	}
+	if err := WriteWorkloadJSON(&buf, plain); err == nil {
+		t.Fatal("JSON emitter must reject a summary without workload results")
+	}
+}

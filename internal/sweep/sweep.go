@@ -23,9 +23,27 @@ import (
 	"netmodel/internal/compare"
 	"netmodel/internal/core"
 	"netmodel/internal/metrics"
+	"netmodel/internal/par"
 	"netmodel/internal/refdata"
 	"netmodel/internal/stats"
+	"netmodel/internal/traffic"
 )
+
+// WorkloadAxes extend a grid with the flow-level traffic stage: every
+// cell additionally simulates the base Spec at each (load factor, tail
+// index) pair, making workload pressure and size-tail heaviness sweep
+// axes next to model, size and seed. LoadFactors is required;
+// TailIndexes defaults to the base spec's tail index.
+type WorkloadAxes struct {
+	// Spec is the base workload; its LoadFactor and TailIndex are
+	// overridden by the axes below.
+	Spec traffic.WorkloadSpec `json:"spec"`
+	// LoadFactors are the swept offered-load levels (spec.LoadFactor).
+	LoadFactors []float64 `json:"load_factors"`
+	// TailIndexes are the swept flow-size tail indexes (spec.TailIndex);
+	// empty means the base spec's value.
+	TailIndexes []float64 `json:"tail_indexes,omitempty"`
+}
 
 // Grid specifies a sweep: the cross product of Models × Sizes × Seeds,
 // validated against one reference target. It is the JSON wire format of
@@ -53,6 +71,9 @@ type Grid struct {
 	// MeasureEvery > 0 records a growth trajectory per cell (growth
 	// families) every that many committed nodes.
 	MeasureEvery int `json:"measure_every,omitempty"`
+	// Workload, when non-nil, adds the flow-level traffic stage and its
+	// (load factor × tail index) axes to the grid.
+	Workload *WorkloadAxes `json:"workload,omitempty"`
 }
 
 // LoadGrid decodes a JSON grid specification, rejecting unknown fields
@@ -118,16 +139,66 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: params for %q, which is not a swept model", m)
 		}
 	}
+	if g.Workload != nil {
+		if len(g.Workload.LoadFactors) == 0 {
+			return fmt.Errorf("sweep: workload axes need at least one load factor")
+		}
+		lfs := make(map[float64]bool, len(g.Workload.LoadFactors))
+		for _, lf := range g.Workload.LoadFactors {
+			if lfs[lf] {
+				return fmt.Errorf("sweep: duplicate load factor %v", lf)
+			}
+			lfs[lf] = true
+		}
+		tails := make(map[float64]bool, len(g.Workload.TailIndexes))
+		for _, ti := range g.Workload.TailIndexes {
+			if tails[ti] {
+				return fmt.Errorf("sweep: duplicate tail index %v", ti)
+			}
+			tails[ti] = true
+		}
+		// Every swept combination must be a valid spec on its own.
+		for _, sp := range g.workloadSpecs() {
+			if err := sp.Validate(); err != nil {
+				return fmt.Errorf("sweep: %w", err)
+			}
+		}
+	}
 	if _, err := g.target(); err != nil {
 		return err
 	}
 	return nil
 }
 
+// workloadSpecs expands the workload axes into one spec per (load
+// factor, tail index) pair in axis order, or the single nil spec when
+// the grid has no workload stage — the degenerate combo that keeps the
+// cell expansion and fold uniform.
+func (g Grid) workloadSpecs() []*traffic.WorkloadSpec {
+	if g.Workload == nil {
+		return []*traffic.WorkloadSpec{nil}
+	}
+	tails := g.Workload.TailIndexes
+	if len(tails) == 0 {
+		tails = []float64{g.Workload.Spec.TailIndex}
+	}
+	out := make([]*traffic.WorkloadSpec, 0, len(g.Workload.LoadFactors)*len(tails))
+	for _, lf := range g.Workload.LoadFactors {
+		for _, ti := range tails {
+			sp := g.Workload.Spec
+			sp.LoadFactor = lf
+			sp.TailIndex = ti
+			out = append(out, &sp)
+		}
+	}
+	return out
+}
+
 // Cells expands the grid into pipeline cells in the canonical order:
-// size-major, then model, then seed — so each size tier's cells are
-// contiguous and the cell at (si, mi, ki) has index
-// (si*len(Models)+mi)*len(Seeds)+ki.
+// size-major, then model, then workload combo (load factor × tail
+// index; a single degenerate combo without workload axes), then seed —
+// so every cross-seed group is contiguous and the cell at
+// (si, mi, wi, ki) has index ((si*len(Models)+mi)*len(combos)+wi)*len(Seeds)+ki.
 func (g Grid) Cells() ([]core.Cell, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -143,20 +214,24 @@ func (g Grid) Cells() ([]core.Cell, error) {
 	if cellWorkers <= 0 {
 		cellWorkers = 1
 	}
-	cells := make([]core.Cell, 0, len(g.Models)*len(g.Sizes)*len(g.Seeds))
+	combos := g.workloadSpecs()
+	cells := make([]core.Cell, 0, len(g.Models)*len(g.Sizes)*len(combos)*len(g.Seeds))
 	for _, n := range g.Sizes {
 		for _, model := range g.Models {
-			for _, seed := range g.Seeds {
-				cells = append(cells, core.Cell{
-					Model:        model,
-					N:            n,
-					Seed:         seed,
-					Params:       g.Params[model],
-					Target:       tgt,
-					PathSources:  g.PathSources,
-					Workers:      cellWorkers,
-					MeasureEvery: g.MeasureEvery,
-				})
+			for _, wl := range combos {
+				for _, seed := range g.Seeds {
+					cells = append(cells, core.Cell{
+						Model:        model,
+						N:            n,
+						Seed:         seed,
+						Params:       g.Params[model],
+						Target:       tgt,
+						PathSources:  g.PathSources,
+						Workers:      cellWorkers,
+						MeasureEvery: g.MeasureEvery,
+						Workload:     wl,
+					})
+				}
 			}
 		}
 	}
@@ -167,13 +242,20 @@ func (g Grid) Cells() ([]core.Cell, error) {
 // full comparison report and metric vector, and the growth trajectory
 // when the grid swept with MeasureEvery.
 type CellResult struct {
-	Model      string                 `json:"model"`
-	N          int                    `json:"n"`
-	Seed       uint64                 `json:"seed"`
+	Model string `json:"model"`
+	N     int    `json:"n"`
+	Seed  uint64 `json:"seed"`
+	// LoadFactor and TailIndex are the cell's workload-axis coordinates
+	// when the grid sweeps a workload, zero otherwise.
+	LoadFactor float64                `json:"load_factor,omitempty"`
+	TailIndex  float64                `json:"tail_index,omitempty"`
 	Score      float64                `json:"score"`
 	Report     *compare.Report        `json:"report"`
 	Snapshot   metrics.Snapshot       `json:"snapshot"`
 	Trajectory []core.TrajectoryPoint `json:"trajectory,omitempty"`
+	// Workload is the cell's flow-level traffic report when the grid
+	// swept a workload, nil otherwise.
+	Workload *traffic.SimReport `json:"workload,omitempty"`
 }
 
 // MetricAggregate is the cross-seed distribution of one metric.
@@ -185,14 +267,19 @@ type MetricAggregate struct {
 	Max  float64 `json:"max"`
 }
 
-// Aggregate is the cross-seed summary of one (model, size) cell group:
-// moments of the aggregate score and of every measured metric.
+// Aggregate is the cross-seed summary of one (model, size[, load
+// factor, tail index]) cell group: moments of the aggregate score and
+// of every measured metric — including, for workload grids, the
+// workload scalars (traffic.WorkloadMetricNames) appended after the
+// comparison rows.
 type Aggregate struct {
-	Model   string            `json:"model"`
-	N       int               `json:"n"`
-	Seeds   int               `json:"seeds"`
-	Score   MetricAggregate   `json:"score"`
-	Metrics []MetricAggregate `json:"metrics"`
+	Model      string            `json:"model"`
+	N          int               `json:"n"`
+	LoadFactor float64           `json:"load_factor,omitempty"`
+	TailIndex  float64           `json:"tail_index,omitempty"`
+	Seeds      int               `json:"seeds"`
+	Score      MetricAggregate   `json:"score"`
+	Metrics    []MetricAggregate `json:"metrics"`
 }
 
 // Ranking orders the swept models within one size tier by ascending
@@ -216,16 +303,91 @@ type Summary struct {
 // Run expands the grid, executes every cell across a pool of the given
 // width (<= 0 means GOMAXPROCS) and folds the results. The returned
 // Summary is bit-identical at every pool width.
+//
+// Workload grids are executed one topology per (size, model, seed): the
+// generate/measure/compare stages run once and every (load factor, tail
+// index) combo simulates over that cell's warm engine, reusing its
+// memoized routing state (core.RunCellWorkloads). The summary is
+// bit-identical to expanding one full cell per combo — each combo draws
+// from the same seed-split workload stream a dedicated cell would — at
+// a fraction of the cost.
 func Run(g Grid, workers int) (*Summary, error) {
 	cells, err := g.Cells()
 	if err != nil {
 		return nil, err
+	}
+	if g.Workload != nil {
+		return runWorkloadGrid(g, cells, workers)
 	}
 	results, err := core.RunCells(cells, workers)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
 	return fold(g, cells, results)
+}
+
+// runWorkloadGrid executes a workload grid: the combo axis of the
+// expanded cells is collapsed back to one topology cell per (size,
+// model, seed) — combo index 0 of each group, which differs from its
+// siblings only in Cell.Workload — and every combo simulates over that
+// topology. Results merge by index and the fold below is sequential, so
+// the summary stays a pure function of the grid at every pool width;
+// the first failing topology cell (lowest grid index) is the error
+// surfaced, mirroring core.RunCells.
+func runWorkloadGrid(g Grid, cells []core.Cell, workers int) (*Summary, error) {
+	specs := g.workloadSpecs()
+	nw, ns := len(specs), len(g.Seeds)
+	topo := make([]core.Cell, 0, len(cells)/nw)
+	for base := 0; base < len(cells); base += nw * ns {
+		for ki := 0; ki < ns; ki++ {
+			topo = append(topo, cells[base+ki])
+		}
+	}
+	type cellOut struct {
+		res *core.PipelineResult
+		wls []*traffic.SimReport
+	}
+	outs := make([]cellOut, len(topo))
+	errs := make([]error, len(topo))
+	par.ForEach(len(topo), workers, func(_, i int) {
+		outs[i].res, outs[i].wls, errs[i] = core.RunCellWorkloads(topo[i], specs)
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: cell %d (%s, n=%d, seed=%d): %w",
+				i, topo[i].Model, topo[i].N, topo[i].Seed, err)
+		}
+	}
+	tgt, err := g.target()
+	if err != nil {
+		return nil, err
+	}
+	s := &Summary{Target: tgt.Name, Grid: g, Cells: make([]CellResult, len(cells))}
+	nm := len(g.Models)
+	for si, n := range g.Sizes {
+		for mi, model := range g.Models {
+			for wi := range specs {
+				for ki, seed := range g.Seeds {
+					t := outs[(si*nm+mi)*ns+ki]
+					wl := t.wls[wi]
+					s.Cells[((si*nm+mi)*nw+wi)*ns+ki] = CellResult{
+						Model:      model,
+						N:          n,
+						Seed:       seed,
+						LoadFactor: wl.Spec.LoadFactor,
+						TailIndex:  wl.Spec.TailIndex,
+						Score:      t.res.Report.Score,
+						Report:     t.res.Report,
+						Snapshot:   t.res.Snapshot,
+						Trajectory: t.res.Trajectory,
+						Workload:   wl,
+					}
+				}
+			}
+		}
+	}
+	s.aggregateAndRank()
+	return s, nil
 }
 
 // fold reduces the per-cell results into the summary. It runs on one
@@ -245,39 +407,78 @@ func fold(g Grid, cells []core.Cell, results []*core.PipelineResult) (*Summary, 
 			Report:     res.Report,
 			Snapshot:   res.Snapshot,
 			Trajectory: res.Trajectory,
+			Workload:   res.Workload,
+		}
+		if res.Workload != nil {
+			// The report echoes the spec with defaults resolved, so the
+			// coordinates show what actually ran (e.g. an unset tail index
+			// as the distribution's default, not 0).
+			s.Cells[i].LoadFactor = res.Workload.Spec.LoadFactor
+			s.Cells[i].TailIndex = res.Workload.Spec.TailIndex
 		}
 	}
-	nm, ns := len(g.Models), len(g.Seeds)
-	for si, n := range g.Sizes {
-		scores := make(map[string]float64, nm)
-		for mi, model := range g.Models {
-			group := s.Cells[(si*nm+mi)*ns : (si*nm+mi)*ns+ns]
-			agg := aggregate(model, n, group)
-			s.Aggregates = append(s.Aggregates, agg)
-			scores[model] = agg.Score.Mean
-		}
-		s.Rankings = append(s.Rankings, Ranking{N: n, Models: compare.RankScores(scores)})
-	}
+	s.aggregateAndRank()
 	return s, nil
 }
 
-// aggregate folds one (model, size) group's per-seed reports through
-// streaming moments: the aggregate score plus every report row's
-// measured value. Row order is fixed by compare.Score, so the metric
-// list is identical across cells and the fold is positional.
+// aggregateAndRank folds the summary's cells — already in canonical
+// grid order — into cross-seed aggregates per contiguous seed group and
+// a ranking per size tier. Sequential, so it adds no scheduling
+// freedom.
+func (s *Summary) aggregateAndRank() {
+	g := s.Grid
+	nm, nw, ns := len(g.Models), len(g.workloadSpecs()), len(g.Seeds)
+	for si, n := range g.Sizes {
+		scores := make(map[string]float64, nm)
+		for mi, model := range g.Models {
+			for wi := 0; wi < nw; wi++ {
+				base := ((si*nm+mi)*nw + wi) * ns
+				group := s.Cells[base : base+ns]
+				agg := aggregate(model, n, group)
+				s.Aggregates = append(s.Aggregates, agg)
+				if wi == 0 {
+					// The topology score is workload-independent, so the
+					// ranking reads it from each model's first combo.
+					scores[model] = agg.Score.Mean
+				}
+			}
+		}
+		s.Rankings = append(s.Rankings, Ranking{N: n, Models: compare.RankScores(scores)})
+	}
+}
+
+// aggregate folds one cross-seed group's reports through streaming
+// moments: the aggregate score, every report row's measured value and —
+// for workload cells — the workload scalar vector. Row orders are fixed
+// (compare.Score and traffic.WorkloadMetricNames), so the metric list
+// is identical across cells and the fold is positional.
 func aggregate(model string, n int, group []CellResult) Aggregate {
-	agg := Aggregate{Model: model, N: n, Seeds: len(group)}
+	agg := Aggregate{Model: model, N: n, Seeds: len(group),
+		LoadFactor: group[0].LoadFactor, TailIndex: group[0].TailIndex}
 	var score stats.Moments
 	rows := make([]stats.Moments, len(group[0].Report.Rows))
+	wlNames := traffic.WorkloadMetricNames()
+	var wl []stats.Moments
+	if group[0].Workload != nil {
+		wl = make([]stats.Moments, len(wlNames))
+	}
 	for _, c := range group {
 		score.Add(c.Score)
 		for ri, row := range c.Report.Rows {
 			rows[ri].Add(row.Measured)
 		}
+		if wl != nil {
+			for ri, v := range c.Workload.Scalars() {
+				wl[ri].Add(v)
+			}
+		}
 	}
 	agg.Score = metricAggregate("score", &score)
 	for ri, row := range group[0].Report.Rows {
 		agg.Metrics = append(agg.Metrics, metricAggregate(row.Name, &rows[ri]))
+	}
+	for ri := range wl {
+		agg.Metrics = append(agg.Metrics, metricAggregate(wlNames[ri], &wl[ri]))
 	}
 	return agg
 }
@@ -292,18 +493,34 @@ func metricAggregate(name string, m *stats.Moments) MetricAggregate {
 func (s *Summary) String() string {
 	var b strings.Builder
 	g := s.Grid
-	fmt.Fprintf(&b, "sweep against %s: %d models × %d sizes × %d seeds = %d cells\n",
-		s.Target, len(g.Models), len(g.Sizes), len(g.Seeds), len(s.Cells))
-	fmt.Fprintf(&b, "\n%-12s %8s %8s %8s\n", "model", "n", "seed", "score")
-	for _, c := range s.Cells {
-		fmt.Fprintf(&b, "%-12s %8d %8d %7.1f%%\n", c.Model, c.N, c.Seed, 100*c.Score)
+	if g.Workload == nil {
+		fmt.Fprintf(&b, "sweep against %s: %d models × %d sizes × %d seeds = %d cells\n",
+			s.Target, len(g.Models), len(g.Sizes), len(g.Seeds), len(s.Cells))
+		fmt.Fprintf(&b, "\n%-12s %8s %8s %8s\n", "model", "n", "seed", "score")
+		for _, c := range s.Cells {
+			fmt.Fprintf(&b, "%-12s %8d %8d %7.1f%%\n", c.Model, c.N, c.Seed, 100*c.Score)
+		}
+	} else {
+		combos := len(g.workloadSpecs())
+		fmt.Fprintf(&b, "workload sweep against %s: %d models × %d sizes × %d workloads × %d seeds = %d cells\n",
+			s.Target, len(g.Models), len(g.Sizes), combos, len(g.Seeds), len(s.Cells))
+		fmt.Fprintf(&b, "\n%-12s %8s %8s %6s %6s %9s %9s %8s %8s\n",
+			"model", "n", "seed", "load", "tail", "fct", "active", "util", "ovl")
+		for _, c := range s.Cells {
+			w := c.Workload
+			fmt.Fprintf(&b, "%-12s %8d %8d %6.2f %6.2f %9.3f %9.1f %7.1f%% %7.1f%%\n",
+				c.Model, c.N, c.Seed, c.LoadFactor, c.TailIndex,
+				w.MeanFCT, w.MeanActive, 100*w.MeanUtil, 100*w.OverloadFrac)
+		}
 	}
 	byModel := make(map[int]map[string]Aggregate, len(g.Sizes))
 	for _, a := range s.Aggregates {
 		if byModel[a.N] == nil {
 			byModel[a.N] = make(map[string]Aggregate, len(g.Models))
 		}
-		byModel[a.N][a.Model] = a
+		if _, ok := byModel[a.N][a.Model]; !ok {
+			byModel[a.N][a.Model] = a // first combo carries the score
+		}
 	}
 	for _, r := range s.Rankings {
 		fmt.Fprintf(&b, "\ncross-seed score at n=%d (mean ± std [min, max], %d seeds)\n",
@@ -314,5 +531,29 @@ func (s *Summary) String() string {
 				rank+1, model, 100*a.Score.Mean, 100*a.Score.Std, 100*a.Score.Min, 100*a.Score.Max)
 		}
 	}
+	if g.Workload != nil {
+		fmt.Fprintf(&b, "\ncross-seed workload aggregates (mean ± std over %d seeds)\n", len(g.Seeds))
+		fmt.Fprintf(&b, "%-12s %8s %6s %6s %16s %16s %8s\n",
+			"model", "n", "load", "tail", "fct", "overload", "maxutil")
+		for _, a := range s.Aggregates {
+			fct := FindMetric(a.Metrics, "wl_mean_fct")
+			ovl := FindMetric(a.Metrics, "wl_overload_frac")
+			mu := FindMetric(a.Metrics, "wl_max_util")
+			fmt.Fprintf(&b, "%-12s %8d %6.2f %6.2f %8.3f ± %5.3f %7.1f%% ± %4.1f%% %7.1f%%\n",
+				a.Model, a.N, a.LoadFactor, a.TailIndex,
+				fct.Mean, fct.Std, 100*ovl.Mean, 100*ovl.Std, 100*mu.Mean)
+		}
+	}
 	return b.String()
+}
+
+// FindMetric returns the named aggregate row (zero value if absent) —
+// the lookup the renderers here and in graphio share.
+func FindMetric(metrics []MetricAggregate, name string) MetricAggregate {
+	for _, m := range metrics {
+		if m.Name == name {
+			return m
+		}
+	}
+	return MetricAggregate{}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"netmodel/internal/core"
+	"netmodel/internal/traffic"
 )
 
 // testGrid is the small grid the determinism and aggregation tests
@@ -205,5 +206,201 @@ func TestParamsChangeCells(t *testing.T) {
 	if tuned.Cells[0].Snapshot.M <= plain.Cells[0].Snapshot.M {
 		t.Fatalf("override m=3 did not densify: %d vs %d edges",
 			tuned.Cells[0].Snapshot.M, plain.Cells[0].Snapshot.M)
+	}
+}
+
+// workloadGrid is testGrid at one size with workload axes on top.
+func workloadGrid() Grid {
+	g := testGrid()
+	g.Sizes = []int{200}
+	g.Seeds = []uint64{1, 2}
+	g.Workload = &WorkloadAxes{
+		Spec:        traffic.WorkloadSpec{Epochs: 5},
+		LoadFactors: []float64{0.3, 1.5},
+		TailIndexes: []float64{1.3, 2.5},
+	}
+	return g
+}
+
+func TestWorkloadGridValidate(t *testing.T) {
+	if err := workloadGrid().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string]func(*Grid){
+		"no load factors": func(g *Grid) { g.Workload.LoadFactors = nil },
+		"dup load factor": func(g *Grid) { g.Workload.LoadFactors = []float64{1, 1} },
+		"dup tail":        func(g *Grid) { g.Workload.TailIndexes = []float64{1.5, 1.5} },
+		"bad load factor": func(g *Grid) { g.Workload.LoadFactors = []float64{-1} },
+		"bad combo":       func(g *Grid) { g.Workload.TailIndexes = []float64{0.5} }, // pareto tail <= 1
+	} {
+		g := workloadGrid()
+		mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Fatalf("%s: want validation error", name)
+		}
+	}
+}
+
+func TestWorkloadGridCellsOrder(t *testing.T) {
+	g := workloadGrid()
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2*1*4*2 {
+		t.Fatalf("expanded %d cells, want 16", len(cells))
+	}
+	idx := 0
+	for _, model := range g.Models {
+		for _, lf := range g.Workload.LoadFactors {
+			for _, ti := range g.Workload.TailIndexes {
+				for _, seed := range g.Seeds {
+					c := cells[idx]
+					if c.Model != model || c.Seed != seed || c.Workload == nil ||
+						c.Workload.LoadFactor != lf || c.Workload.TailIndex != ti {
+						t.Fatalf("cell %d = (%s, seed %d, %+v), want (%s, %v, %v, seed %d)",
+							idx, c.Model, c.Seed, c.Workload, model, lf, ti, seed)
+					}
+					idx++
+				}
+			}
+		}
+	}
+}
+
+func TestWorkloadSweepFoldsAndRanks(t *testing.T) {
+	g := workloadGrid()
+	s, err := Run(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Aggregates) != 2*4 {
+		t.Fatalf("aggregates = %d, want 8", len(s.Aggregates))
+	}
+	wlNames := traffic.WorkloadMetricNames()
+	for _, a := range s.Aggregates {
+		if a.LoadFactor == 0 {
+			t.Fatalf("aggregate %s missing load factor", a.Model)
+		}
+		for _, name := range wlNames {
+			found := false
+			for _, m := range a.Metrics {
+				if m.Name == name {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("aggregate missing workload metric %s", name)
+			}
+		}
+	}
+	// Every cell must carry its workload report and axis coordinates.
+	for _, c := range s.Cells {
+		if c.Workload == nil || c.LoadFactor == 0 {
+			t.Fatalf("cell (%s seed %d) missing workload results", c.Model, c.Seed)
+		}
+	}
+	// Rankings still rank the models once per size tier.
+	if len(s.Rankings) != 1 || len(s.Rankings[0].Models) != 2 {
+		t.Fatalf("rankings = %+v", s.Rankings)
+	}
+	// Higher load must not lower mean utilization for the same model/tail.
+	var lo, hi *Aggregate
+	for i := range s.Aggregates {
+		a := &s.Aggregates[i]
+		if a.Model == "ba" && a.TailIndex == 1.3 {
+			if a.LoadFactor == 0.3 {
+				lo = a
+			} else {
+				hi = a
+			}
+		}
+	}
+	if lo == nil || hi == nil {
+		t.Fatal("missing ba aggregates")
+	}
+	if FindMetric(hi.Metrics, "wl_mean_util").Mean < FindMetric(lo.Metrics, "wl_mean_util").Mean {
+		t.Fatalf("utilization fell as load rose: %v -> %v",
+			FindMetric(lo.Metrics, "wl_mean_util").Mean, FindMetric(hi.Metrics, "wl_mean_util").Mean)
+	}
+	// Rendering mentions the workload axes.
+	text := s.String()
+	if !strings.Contains(text, "workload sweep") || !strings.Contains(text, "cross-seed workload aggregates") {
+		t.Fatalf("summary text missing workload sections:\n%s", text)
+	}
+}
+
+func TestWorkloadSweepByteIdenticalAcrossWorkers(t *testing.T) {
+	g := workloadGrid()
+	var base []byte
+	for _, workers := range []int{1, 3, 8} {
+		s, err := Run(g, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base = data
+		} else if !bytes.Equal(base, data) {
+			t.Fatalf("workers=%d workload summary diverged", workers)
+		}
+	}
+}
+
+func TestWorkloadJSONGridRoundTrip(t *testing.T) {
+	spec := `{"models": ["ba"], "sizes": [200], "seeds": [1],
+		"workload": {"spec": {"arrivals": "onoff", "sizes": "lognormal", "epochs": 4},
+		             "load_factors": [0.5, 1], "tail_indexes": [0.8]}}`
+	g, err := LoadGrid(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Workload == nil || g.Workload.Spec.Arrivals != "onoff" || len(g.Workload.LoadFactors) != 2 {
+		t.Fatalf("grid = %+v", g)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(cells))
+	}
+}
+
+// TestWorkloadSharedTopologyMatchesPerComboCells pins the optimization
+// contract of runWorkloadGrid: sharing one topology across the (load,
+// tail) combos must reproduce, bit for bit, the summary of running one
+// full cell per combo.
+func TestWorkloadSharedTopologyMatchesPerComboCells(t *testing.T) {
+	g := workloadGrid()
+	shared, err := Run(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := g.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := core.RunCells(cells, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCombo, err := fold(g, cells, results)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := json.Marshal(shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pj, err := json.Marshal(perCombo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sj, pj) {
+		t.Fatal("shared-topology workload sweep diverged from per-combo cells")
 	}
 }

@@ -1,0 +1,559 @@
+package traffic
+
+import (
+	"errors"
+
+	"netmodel/internal/engine"
+	"netmodel/internal/graph"
+	"netmodel/internal/par"
+	"netmodel/internal/rng"
+)
+
+// Routing is the memoizable routing state of a frozen snapshot: one
+// shortest-path tree per origin, built on demand and cached under a
+// deterministic FIFO budget so workload simulations reuse paths across
+// epochs without holding N trees for a 100k-node map. Tree construction
+// is a pure function of (snapshot, source) — BFS discovery order over
+// the CSR arc arrays — so a flow's path never depends on the worker
+// count or on which epochs demanded which trees first.
+//
+// Routing is not safe for concurrent use; Ensure shards tree builds
+// internally, but callers (the sequential simulation loop) must not
+// query one Routing from several goroutines.
+type Routing struct {
+	s       *graph.Snapshot
+	arcEdge []int32
+	max     int // tree-cache budget, a pure function of the node count
+	trees   map[int]*rtree
+	fifo    []int // cached sources, oldest first
+}
+
+// rtree is one origin's BFS tree over the snapshot.
+type rtree struct {
+	dist   []int32 // hop distance from the source, -1 unreachable
+	parent []int32 // BFS parent toward the source, -1 at source/unreachable
+	edge   []int32 // snapshot edge id of (v, parent[v]), -1 where parent is
+}
+
+// routingTreeBudget bounds the memory held by cached trees (~12 bytes
+// per node per tree).
+const routingTreeBudget = 32 << 20
+
+// NewRouting returns empty routing state over the snapshot.
+func NewRouting(s *graph.Snapshot) *Routing {
+	max := routingTreeBudget / (12 * (s.N() + 1))
+	if max < 16 {
+		max = 16
+	}
+	return &Routing{s: s, arcEdge: s.ArcEdgeIDs(), max: max, trees: make(map[int]*rtree)}
+}
+
+// RoutingOf returns the routing state memoized in the engine's
+// per-snapshot cache (key "traffic:routing"): every workload simulation
+// over the engine's current snapshot shares one set of shortest-path
+// trees, and an Advance to a refreshed snapshot drops it with the rest
+// of the version's entries.
+func RoutingOf(eng *engine.Engine) *Routing {
+	return eng.Cached("traffic:routing", func() any {
+		return NewRouting(eng.Snapshot())
+	}).(*Routing)
+}
+
+// buildTree runs one BFS from src, recording parents and the edge ids
+// toward them. Discovery follows CSR arc order, so the tree — and every
+// path read from it — is deterministic.
+func buildTree(s *graph.Snapshot, arcEdge []int32, src int) *rtree {
+	n := s.N()
+	t := &rtree{dist: make([]int32, n), parent: make([]int32, n), edge: make([]int32, n)}
+	for i := 0; i < n; i++ {
+		t.dist[i] = -1
+		t.parent[i] = -1
+		t.edge[i] = -1
+	}
+	queue := make([]int32, n)
+	t.dist[src] = 0
+	queue[0] = int32(src)
+	size := 1
+	for head := 0; head < size; head++ {
+		u := queue[head]
+		du := t.dist[u]
+		lo, _ := s.ArcRange(int(u))
+		for j, v := range s.Neighbors(int(u)) {
+			if t.dist[v] < 0 {
+				t.dist[v] = du + 1
+				t.parent[v] = u
+				t.edge[v] = arcEdge[int(lo)+j]
+				queue[size] = v
+				size++
+			}
+		}
+	}
+	return t
+}
+
+// Ensure builds the trees of the given sources (ascending, no
+// duplicates) that are not cached yet, sharding the builds across
+// workers (<= 0 means GOMAXPROCS), and protects the whole set from
+// eviction until the next Ensure. Builds write index-private slots and
+// insert in source order, so the cache state after Ensure is
+// worker-count invariant.
+func (rt *Routing) Ensure(sources []int, workers int) {
+	if len(sources) == 0 {
+		return
+	}
+	missing := make([]int, 0, len(sources))
+	inBatch := make(map[int]bool, len(sources))
+	for _, src := range sources {
+		inBatch[src] = true
+		if _, ok := rt.trees[src]; !ok {
+			missing = append(missing, src)
+		}
+	}
+	built := make([]*rtree, len(missing))
+	par.ForEach(len(missing), par.Workers(workers), func(_, i int) {
+		built[i] = buildTree(rt.s, rt.arcEdge, missing[i])
+	})
+	// Move the batch to the young end of the FIFO, then evict the
+	// oldest entries beyond the budget (never a batch member: the
+	// effective budget covers the whole batch).
+	keep := rt.fifo[:0]
+	for _, src := range rt.fifo {
+		if !inBatch[src] {
+			keep = append(keep, src)
+		}
+	}
+	rt.fifo = append(keep, sources...)
+	for i, src := range missing {
+		rt.trees[src] = built[i]
+	}
+	budget := rt.max
+	if budget < len(sources) {
+		budget = len(sources)
+	}
+	for len(rt.trees) > budget && len(rt.fifo) > 0 {
+		old := rt.fifo[0]
+		rt.fifo = rt.fifo[1:]
+		delete(rt.trees, old)
+	}
+}
+
+// Tree returns src's shortest-path tree, building and caching it if
+// needed.
+func (rt *Routing) Tree(src int) *rtree {
+	if t, ok := rt.trees[src]; ok {
+		return t
+	}
+	rt.Ensure([]int{src}, 1)
+	return rt.trees[src]
+}
+
+// appendPath appends the edge ids of the tree path from dst back to the
+// tree's source onto buf and reports whether dst is reachable.
+func (t *rtree) appendPath(buf []int32, dst int) ([]int32, bool) {
+	if t.dist[dst] < 0 {
+		return buf, false
+	}
+	for v := int32(dst); t.parent[v] >= 0; v = t.parent[v] {
+		buf = append(buf, t.edge[v])
+	}
+	return buf, true
+}
+
+// EpochStats is one simulated epoch's observation row.
+type EpochStats struct {
+	Epoch     int `json:"epoch"`
+	Arrived   int `json:"arrived"`   // flows admitted this epoch
+	Completed int `json:"completed"` // flows finished this epoch
+	Active    int `json:"active"`    // flows in flight at epoch end
+	// MeanUtil and MaxUtil summarize link utilization under the epoch's
+	// max-min rates; OverloadFrac is the fraction of all links at or
+	// above the spec's overload threshold.
+	MeanUtil     float64 `json:"mean_util"`
+	MaxUtil      float64 `json:"max_util"`
+	OverloadFrac float64 `json:"overload_frac"`
+}
+
+// UtilBin is one point of the link-utilization CCDF: the fraction of
+// link-epochs with utilization at or above Util.
+type UtilBin struct {
+	Util float64 `json:"util"`
+	Frac float64 `json:"frac"`
+}
+
+// utilCCDFThresholds are the fixed CCDF sample points; a fixed grid
+// keeps the report schema stable across runs and sweep cells.
+var utilCCDFThresholds = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
+
+// SimReport is the outcome of one workload simulation: the resolved
+// spec, aggregate flow and utilization metrics, the per-epoch rows, and
+// (not serialized — it is O(links)) the time-averaged link loads as a
+// LoadReport.
+type SimReport struct {
+	Spec          WorkloadSpec `json:"spec"`
+	Arrived       int          `json:"arrived"`
+	Completed     int          `json:"completed"`
+	Undelivered   int          `json:"undelivered"` // flows to unreachable destinations
+	ResidualFlows int          `json:"residual_flows"`
+	ResidualSize  float64      `json:"residual_size"` // unfinished volume at the horizon
+	// MeanFCT is the mean flow completion time of completed flows, with
+	// sub-epoch completion instants estimated from the final rate.
+	MeanFCT    float64 `json:"mean_fct"`
+	MeanActive float64 `json:"mean_active"`
+	// MeanUtil, MaxUtil and OverloadFrac aggregate over link-epochs.
+	MeanUtil     float64      `json:"mean_util"`
+	MaxUtil      float64      `json:"max_util"`
+	OverloadFrac float64      `json:"overload_frac"`
+	UtilCCDF     []UtilBin    `json:"util_ccdf"`
+	Epochs       []EpochStats `json:"epochs"`
+	Links        *LoadReport  `json:"-"`
+}
+
+// WorkloadMetricNames is the fixed scalar schema of a SimReport, the
+// rows the sweep driver folds across seeds (order matches Scalars).
+func WorkloadMetricNames() []string {
+	return []string{"wl_mean_fct", "wl_mean_active", "wl_mean_util",
+		"wl_max_util", "wl_overload_frac", "wl_completed_frac"}
+}
+
+// Scalars returns the report's scalar metric vector in
+// WorkloadMetricNames order.
+func (rep *SimReport) Scalars() []float64 {
+	completedFrac := 1.0
+	if rep.Arrived > 0 {
+		completedFrac = float64(rep.Completed) / float64(rep.Arrived)
+	}
+	return []float64{rep.MeanFCT, rep.MeanActive, rep.MeanUtil,
+		rep.MaxUtil, rep.OverloadFrac, completedFrac}
+}
+
+// simFlow is one in-flight flow.
+type simFlow struct {
+	src, dst  int32
+	remaining float64
+	arrived   float64 // arrival instant
+	rate      float64 // current max-min rate; -1 while unallocated
+	path      []int32 // snapshot edge ids
+}
+
+// Simulate runs the flow-level workload over a frozen snapshot with
+// fresh routing state. See SimulateWith for the engine-memoized form
+// and the simulation semantics.
+func Simulate(s *graph.Snapshot, masses []float64, spec WorkloadSpec, r *rng.Rand, workers int) (*SimReport, error) {
+	return simulate(s, NewRouting(s), masses, spec, r, workers)
+}
+
+// SimulateWith runs the flow-level workload over the engine's snapshot,
+// reusing the routing state memoized in the engine (RoutingOf) so
+// repeated simulations of one topology — a sweep cell's grid of load
+// factors, a trajectory epoch's re-measurement — share shortest-path
+// trees.
+//
+// Semantics: time advances in epochs of length spec.EpochLen. At each
+// epoch start every origin's arrival source emits flows (origin o with
+// probability mass m(o) carries the share m(o)/Σm of the aggregate
+// arrival rate spec.LoadFactor·ΣC/spec.MeanSize); each flow draws a
+// destination gravity-weighted (∝ mass, excluding the origin) and a
+// size from the spec's distribution, and follows the origin's BFS
+// shortest-path tree. Within an epoch all active flows share link
+// capacity max-min fairly; completed flows leave at the epoch boundary
+// with a sub-epoch completion estimate. Every draw comes from streams
+// split off r per origin, and the allocation loop is sequential in
+// deterministic order, so the report is bit-identical at every worker
+// count — workers only shard BFS tree construction.
+func SimulateWith(eng *engine.Engine, masses []float64, spec WorkloadSpec, r *rng.Rand) (*SimReport, error) {
+	return simulate(eng.Snapshot(), RoutingOf(eng), masses, spec, r, eng.Workers())
+}
+
+func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpec, r *rng.Rand, workers int) (*SimReport, error) {
+	n := s.N()
+	if n < 2 {
+		return nil, errors.New("traffic: workload needs at least two nodes")
+	}
+	if len(masses) != n {
+		return nil, errors.New("traffic: masses size mismatch")
+	}
+	spec = spec.withDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if s.M() == 0 {
+		return nil, errors.New("traffic: workload needs at least one link")
+	}
+	positive := 0
+	var sumMass float64
+	for _, m := range masses {
+		if m < 0 {
+			return nil, errors.New("traffic: negative mass")
+		}
+		if m > 0 {
+			positive++
+		}
+		sumMass += m
+	}
+	if positive < 2 {
+		return nil, errors.New("traffic: workload needs at least two positive masses")
+	}
+	alias, err := rng.NewAliasTable(masses)
+	if err != nil {
+		return nil, err
+	}
+
+	// Link capacities: edge multiplicity × the capacity unit.
+	edges := s.EdgeList()
+	capEdge := make([]float64, len(edges))
+	var capTotal float64
+	for i, e := range edges {
+		capEdge[i] = float64(e.W) * spec.CapacityUnit
+		capTotal += capEdge[i]
+	}
+	lambdaTotal := spec.LoadFactor * capTotal / spec.MeanSize
+
+	// One split stream per origin with positive mass, keyed by node id:
+	// the stream feeds the origin's arrival process and, interleaved in
+	// arrival order, its destination and size draws. Worker count never
+	// touches these streams.
+	proc := spec.arrivalProcess()
+	sizes := spec.sizeDist()
+	var srcNodes []int
+	for u, m := range masses {
+		if m > 0 {
+			srcNodes = append(srcNodes, u)
+		}
+	}
+	streams := make([]*rng.Rand, len(srcNodes))
+	sources := make([]ArrivalSource, len(srcNodes))
+	for i, u := range srcNodes {
+		streams[i] = r.Split(uint64(u))
+		sources[i] = proc.NewSource(streams[i], lambdaTotal*masses[u]/sumMass)
+	}
+
+	rep := &SimReport{Spec: spec}
+	dt := spec.EpochLen
+	var (
+		active     []*simFlow
+		nflows     = make([]int32, len(edges))
+		capRem     = make([]float64, len(edges))
+		avgLoad    = make([]float64, len(edges))
+		ccdfCounts = make([]int, len(utilCCDFThresholds))
+		fctSum     float64
+		utilSum    float64
+		activeSum  int
+		overloaded int
+	)
+	type pending struct {
+		src, dst int
+		size     float64
+	}
+	for epoch := 0; epoch < spec.Epochs; epoch++ {
+		now := float64(epoch) * dt
+
+		// Arrivals, in ascending origin order.
+		var pend []pending
+		for i, u := range srcNodes {
+			k := sources[i].Arrivals(dt)
+			for j := 0; j < k; j++ {
+				dst := alias.NextWith(streams[i])
+				for dst == u {
+					dst = alias.NextWith(streams[i])
+				}
+				pend = append(pend, pending{src: u, dst: dst, size: sizes.Sample(streams[i])})
+			}
+		}
+
+		// Admit in source-contiguous chunks of at most the routing
+		// cache's tree budget: pend is grouped by ascending origin, so
+		// each chunk Ensures its distinct origins (parallel BFS builds)
+		// and reads paths before the next chunk can evict them — memory
+		// stays bounded by the budget even when one epoch's arrivals span
+		// more origins than the cache holds.
+		admitted := 0
+		for i := 0; i < len(pend); {
+			var batch []int
+			j := i
+			for j < len(pend) {
+				src := pend[j].src
+				if len(batch) == 0 || batch[len(batch)-1] != src {
+					if len(batch) == rt.max {
+						break
+					}
+					batch = append(batch, src)
+				}
+				j++
+			}
+			rt.Ensure(batch, workers)
+			for ; i < j; i++ {
+				p := pend[i]
+				path, ok := rt.Tree(p.src).appendPath(nil, p.dst)
+				if !ok {
+					rep.Undelivered++
+					continue
+				}
+				admitted++
+				active = append(active, &simFlow{
+					src: int32(p.src), dst: int32(p.dst),
+					remaining: p.size, arrived: now, rate: -1, path: path,
+				})
+			}
+		}
+		rep.Arrived += admitted
+
+		// Max-min fair rates: repeatedly find the bottleneck link
+		// (smallest equal share among links still carrying unallocated
+		// flows), fix its flows at that share, and release their claim on
+		// the rest of their paths. Sequential, fixed iteration order.
+		var links []int32 // links carrying active flows, first-use order
+		linkFlows := make(map[int32][]int32)
+		for fi, f := range active {
+			f.rate = -1
+			for _, e := range f.path {
+				if nflows[e] == 0 {
+					links = append(links, e)
+					capRem[e] = capEdge[e]
+				}
+				nflows[e]++
+				linkFlows[e] = append(linkFlows[e], int32(fi))
+			}
+		}
+		for unfixed := len(active); unfixed > 0; {
+			best := int32(-1)
+			var bestShare float64
+			for _, e := range links {
+				if nflows[e] == 0 {
+					continue
+				}
+				share := capRem[e] / float64(nflows[e])
+				if best < 0 || share < bestShare {
+					best, bestShare = e, share
+				}
+			}
+			if best < 0 {
+				break // unreachable: every flow crosses at least one link
+			}
+			if bestShare < 0 {
+				bestShare = 0 // floating-point slack
+			}
+			for _, fi := range linkFlows[best] {
+				f := active[fi]
+				if f.rate >= 0 {
+					continue
+				}
+				f.rate = bestShare
+				unfixed--
+				for _, e := range f.path {
+					capRem[e] -= bestShare
+					nflows[e]--
+				}
+			}
+		}
+
+		// Link observations under the epoch's rates.
+		var epochUtilSum, epochMaxUtil float64
+		epochOverloaded := 0
+		for _, e := range links {
+			// Max-min rates never exceed capacity; the subtraction chain
+			// can stray by an ulp in either direction, so clamp to [0, cap].
+			load := capEdge[e] - capRem[e]
+			if load < 0 {
+				load = 0
+			}
+			if load > capEdge[e] {
+				load = capEdge[e]
+			}
+			util := load / capEdge[e]
+			epochUtilSum += util
+			if util > epochMaxUtil {
+				epochMaxUtil = util
+			}
+			if util >= spec.OverloadAt {
+				epochOverloaded++
+			}
+			for ti, thr := range utilCCDFThresholds {
+				if util >= thr {
+					ccdfCounts[ti]++
+				}
+			}
+			avgLoad[e] += load * dt
+			nflows[e] = 0 // reset for the next epoch
+		}
+		utilSum += epochUtilSum
+		overloaded += epochOverloaded
+		if epochMaxUtil > rep.MaxUtil {
+			rep.MaxUtil = epochMaxUtil
+		}
+
+		// Advance flows by one epoch; completions leave with a sub-epoch
+		// completion estimate (the flow held its rate, so the estimate is
+		// exact up to within-epoch departures).
+		completedNow := 0
+		keep := active[:0]
+		for _, f := range active {
+			send := f.rate * dt
+			if f.rate > 0 && f.remaining <= send {
+				fctSum += now + f.remaining/f.rate - f.arrived
+				completedNow++
+				continue
+			}
+			f.remaining -= send
+			keep = append(keep, f)
+		}
+		active = keep
+		rep.Completed += completedNow
+		activeSum += len(active)
+		rep.Epochs = append(rep.Epochs, EpochStats{
+			Epoch:        epoch,
+			Arrived:      admitted,
+			Completed:    completedNow,
+			Active:       len(active),
+			MeanUtil:     epochUtilSum / float64(len(edges)),
+			MaxUtil:      epochMaxUtil,
+			OverloadFrac: float64(epochOverloaded) / float64(len(edges)),
+		})
+	}
+
+	rep.ResidualFlows = len(active)
+	for _, f := range active {
+		rep.ResidualSize += f.remaining
+	}
+	if rep.Completed > 0 {
+		rep.MeanFCT = fctSum / float64(rep.Completed)
+	}
+	linkEpochs := len(edges) * spec.Epochs
+	if linkEpochs > 0 {
+		rep.MeanActive = float64(activeSum) / float64(spec.Epochs)
+		rep.MeanUtil = utilSum / float64(linkEpochs)
+		rep.OverloadFrac = float64(overloaded) / float64(linkEpochs)
+	}
+	rep.UtilCCDF = make([]UtilBin, len(utilCCDFThresholds))
+	for ti, thr := range utilCCDFThresholds {
+		frac := 0.0
+		if linkEpochs > 0 {
+			frac = float64(ccdfCounts[ti]) / float64(linkEpochs)
+		}
+		rep.UtilCCDF[ti] = UtilBin{Util: thr, Frac: frac}
+	}
+
+	// Time-averaged link loads as a LoadReport, in edge-id order.
+	load := &LoadReport{}
+	horizon := float64(spec.Epochs) * dt
+	var loadSum float64
+	for id, l := range avgLoad {
+		if l == 0 {
+			continue
+		}
+		mean := l / horizon
+		e := edges[id]
+		load.Links = append(load.Links, LinkLoad{U: e.U, V: e.V, Load: mean})
+		loadSum += mean
+		if mean > load.MaxLoad {
+			load.MaxLoad = mean
+		}
+		if util := mean / capEdge[id]; util > load.MaxUtilization {
+			load.MaxUtilization = util
+		}
+	}
+	if len(load.Links) > 0 {
+		load.MeanLoad = loadSum / float64(len(load.Links))
+	}
+	rep.Links = load
+	return rep, nil
+}

@@ -80,21 +80,33 @@ func (m *Matrix) Total() float64 {
 
 // Demand is a row-streamed view of a traffic matrix: the frozen router
 // pulls one source row at a time, so implementations never need to hold
-// all N² entries. Row may fill buf (length N) and return it, or return
-// its own backing row; the returned slice is only read until the next
-// Row call on the same buf.
+// all N² entries.
 type Demand interface {
 	// N returns the number of nodes the demand is defined over.
 	N() int
 	// Row returns the demand from src to every node (self-demand zero).
+	// When buf has capacity for N entries, implementations reslice,
+	// fill and return buf; otherwise they return an internal backing
+	// row or a fresh slice. Either way the caller only reads the result
+	// until its next Row call with the same buf, and never mutates it.
 	Row(src int, buf []float64) []float64
 }
 
 // N implements Demand.
 func (m *Matrix) N() int { return len(m.Demand) }
 
-// Row implements Demand by returning the dense row, ignoring buf.
-func (m *Matrix) Row(src int, _ []float64) []float64 { return m.Demand[src] }
+// Row implements Demand, copying the dense row into buf when it has
+// the capacity — the shared Demand contract — and falling back to the
+// backing row otherwise.
+func (m *Matrix) Row(src int, buf []float64) []float64 {
+	row := m.Demand[src]
+	if cap(buf) >= len(row) {
+		buf = buf[:len(row)]
+		copy(buf, row)
+		return buf
+	}
+	return row
+}
 
 // GravityDemand is the streaming form of the gravity model: row u is
 // computed on demand as scale·m(u)·m(v), never materializing the dense
@@ -135,8 +147,15 @@ func NewGravityDemand(masses []float64, total float64) (*GravityDemand, error) {
 // N implements Demand.
 func (d *GravityDemand) N() int { return len(d.masses) }
 
-// Row implements Demand, filling buf with scale·m(src)·m(v).
+// Row implements Demand, filling buf with scale·m(src)·m(v) under the
+// shared contract: buf is resliced when its capacity suffices and
+// replaced by a fresh slice otherwise (there is no dense backing row to
+// fall back to).
 func (d *GravityDemand) Row(src int, buf []float64) []float64 {
+	if cap(buf) < len(d.masses) {
+		buf = make([]float64, len(d.masses))
+	}
+	buf = buf[:len(d.masses)]
 	w := d.masses[src] * d.scale
 	for v, m := range d.masses {
 		buf[v] = w * m
@@ -380,13 +399,17 @@ func RouteFrozenDemand(s *graph.Snapshot, d Demand, useCapacity bool, workers in
 }
 
 // HotSpots returns the indices (into rep.Links) of the k most loaded
-// links, most loaded first.
+// links, most loaded first; ties keep the lower index first. k values
+// outside [0, len(Links)] are clamped.
 func (rep *LoadReport) HotSpots(k int) []int {
 	idx := make([]int, len(rep.Links))
 	for i := range idx {
 		idx[i] = i
 	}
 	// partial selection sort: k is small in practice
+	if k < 0 {
+		k = 0
+	}
 	if k > len(idx) {
 		k = len(idx)
 	}
@@ -412,10 +435,15 @@ func UniformMasses(n int) []float64 {
 }
 
 // NoisyMasses perturbs masses multiplicatively by lognormal-ish noise,
-// for robustness experiments.
+// for robustness experiments. Sigma 0 is the identity on non-negative
+// masses; negative input masses are clamped to zero so the result is
+// always a valid mass vector for Gravity and the workload layer.
 func NoisyMasses(r *rng.Rand, masses []float64, sigma float64) []float64 {
 	out := make([]float64, len(masses))
 	for i, m := range masses {
+		if m < 0 {
+			m = 0
+		}
 		out[i] = m * math.Exp(r.Normal(0, sigma))
 	}
 	return out

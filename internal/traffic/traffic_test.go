@@ -171,6 +171,107 @@ func TestHotSpots(t *testing.T) {
 	}
 }
 
+func TestHotSpotsDegenerateK(t *testing.T) {
+	rep := &LoadReport{Links: []LinkLoad{{0, 1, 5}, {1, 2, 9}}}
+	if got := rep.HotSpots(0); len(got) != 0 {
+		t.Fatalf("HotSpots(0) = %v, want empty", got)
+	}
+	if got := rep.HotSpots(-3); len(got) != 0 {
+		t.Fatalf("HotSpots(-3) = %v, want empty", got)
+	}
+	if got := rep.HotSpots(7); len(got) != 2 || rep.Links[got[0]].Load != 9 {
+		t.Fatalf("HotSpots(7) = %v, want both links, busiest first", got)
+	}
+	if got := (&LoadReport{}).HotSpots(4); len(got) != 0 {
+		t.Fatalf("HotSpots on empty report = %v", got)
+	}
+}
+
+func TestHotSpotsTieOrdering(t *testing.T) {
+	// Equal loads keep the lower link index first: selection only swaps
+	// on a strictly greater load.
+	rep := &LoadReport{Links: []LinkLoad{
+		{0, 1, 7}, {1, 2, 9}, {2, 3, 9}, {3, 4, 7}, {4, 5, 1},
+	}}
+	got := rep.HotSpots(4)
+	want := []int{1, 2, 0, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tie ordering = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestNoisyMassesSigmaZeroIdentity(t *testing.T) {
+	masses := []float64{0, 1, 2.5, 7}
+	noisy := NoisyMasses(rng.New(1), masses, 0)
+	for i, m := range noisy {
+		if m != masses[i] {
+			t.Fatalf("sigma=0 changed mass %d: %v -> %v", i, masses[i], m)
+		}
+	}
+}
+
+func TestNoisyMassesClampsNegative(t *testing.T) {
+	noisy := NoisyMasses(rng.New(2), []float64{-3, 1, -0.5}, 0.4)
+	if noisy[0] != 0 || noisy[2] != 0 {
+		t.Fatalf("negative masses not clamped: %v", noisy)
+	}
+	if noisy[1] <= 0 {
+		t.Fatalf("positive mass must stay positive: %v", noisy)
+	}
+	// The clamped vector must be a valid Gravity input.
+	if _, err := Gravity(NoisyMasses(rng.New(3), []float64{-1, 2, 3}, 0.2), 10); err != nil {
+		t.Fatalf("clamped masses rejected by Gravity: %v", err)
+	}
+}
+
+func TestMatrixRowHonorsBuffer(t *testing.T) {
+	m, err := Gravity([]float64{1, 2, 3}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, 3)
+	row := m.Row(1, buf)
+	if &row[0] != &buf[0] {
+		t.Fatal("Row must fill the caller's buffer when it has capacity")
+	}
+	// Mutating the returned row must not corrupt the matrix.
+	row[0] = -99
+	if m.Demand[1][0] == -99 {
+		t.Fatal("Row leaked the backing row despite a capable buffer")
+	}
+	// An undersized buffer falls back to the backing row.
+	if short := m.Row(1, nil); &short[0] != &m.Demand[1][0] {
+		t.Fatal("Row with nil buffer should return the backing row")
+	}
+	// Both forms agree with GravityDemand.Row, the shared contract.
+	gd, err := NewGravityDemand([]float64{1, 2, 3}, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbuf := make([]float64, 3)
+	grow := gd.Row(1, gbuf)
+	for v := range grow {
+		if math.Abs(grow[v]-m.Demand[1][v]) > 1e-9 {
+			t.Fatalf("streamed row disagrees with dense row at %d: %v vs %v", v, grow[v], m.Demand[1][v])
+		}
+	}
+	// Capacity-only (length 0) and nil buffers satisfy the contract on
+	// both implementations: capacity suffices -> reslice and fill;
+	// otherwise a usable fresh slice (or backing row) comes back.
+	for name, d := range map[string]Demand{"matrix": m, "gravity": gd} {
+		capOnly := make([]float64, 0, 3)
+		row := d.Row(1, capOnly)
+		if len(row) != 3 || &row[0] != &capOnly[:1][0] {
+			t.Fatalf("%s: capacity-only buffer not resliced and filled", name)
+		}
+		if row := d.Row(1, nil); len(row) != 3 {
+			t.Fatalf("%s: nil buffer returned %d entries", name, len(row))
+		}
+	}
+}
+
 func TestNoisyMassesPreservesScale(t *testing.T) {
 	r := rng.New(5)
 	masses := UniformMasses(2000)

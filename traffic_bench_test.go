@@ -1,0 +1,157 @@
+package netmodel
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/graph"
+	"netmodel/internal/rng"
+	"netmodel/internal/traffic"
+)
+
+// The traffic benchmarks time the flow-level workload simulator over a
+// frozen BA map at two pool widths: workers=1 (fully sequential,
+// including shortest-path tree construction) versus the sharded tree
+// builds. The two runs must be byte-identical — the simulator's
+// determinism contract at benchmark scale — and the JSON file records a
+// 10k-node smoke row next to the acceptance row at -traffic-bench-n
+// (100k by default):
+//
+//	make bench-traffic            # writes BENCH_traffic.json
+//	go test -bench TrafficSim .   # standard benchmark rows
+var (
+	trafficBenchOut    = flag.String("traffic-bench-out", "", "write sequential-vs-parallel workload timings to this JSON file")
+	trafficBenchN      = flag.Int("traffic-bench-n", 100000, "workload acceptance row map size")
+	trafficBenchEpochs = flag.Int("traffic-bench-epochs", 10, "workload benchmark epochs")
+	trafficBenchFlows  = flag.Int("traffic-bench-flows", 1000, "target flow arrivals per epoch")
+)
+
+// trafficBenchSetup freezes a BA map of n nodes and derives the
+// workload spec whose mean flow size puts the aggregate arrival rate at
+// roughly flows per epoch (load factor fixed at 0.7).
+func trafficBenchSetup(tb testing.TB, n, flows int) (*graph.Snapshot, []float64, traffic.WorkloadSpec) {
+	tb.Helper()
+	top, err := gen.GenerateWith(gen.BA{N: n, M: 2}, rng.New(1), genBenchWorkers)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	snap, err := top.G.FreezeChecked()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	masses := make([]float64, snap.N())
+	for u := range masses {
+		masses[u] = float64(snap.Degree(u))
+	}
+	var capTotal float64
+	for _, e := range snap.EdgeList() {
+		capTotal += float64(e.W)
+	}
+	const load = 0.7
+	spec := traffic.WorkloadSpec{
+		LoadFactor: load,
+		Epochs:     *trafficBenchEpochs,
+		MeanSize:   load * capTotal / float64(flows),
+	}
+	return snap, masses, spec
+}
+
+// runTrafficSim simulates the workload and returns the report encoded
+// as JSON (aggregate report plus the link loads), the identity the
+// sequential and parallel runs are compared on.
+func runTrafficSim(tb testing.TB, snap *graph.Snapshot, masses []float64, spec traffic.WorkloadSpec, workers int) []byte {
+	tb.Helper()
+	rep, err := traffic.Simulate(snap, masses, spec, rng.New(7), workers)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if rep.Arrived == 0 {
+		tb.Fatal("benchmark workload admitted no flows")
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	links, err := json.Marshal(rep.Links)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return append(data, links...)
+}
+
+func benchTrafficSim(b *testing.B, workers int) {
+	snap, masses, spec := trafficBenchSetup(b, 2000, 100)
+	spec.Epochs = 5
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runTrafficSim(b, snap, masses, spec, workers)
+	}
+}
+
+func BenchmarkTrafficSimSequential(b *testing.B) { benchTrafficSim(b, 1) }
+func BenchmarkTrafficSimParallel(b *testing.B)   { benchTrafficSim(b, genBenchWorkers) }
+
+// TestTrafficBenchJSON times the workload simulation at both pool
+// widths on the 10k smoke map and the acceptance map, checks the runs
+// are byte-identical, and records the rows in the JSON file named by
+// -traffic-bench-out (BENCH_traffic.json via `make bench-traffic`).
+func TestTrafficBenchJSON(t *testing.T) {
+	if *trafficBenchOut == "" {
+		t.Skip("enable with -traffic-bench-out <file>")
+	}
+	type row struct {
+		Name    string  `json:"name"`
+		N       int     `json:"n"`
+		Epochs  int     `json:"epochs"`
+		Flows   int     `json:"flows_per_epoch"`
+		Workers int     `json:"workers"`
+		Cores   int     `json:"cores"`
+		NsPerOp int64   `json:"ns_per_op"`
+		Speedup float64 `json:"speedup,omitempty"`
+	}
+	// The 10k smoke row accompanies the acceptance row only when the
+	// latter is larger, so a small -traffic-bench-n (the CI race smoke)
+	// genuinely shrinks the run.
+	sizes := []int{*trafficBenchN}
+	if *trafficBenchN > 10000 {
+		sizes = []int{10000, *trafficBenchN}
+	}
+	var rows []row
+	for _, n := range sizes {
+		snap, masses, spec := trafficBenchSetup(t, n, *trafficBenchFlows)
+		start := time.Now()
+		seq := runTrafficSim(t, snap, masses, spec, 1)
+		seqTime := time.Since(start)
+		start = time.Now()
+		par := runTrafficSim(t, snap, masses, spec, genBenchWorkers)
+		parTime := time.Since(start)
+		if !bytes.Equal(seq, par) {
+			t.Fatalf("n=%d: workers=%d simulation diverged from sequential", n, genBenchWorkers)
+		}
+		speedup := float64(seqTime) / float64(parTime)
+		rows = append(rows,
+			row{Name: "traffic-sim-sequential", N: n, Epochs: *trafficBenchEpochs,
+				Flows: *trafficBenchFlows, Workers: 1, Cores: runtime.GOMAXPROCS(0),
+				NsPerOp: seqTime.Nanoseconds()},
+			row{Name: "traffic-sim-parallel", N: n, Epochs: *trafficBenchEpochs,
+				Flows: *trafficBenchFlows, Workers: genBenchWorkers, Cores: runtime.GOMAXPROCS(0),
+				NsPerOp: parTime.Nanoseconds(), Speedup: speedup})
+		t.Logf("n=%d: sequential %v, parallel %v (%.2fx, byte-identical)", n, seqTime, parTime, speedup)
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*trafficBenchOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("wrote %d traffic benchmark rows to %s\n", len(rows), *trafficBenchOut)
+}

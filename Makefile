@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-traffic lint fmt ci
+.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-traffic bench-check staticcheck lint fmt ci
 
 all: build
 
@@ -40,11 +40,30 @@ bench-sweep:
 	$(GO) test -run TestSweepBenchJSON -sweep-bench-out BENCH_sweep.json .
 
 # Workload acceptance: the flow-level simulator over a frozen BA map
-# at 10k (smoke) and 100k (acceptance) nodes, sequential vs sharded
-# tree builds, byte-identical outputs checked and timings recorded in
-# BENCH_traffic.json. The CI smoke runs a 2k variant under -race.
+# at 10k (smoke) and 100k (acceptance) nodes, epoch engine vs event
+# engine over pre-routed flows, event-engine pool widths checked
+# byte-identical and cross-engine per-flow completion times asserted,
+# timings recorded in BENCH_traffic.json. The CI smoke runs a 2k
+# variant under -race, once per engine.
 bench-traffic:
 	$(GO) test -run TestTrafficBenchJSON -traffic-bench-out BENCH_traffic.json .
+
+# Benchmark-regression gate: the speedup fields of the BENCH_*.json
+# files in the working tree must clear the committed floors in
+# bench_floors.json. Floors scoped by min_n/min_cores skip rows from
+# smoke configs and few-core boxes; required floors must find their
+# acceptance-scale row.
+bench-check:
+	$(GO) run ./cmd/benchcheck -floors bench_floors.json
+
+# staticcheck is pinned in CI (installed into the runner's Go bin);
+# locally this uses whatever staticcheck is on PATH and explains how
+# to get one when absent.
+staticcheck:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "staticcheck not installed; run:" >&2; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@2025.1.1" >&2; exit 1; }
+	staticcheck ./...
 
 lint:
 	$(GO) vet ./...
@@ -56,4 +75,4 @@ lint:
 fmt:
 	gofmt -w .
 
-ci: build lint test bench
+ci: build lint test bench bench-check

@@ -1,0 +1,554 @@
+package traffic
+
+import (
+	"netmodel/internal/par"
+)
+
+// This file is the event-calendar engine (WorkloadSpec.Engine "event"):
+// the scalable implementation of the same epoch-quantized flow dynamics
+// the discrete-epoch engine defines. Instead of re-solving the whole
+// max-min allocation and scanning every active flow each epoch, it
+//
+//   - pre-draws the entire arrival calendar from the per-origin
+//     seed-split streams (parallel across origins, merged by origin
+//     index — the draws are bit-identical to the epoch engine's),
+//   - keeps persistent per-link flow sets and marks links dirty when a
+//     flow arrives or departs on them,
+//   - re-solves only the dirty links' dependency closure — the
+//     connected components of the flow–link incidence graph that
+//     contain a membership change — with a lazy-heap water-fill whose
+//     cost is O(flow-hops · log) instead of O(rounds · links), solving
+//     independent components in parallel via par.ForEach and merging by
+//     deterministic component index, and
+//   - predicts each flow's departure on a calendar heap, invalidated by
+//     version counter whenever the flow's rate changes, so epochs in
+//     which a flow's component is untouched cost it nothing.
+//
+// Determinism: admission order, dirty-list order, component discovery
+// order and the departure heap's (time, flow id) total order are all
+// worker-independent, and the parallel phases (calendar pre-draw, BFS
+// tree builds, component solves) write only index-private state — so
+// the report is byte-identical at every worker count. Equivalence with
+// the epoch engine is exact on the admitted flow population and exact
+// up to floating-point association order on rates and completion times
+// (the two engines fix bottlenecks in the same ascending-share order
+// but break share ties differently), which the equivalence suite pins
+// with a tight relative tolerance.
+
+// evFlow is one flow of the event engine, indexed by admission order.
+type evFlow struct {
+	src, dst  int32
+	done      bool
+	version   uint32  // departure-event validity; bump to invalidate
+	upEpoch   int32   // epoch remaining was last materialized at
+	remaining float64 // unfinished volume as of upEpoch
+	size      float64
+	arrived   float64
+	rate      float64 // current max-min rate; -1 while unallocated
+	path      []int32 // snapshot edge ids
+}
+
+// depEvent is a predicted departure: flow id completes at instant t
+// unless its rate changed since (version mismatch).
+type depEvent struct {
+	t   float64
+	id  int32
+	ver uint32
+}
+
+// depHeap is a binary min-heap of departure events ordered by
+// (t, flow id) — a total order over valid events, so pop order is
+// independent of push order and of the worker count.
+type depHeap struct{ a []depEvent }
+
+func (h *depHeap) less(x, y depEvent) bool {
+	return x.t < y.t || (x.t == y.t && x.id < y.id)
+}
+
+func (h *depHeap) push(ev depEvent) {
+	h.a = append(h.a, ev)
+	for i := len(h.a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *depHeap) pop() depEvent {
+	root := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.less(h.a[l], h.a[m]) {
+			m = l
+		}
+		if r < last && h.less(h.a[r], h.a[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return root
+}
+
+// shareEntry is one lazy heap entry of the component water-fill: link e
+// offered share `share` at link-version ver. Entries whose version no
+// longer matches are skipped on pop.
+type shareEntry struct {
+	share float64
+	e     int32
+	ver   uint32
+}
+
+// shareHeap is a binary min-heap by (share, edge id) — deterministic
+// bottleneck selection no matter the push order.
+type shareHeap struct{ a []shareEntry }
+
+func (h *shareHeap) reset() { h.a = h.a[:0] }
+
+func (h *shareHeap) less(x, y shareEntry) bool {
+	return x.share < y.share || (x.share == y.share && x.e < y.e)
+}
+
+func (h *shareHeap) push(en shareEntry) {
+	h.a = append(h.a, en)
+	for i := len(h.a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if !h.less(h.a[i], h.a[p]) {
+			break
+		}
+		h.a[i], h.a[p] = h.a[p], h.a[i]
+		i = p
+	}
+}
+
+func (h *shareHeap) pop() shareEntry {
+	root := h.a[0]
+	last := len(h.a) - 1
+	h.a[0] = h.a[last]
+	h.a = h.a[:last]
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < last && h.less(h.a[l], h.a[m]) {
+			m = l
+		}
+		if r < last && h.less(h.a[r], h.a[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h.a[i], h.a[m] = h.a[m], h.a[i]
+		i = m
+	}
+	return root
+}
+
+// bottleneckComp is one connected component of the flow–link incidence
+// graph touched by this epoch's membership changes, in deterministic
+// discovery order. Components are disjoint, so solving them is
+// embarrassingly parallel.
+type bottleneckComp struct {
+	links []int32
+	flows []int32
+}
+
+// eventSim is the engine's evolving state.
+type eventSim struct {
+	ctx *simContext
+	dt  float64
+
+	flows []evFlow
+
+	// Per-link state. lflows holds live flow ids in admission order
+	// (compacted of completed ids whenever the closure visits the
+	// link); nact counts them; load is the link's current allocated
+	// load, persisted across epochs so clean components are never
+	// rescanned.
+	lflows [][]int32
+	nact   []int32
+	load   []float64
+
+	// Dirty links accumulated since the last closure, in deterministic
+	// mark order.
+	dirtyList []int32
+	inDirty   []bool
+
+	// carrying lists links with active flows, in first-activation
+	// order; the per-epoch observation pass iterates and compacts it.
+	carrying   []int32
+	inCarrying []bool
+
+	// Closure scratch: epoch-stamped visited marks (stamp epoch+1, so
+	// the zero value is never a valid stamp) and the BFS queue.
+	linkSeen []int32
+	flowSeen []int32
+	queueBuf []int32
+
+	// Solver scratch, written only by the solve owning the link.
+	capRem   []float64
+	nUnfixed []int32
+	linkVer  []uint32
+
+	departures depHeap
+}
+
+func (ev *eventSim) markDirty(e int32) {
+	if !ev.inDirty[e] {
+		ev.inDirty[e] = true
+		ev.dirtyList = append(ev.dirtyList, e)
+	}
+}
+
+// buildCalendar pre-draws every origin's arrivals for the whole horizon
+// — parallel across origins, since each origin draws only from its own
+// split stream — and merges them into per-epoch admission lists in
+// ascending origin order, exactly the order the epoch engine draws in.
+func buildCalendar(ctx *simContext) [][]pending {
+	epochs := ctx.spec.Epochs
+	dt := ctx.spec.EpochLen
+	type originCal struct {
+		counts []int32
+		pend   []pending
+	}
+	cals := make([]originCal, len(ctx.srcNodes))
+	par.ForEach(len(ctx.srcNodes), par.Workers(ctx.workers), func(_, i int) {
+		oc := originCal{counts: make([]int32, epochs)}
+		for e := 0; e < epochs; e++ {
+			before := len(oc.pend)
+			oc.pend = ctx.drawArrivals(i, dt, oc.pend)
+			oc.counts[e] = int32(len(oc.pend) - before)
+		}
+		cals[i] = oc
+	})
+	calendar := make([][]pending, epochs)
+	offs := make([]int32, len(cals))
+	for e := 0; e < epochs; e++ {
+		var ep []pending
+		for i := range cals {
+			k := cals[i].counts[e]
+			if k > 0 {
+				ep = append(ep, cals[i].pend[offs[i]:offs[i]+k]...)
+				offs[i] += k
+			}
+		}
+		calendar[e] = ep
+	}
+	return calendar
+}
+
+// closure consumes the dirty list and returns the affected connected
+// components of the flow–link incidence graph: BFS from each dirty link
+// in mark order, alternating link → live flows → their path links.
+// Visiting a flow materializes its remaining volume at the current
+// epoch, invalidates its scheduled departure and marks it unallocated;
+// visiting a link compacts completed ids out of its flow set. Links and
+// flows outside the closure keep their rates, loads and predicted
+// departures untouched.
+func (ev *eventSim) closure(epoch int) []bottleneckComp {
+	stamp := int32(epoch + 1)
+	var comps []bottleneckComp
+	for _, seed := range ev.dirtyList {
+		ev.inDirty[seed] = false
+		if ev.linkSeen[seed] == stamp {
+			continue
+		}
+		ev.linkSeen[seed] = stamp
+		var c bottleneckComp
+		queue := append(ev.queueBuf[:0], seed)
+		for qi := 0; qi < len(queue); qi++ {
+			e := queue[qi]
+			c.links = append(c.links, e)
+			live := ev.lflows[e][:0]
+			for _, fid := range ev.lflows[e] {
+				f := &ev.flows[fid]
+				if f.done {
+					continue
+				}
+				live = append(live, fid)
+				if ev.flowSeen[fid] == stamp {
+					continue
+				}
+				ev.flowSeen[fid] = stamp
+				if f.rate > 0 && int32(epoch) > f.upEpoch {
+					f.remaining -= f.rate * float64(int32(epoch)-f.upEpoch) * ev.dt
+				}
+				f.upEpoch = int32(epoch)
+				f.rate = -1
+				f.version++ // strand any scheduled departure
+				c.flows = append(c.flows, fid)
+				for _, g := range f.path {
+					if ev.linkSeen[g] != stamp {
+						ev.linkSeen[g] = stamp
+						queue = append(queue, g)
+					}
+				}
+			}
+			ev.lflows[e] = live
+		}
+		ev.queueBuf = queue[:0]
+		comps = append(comps, c)
+	}
+	ev.dirtyList = ev.dirtyList[:0]
+	return comps
+}
+
+// solveComponent water-fills one component from scratch: a lazy heap of
+// (capRem/nUnfixed, edge id) keys pops the bottleneck link, fixes its
+// unallocated flows at the bottleneck share, and re-keys every link
+// those flows cross. Each fix costs O(path · log) instead of the epoch
+// engine's O(links) scan per bottleneck round. The component's links
+// and flows are private to this call, so parallel solves never touch
+// shared state.
+func (ev *eventSim) solveComponent(c *bottleneckComp, h *shareHeap) {
+	for _, e := range c.links {
+		ev.capRem[e] = ev.capEdge(e)
+		ev.nUnfixed[e] = ev.nact[e]
+		ev.linkVer[e]++
+	}
+	h.reset()
+	for _, e := range c.links {
+		if ev.nUnfixed[e] > 0 {
+			h.push(shareEntry{ev.capRem[e] / float64(ev.nUnfixed[e]), e, ev.linkVer[e]})
+		}
+	}
+	for unfixed := len(c.flows); unfixed > 0 && len(h.a) > 0; {
+		en := h.pop()
+		if en.ver != ev.linkVer[en.e] || ev.nUnfixed[en.e] == 0 {
+			continue // stale key
+		}
+		best := en.e
+		bestShare := ev.capRem[best] / float64(ev.nUnfixed[best])
+		if bestShare < 0 {
+			bestShare = 0 // floating-point slack
+		}
+		for _, fid := range ev.lflows[best] {
+			f := &ev.flows[fid]
+			if f.rate >= 0 {
+				continue
+			}
+			f.rate = bestShare
+			unfixed--
+			for _, g := range f.path {
+				ev.capRem[g] -= bestShare
+				ev.nUnfixed[g]--
+				ev.linkVer[g]++
+				if ev.nUnfixed[g] > 0 {
+					h.push(shareEntry{ev.capRem[g] / float64(ev.nUnfixed[g]), g, ev.linkVer[g]})
+				}
+			}
+		}
+		// Snap the exhausted bottleneck's residue to exactly zero, the
+		// same ulp discipline as the epoch engine — saturated
+		// bottlenecks read utilization 1.0 exactly in both.
+		ev.capRem[best] = 0
+	}
+	for _, e := range c.links {
+		load := ev.capEdge(e) - ev.capRem[e]
+		if load < 0 {
+			load = 0
+		}
+		if load > ev.capEdge(e) {
+			load = ev.capEdge(e)
+		}
+		ev.load[e] = load
+	}
+}
+
+func (ev *eventSim) capEdge(e int32) float64 { return ev.ctx.capEdge[e] }
+
+// simulateEvent runs the event-calendar engine. The per-epoch phases —
+// admission, closure, parallel component solves, departure scheduling,
+// observation, departures — replicate the epoch engine's ordering
+// (arrivals and rates first, link observations under those rates, then
+// completions leave at the boundary), so the two engines agree on the
+// trajectory.
+func simulateEvent(ctx *simContext) (*SimReport, error) {
+	spec := ctx.spec
+	nLinks := len(ctx.edges)
+	ev := &eventSim{
+		ctx:        ctx,
+		dt:         spec.EpochLen,
+		lflows:     make([][]int32, nLinks),
+		nact:       make([]int32, nLinks),
+		load:       make([]float64, nLinks),
+		inDirty:    make([]bool, nLinks),
+		inCarrying: make([]bool, nLinks),
+		linkSeen:   make([]int32, nLinks),
+		flowSeen:   nil,
+		capRem:     make([]float64, nLinks),
+		nUnfixed:   make([]int32, nLinks),
+		linkVer:    make([]uint32, nLinks),
+	}
+	rep := &SimReport{Spec: spec}
+	dt := ev.dt
+	var (
+		avgLoad     = make([]float64, nLinks)
+		ccdfCounts  = make([]int, len(utilCCDFThresholds))
+		fctSum      float64
+		utilSum     float64
+		activeSum   int
+		overloaded  int
+		activeCount int
+		solvers     []*shareHeap
+	)
+	for w := 0; w < par.Workers(ctx.workers); w++ {
+		solvers = append(solvers, &shareHeap{})
+	}
+
+	calendar := buildCalendar(ctx)
+	for epoch := 0; epoch < spec.Epochs; epoch++ {
+		now := float64(epoch) * dt
+
+		// Admission: route the pre-drawn arrivals, create flows, add
+		// them to their links' sets and dirty those links.
+		admitted := 0
+		rep.Undelivered += admitPending(ctx.rt, ctx.workers, calendar[epoch], func(p pending, path []int32) {
+			id := int32(len(ev.flows))
+			ev.flows = append(ev.flows, evFlow{
+				src: int32(p.src), dst: int32(p.dst),
+				upEpoch: int32(epoch), remaining: p.size, size: p.size,
+				arrived: now, rate: -1, path: path,
+			})
+			ev.flowSeen = append(ev.flowSeen, 0)
+			if ctx.cfg.trace {
+				rep.Flows = append(rep.Flows, FlowRecord{
+					Src: p.src, Dst: p.dst, Size: p.size, Arrived: now,
+				})
+			}
+			for _, g := range path {
+				ev.nact[g]++
+				ev.lflows[g] = append(ev.lflows[g], id)
+				ev.markDirty(g)
+				if !ev.inCarrying[g] {
+					ev.inCarrying[g] = true
+					ev.carrying = append(ev.carrying, g)
+				}
+			}
+			admitted++
+			activeCount++
+		})
+		rep.Arrived += admitted
+		calendar[epoch] = nil
+
+		// Re-solve only the affected components, in parallel. Writes are
+		// component-private and the component list is deterministic, so
+		// the merged state is byte-identical at every worker count.
+		comps := ev.closure(epoch)
+		par.ForEach(len(comps), ctx.workers, func(w, i int) {
+			ev.solveComponent(&comps[i], solvers[w])
+		})
+
+		// Schedule departures for the re-rated flows (sequential, in
+		// component order; the heap's total order makes pop order
+		// independent of push order anyway).
+		for i := range comps {
+			for _, fid := range comps[i].flows {
+				f := &ev.flows[fid]
+				if f.rate > 0 {
+					ev.departures.push(depEvent{t: now + f.remaining/f.rate, id: fid, ver: f.version})
+				}
+			}
+		}
+
+		// Link observations under this epoch's rates, compacting links
+		// whose flows have all departed out of the carrying list.
+		var epochUtilSum, epochMaxUtil float64
+		epochOverloaded := 0
+		keep := ev.carrying[:0]
+		for _, e := range ev.carrying {
+			if ev.nact[e] == 0 {
+				ev.inCarrying[e] = false
+				continue
+			}
+			keep = append(keep, e)
+			util := utilOf(ev.load[e], ev.capEdge(e))
+			epochUtilSum += util
+			if util > epochMaxUtil {
+				epochMaxUtil = util
+			}
+			if util >= spec.OverloadAt {
+				epochOverloaded++
+			}
+			for ti, thr := range utilCCDFThresholds {
+				if util >= thr {
+					ccdfCounts[ti]++
+				}
+			}
+			avgLoad[e] += ev.load[e] * dt
+		}
+		ev.carrying = keep
+		utilSum += epochUtilSum
+		overloaded += epochOverloaded
+		if epochMaxUtil > rep.MaxUtil {
+			rep.MaxUtil = epochMaxUtil
+		}
+
+		// Departures: pop every event predicted inside this epoch; an
+		// event is valid only if the flow still holds the rate it was
+		// predicted under. Removals dirty the flow's links for the next
+		// epoch's closure.
+		completedNow := 0
+		boundary := float64(epoch+1) * dt
+		for len(ev.departures.a) > 0 && ev.departures.a[0].t <= boundary {
+			de := ev.departures.pop()
+			f := &ev.flows[de.id]
+			if f.done || de.ver != f.version || f.rate <= 0 {
+				continue // stranded prediction
+			}
+			f.done = true
+			fctSum += de.t - f.arrived
+			completedNow++
+			activeCount--
+			if ctx.cfg.trace {
+				rep.Flows[de.id].Done = true
+				rep.Flows[de.id].Finished = de.t
+			}
+			for _, g := range f.path {
+				ev.nact[g]--
+				ev.markDirty(g)
+			}
+		}
+		rep.Completed += completedNow
+		activeSum += activeCount
+		rep.Epochs = append(rep.Epochs, EpochStats{
+			Epoch:        epoch,
+			Arrived:      admitted,
+			Completed:    completedNow,
+			Active:       activeCount,
+			MeanUtil:     epochUtilSum / float64(nLinks),
+			MaxUtil:      epochMaxUtil,
+			OverloadFrac: float64(epochOverloaded) / float64(nLinks),
+		})
+	}
+
+	// Residuals: materialize every live flow's remaining volume at the
+	// horizon, in admission order (the epoch engine's order too).
+	rep.ResidualFlows = activeCount
+	for id := range ev.flows {
+		f := &ev.flows[id]
+		if f.done {
+			continue
+		}
+		rem := f.remaining
+		if f.rate > 0 && int32(spec.Epochs) > f.upEpoch {
+			rem -= f.rate * float64(int32(spec.Epochs)-f.upEpoch) * dt
+		}
+		if rem < 0 {
+			rem = 0 // an ulp past the horizon
+		}
+		rep.ResidualSize += rem
+	}
+	finishReport(rep, ctx, fctSum, utilSum, activeSum, overloaded, ccdfCounts, avgLoad)
+	return rep, nil
+}

@@ -26,6 +26,37 @@ type Routing struct {
 	max     int // tree-cache budget, a pure function of the node count
 	trees   map[int]*rtree
 	fifo    []int // cached sources, oldest first
+	// paths memoizes resolved origin-destination paths (nil = dst
+	// unreachable from src). A path is ~40 bytes against ~12n for a
+	// tree, so repeated OD pairs — re-runs over one snapshot, heavy
+	// origins inside one run — skip the BFS entirely even after the
+	// tree cache evicted the origin's tree.
+	paths map[int64][]int32
+}
+
+// routingPathBudget caps the memoized paths (entries, not bytes; a
+// deterministic stop-inserting cap, never an eviction).
+const routingPathBudget = 1 << 18
+
+func pathKey(src, dst int) int64 { return int64(src)<<32 | int64(uint32(dst)) }
+
+// cachedPath returns the memoized path for (src, dst): path, whether
+// the pair is cached at all, and whether dst is unreachable from src.
+func (rt *Routing) cachedPath(src, dst int) (path []int32, ok, unreachable bool) {
+	p, ok := rt.paths[pathKey(src, dst)]
+	return p, ok, ok && p == nil
+}
+
+// storePath memoizes a resolved (src, dst) path (nil for unreachable)
+// while the budget lasts.
+func (rt *Routing) storePath(src, dst int, path []int32, reachable bool) {
+	if len(rt.paths) >= routingPathBudget {
+		return
+	}
+	if !reachable {
+		path = nil
+	}
+	rt.paths[pathKey(src, dst)] = path
 }
 
 // rtree is one origin's BFS tree over the snapshot.
@@ -45,7 +76,8 @@ func NewRouting(s *graph.Snapshot) *Routing {
 	if max < 16 {
 		max = 16
 	}
-	return &Routing{s: s, arcEdge: s.ArcEdgeIDs(), max: max, trees: make(map[int]*rtree)}
+	return &Routing{s: s, arcEdge: s.ArcEdgeIDs(), max: max,
+		trees: make(map[int]*rtree), paths: make(map[int64][]int32)}
 }
 
 // RoutingOf returns the routing state memoized in the engine's
@@ -184,6 +216,18 @@ type UtilBin struct {
 // keeps the report schema stable across runs and sweep cells.
 var utilCCDFThresholds = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1}
 
+// FlowRecord is one admitted flow's trace row, recorded in admission
+// order when the simulation runs with WithFlowTrace. Flow identity (the
+// slice index) is engine-independent: both engines admit the same flows
+// in the same order from the same streams.
+type FlowRecord struct {
+	Src, Dst int
+	Size     float64
+	Arrived  float64 // arrival instant
+	Finished float64 // completion instant; meaningful only when Done
+	Done     bool
+}
+
 // SimReport is the outcome of one workload simulation: the resolved
 // spec, aggregate flow and utilization metrics, the per-epoch rows, and
 // (not serialized — it is O(links)) the time-averaged link loads as a
@@ -206,6 +250,10 @@ type SimReport struct {
 	UtilCCDF     []UtilBin    `json:"util_ccdf"`
 	Epochs       []EpochStats `json:"epochs"`
 	Links        *LoadReport  `json:"-"`
+	// Flows holds the per-flow trace in admission order when the
+	// simulation ran with WithFlowTrace, nil otherwise. Never
+	// serialized: it is O(arrivals).
+	Flows []FlowRecord `json:"-"`
 }
 
 // WorkloadMetricNames is the fixed scalar schema of a SimReport, the
@@ -226,20 +274,87 @@ func (rep *SimReport) Scalars() []float64 {
 		rep.MaxUtil, rep.OverloadFrac, completedFrac}
 }
 
-// simFlow is one in-flight flow.
+// SimOption tweaks a simulation without widening the WorkloadSpec wire
+// format.
+type simConfig struct {
+	linkCaps []float64
+	trace    bool
+	rt       *Routing
+}
+
+// SimOption is a functional option of Simulate and SimulateWith.
+type SimOption func(*simConfig)
+
+// WithLinkCapacities overrides the per-edge capacities (indexed by
+// snapshot edge id) in place of multiplicity × spec.CapacityUnit.
+// Capacities must be finite and non-negative; zero-capacity links are
+// legal — flows routed across one are stuck at rate zero and the link
+// counts as utilization zero. The override is how heterogeneous access
+// capacities and dead links enter the simulator.
+func WithLinkCapacities(caps []float64) SimOption {
+	return func(c *simConfig) { c.linkCaps = caps }
+}
+
+// WithFlowTrace records every admitted flow's completion time in
+// SimReport.Flows — the hook the engine-equivalence suite compares on.
+// Tracing is O(arrivals) memory, so it is opt-in.
+func WithFlowTrace() SimOption {
+	return func(c *simConfig) { c.trace = true }
+}
+
+// WithRouting shares a routing state (NewRouting) across simulations of
+// one snapshot, the Simulate-level counterpart of SimulateWith's
+// engine-memoized trees: repeated runs — a benchmark comparing engines,
+// a caller sweeping load factors by hand — skip rebuilding BFS trees
+// for sources already ensured. Trees are per-source deterministic, so
+// sharing never changes results.
+func WithRouting(rt *Routing) SimOption {
+	return func(c *simConfig) { c.rt = rt }
+}
+
+// simFlow is one in-flight flow of the epoch engine.
 type simFlow struct {
 	src, dst  int32
+	id        int32 // admission index, the trace identity
 	remaining float64
 	arrived   float64 // arrival instant
 	rate      float64 // current max-min rate; -1 while unallocated
 	path      []int32 // snapshot edge ids
 }
 
+// pending is one drawn-but-unrouted arrival.
+type pending struct {
+	src, dst int
+	size     float64
+}
+
+// simContext is the engine-independent simulation state: the validated
+// spec, per-edge capacities, the per-origin arrival sources and their
+// split streams, and the destination sampler. Both engines draw from
+// exactly this state in exactly the same order, which is what makes
+// their flow populations identical.
+type simContext struct {
+	s       *graph.Snapshot
+	rt      *Routing
+	spec    WorkloadSpec
+	cfg     simConfig
+	workers int
+	edges   []graph.Edge
+	capEdge []float64
+	// srcNodes are the origins with positive mass, ascending; streams
+	// and sources are indexed alongside.
+	srcNodes []int
+	streams  []*rng.Rand
+	sources  []ArrivalSource
+	sizes    SizeDist
+	alias    *rng.Alias
+}
+
 // Simulate runs the flow-level workload over a frozen snapshot with
 // fresh routing state. See SimulateWith for the engine-memoized form
 // and the simulation semantics.
-func Simulate(s *graph.Snapshot, masses []float64, spec WorkloadSpec, r *rng.Rand, workers int) (*SimReport, error) {
-	return simulate(s, NewRouting(s), masses, spec, r, workers)
+func Simulate(s *graph.Snapshot, masses []float64, spec WorkloadSpec, r *rng.Rand, workers int, opts ...SimOption) (*SimReport, error) {
+	return simulate(s, NewRouting(s), masses, spec, r, workers, opts...)
 }
 
 // SimulateWith runs the flow-level workload over the engine's snapshot,
@@ -257,14 +372,15 @@ func Simulate(s *graph.Snapshot, masses []float64, spec WorkloadSpec, r *rng.Ran
 // shortest-path tree. Within an epoch all active flows share link
 // capacity max-min fairly; completed flows leave at the epoch boundary
 // with a sub-epoch completion estimate. Every draw comes from streams
-// split off r per origin, and the allocation loop is sequential in
-// deterministic order, so the report is bit-identical at every worker
-// count — workers only shard BFS tree construction.
-func SimulateWith(eng *engine.Engine, masses []float64, spec WorkloadSpec, r *rng.Rand) (*SimReport, error) {
-	return simulate(eng.Snapshot(), RoutingOf(eng), masses, spec, r, eng.Workers())
+// split off r per origin, and rate allocation is either sequential in
+// deterministic order (spec.Engine "epoch") or solved per bottleneck
+// component and merged by deterministic component index ("event") — so
+// the report is bit-identical at every worker count either way.
+func SimulateWith(eng *engine.Engine, masses []float64, spec WorkloadSpec, r *rng.Rand, opts ...SimOption) (*SimReport, error) {
+	return simulate(eng.Snapshot(), RoutingOf(eng), masses, spec, r, eng.Workers(), opts...)
 }
 
-func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpec, r *rng.Rand, workers int) (*SimReport, error) {
+func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpec, r *rng.Rand, workers int, opts ...SimOption) (*SimReport, error) {
 	n := s.N()
 	if n < 2 {
 		return nil, errors.New("traffic: workload needs at least two nodes")
@@ -278,6 +394,13 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 	}
 	if s.M() == 0 {
 		return nil, errors.New("traffic: workload needs at least one link")
+	}
+	var cfg simConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if cfg.rt != nil {
+		rt = cfg.rt
 	}
 	positive := 0
 	var sumMass float64
@@ -298,13 +421,30 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		return nil, err
 	}
 
-	// Link capacities: edge multiplicity × the capacity unit.
+	// Link capacities: edge multiplicity × the capacity unit, unless
+	// overridden per edge.
 	edges := s.EdgeList()
 	capEdge := make([]float64, len(edges))
 	var capTotal float64
-	for i, e := range edges {
-		capEdge[i] = float64(e.W) * spec.CapacityUnit
-		capTotal += capEdge[i]
+	if cfg.linkCaps != nil {
+		if len(cfg.linkCaps) != len(edges) {
+			return nil, errors.New("traffic: link capacity override size mismatch")
+		}
+		for i, c := range cfg.linkCaps {
+			if !(c >= 0) || c > 1e300 { // NaN fails the first comparison
+				return nil, errors.New("traffic: link capacities must be finite and non-negative")
+			}
+			capEdge[i] = c
+			capTotal += c
+		}
+	} else {
+		for i, e := range edges {
+			capEdge[i] = float64(e.W) * spec.CapacityUnit
+			capTotal += capEdge[i]
+		}
+	}
+	if capTotal <= 0 {
+		return nil, errors.New("traffic: total link capacity must be positive")
 	}
 	lambdaTotal := spec.LoadFactor * capTotal / spec.MeanSize
 
@@ -313,7 +453,6 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 	// arrival order, its destination and size draws. Worker count never
 	// touches these streams.
 	proc := spec.arrivalProcess()
-	sizes := spec.sizeDist()
 	var srcNodes []int
 	for u, m := range masses {
 		if m > 0 {
@@ -327,6 +466,121 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		sources[i] = proc.NewSource(streams[i], lambdaTotal*masses[u]/sumMass)
 	}
 
+	ctx := &simContext{
+		s: s, rt: rt, spec: spec, cfg: cfg, workers: workers,
+		edges: edges, capEdge: capEdge,
+		srcNodes: srcNodes, streams: streams, sources: sources,
+		sizes: spec.sizeDist(), alias: alias,
+	}
+	if spec.Engine == EngineEvent {
+		return simulateEvent(ctx)
+	}
+	return simulateEpoch(ctx)
+}
+
+// drawArrivals advances origin i's source by one epoch and appends its
+// drawn (dst, size) pairs onto pend. The draw order per origin —
+// arrival count, then per flow destination (with rejection) and size —
+// is the contract both engines share, so pre-drawing a whole horizon
+// origin-by-origin replays the identical stream.
+func (ctx *simContext) drawArrivals(i int, dt float64, pend []pending) []pending {
+	u := ctx.srcNodes[i]
+	k := ctx.sources[i].Arrivals(dt)
+	for j := 0; j < k; j++ {
+		dst := ctx.alias.NextWith(ctx.streams[i])
+		for dst == u {
+			dst = ctx.alias.NextWith(ctx.streams[i])
+		}
+		pend = append(pend, pending{src: u, dst: dst, size: ctx.sizes.Sample(ctx.streams[i])})
+	}
+	return pend
+}
+
+// admitPending routes the epoch's drawn arrivals (grouped by ascending
+// origin). OD pairs already memoized in the routing state resolve
+// without touching a tree; the rest are routed in source-contiguous
+// chunks of at most the routing cache's tree budget: each chunk
+// Ensures its distinct origins (parallel BFS builds) and reads paths
+// before the next chunk can evict them — memory stays bounded by the
+// budget even when one epoch's arrivals span more origins than the
+// cache holds. Reachable flows go to admit in pend order; unreachable
+// ones are counted.
+func admitPending(rt *Routing, workers int, pend []pending, admit func(p pending, path []int32)) (undelivered int) {
+	paths := make([][]int32, len(pend))
+	unreach := make([]bool, len(pend))
+	// miss holds the pend indexes whose OD pair is not memoized; pend
+	// is grouped by origin, so miss inherits the grouping.
+	var miss []int
+	for i, p := range pend {
+		path, ok, unreachable := rt.cachedPath(p.src, p.dst)
+		switch {
+		case !ok:
+			miss = append(miss, i)
+		case unreachable:
+			unreach[i] = true
+		default:
+			paths[i] = path
+		}
+	}
+	for k := 0; k < len(miss); {
+		var batch []int
+		j := k
+		for j < len(miss) {
+			src := pend[miss[j]].src
+			if len(batch) == 0 || batch[len(batch)-1] != src {
+				if len(batch) == rt.max {
+					break
+				}
+				batch = append(batch, src)
+			}
+			j++
+		}
+		rt.Ensure(batch, workers)
+		for ; k < j; k++ {
+			i := miss[k]
+			p := pend[i]
+			path, ok := rt.Tree(p.src).appendPath(nil, p.dst)
+			rt.storePath(p.src, p.dst, path, ok)
+			if !ok {
+				unreach[i] = true
+				continue
+			}
+			paths[i] = path
+		}
+	}
+	for i, p := range pend {
+		if unreach[i] {
+			undelivered++
+			continue
+		}
+		admit(p, paths[i])
+	}
+	return undelivered
+}
+
+// utilOf is load/capacity with the zero-capacity link pinned to zero
+// utilization — a dead link carries nothing, whatever crosses it — and
+// utilizations within an ulp-window of saturation snapped to exactly 1:
+// a co-bottleneck whose capacity is mathematically exhausted can land
+// on either side of 1.0 depending on the engine's subtraction order,
+// and the CCDF's ≥1 bin must not flip on that noise.
+func utilOf(load, capacity float64) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	u := load / capacity
+	if u > 1-1e-12 {
+		u = 1
+	}
+	return u
+}
+
+// simulateEpoch is the discrete-epoch reference engine: every epoch
+// re-solves the whole max-min allocation sequentially and scans every
+// active flow. It is deliberately simple — the pinned baseline the
+// event engine is validated against.
+func simulateEpoch(ctx *simContext) (*SimReport, error) {
+	spec, edges, capEdge := ctx.spec, ctx.edges, ctx.capEdge
 	rep := &SimReport{Spec: spec}
 	dt := spec.EpochLen
 	var (
@@ -339,62 +593,31 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		utilSum    float64
 		activeSum  int
 		overloaded int
+		flowID     int32
 	)
-	type pending struct {
-		src, dst int
-		size     float64
-	}
 	for epoch := 0; epoch < spec.Epochs; epoch++ {
 		now := float64(epoch) * dt
 
 		// Arrivals, in ascending origin order.
 		var pend []pending
-		for i, u := range srcNodes {
-			k := sources[i].Arrivals(dt)
-			for j := 0; j < k; j++ {
-				dst := alias.NextWith(streams[i])
-				for dst == u {
-					dst = alias.NextWith(streams[i])
-				}
-				pend = append(pend, pending{src: u, dst: dst, size: sizes.Sample(streams[i])})
-			}
+		for i := range ctx.srcNodes {
+			pend = ctx.drawArrivals(i, dt, pend)
 		}
 
-		// Admit in source-contiguous chunks of at most the routing
-		// cache's tree budget: pend is grouped by ascending origin, so
-		// each chunk Ensures its distinct origins (parallel BFS builds)
-		// and reads paths before the next chunk can evict them — memory
-		// stays bounded by the budget even when one epoch's arrivals span
-		// more origins than the cache holds.
 		admitted := 0
-		for i := 0; i < len(pend); {
-			var batch []int
-			j := i
-			for j < len(pend) {
-				src := pend[j].src
-				if len(batch) == 0 || batch[len(batch)-1] != src {
-					if len(batch) == rt.max {
-						break
-					}
-					batch = append(batch, src)
-				}
-				j++
-			}
-			rt.Ensure(batch, workers)
-			for ; i < j; i++ {
-				p := pend[i]
-				path, ok := rt.Tree(p.src).appendPath(nil, p.dst)
-				if !ok {
-					rep.Undelivered++
-					continue
-				}
-				admitted++
-				active = append(active, &simFlow{
-					src: int32(p.src), dst: int32(p.dst),
-					remaining: p.size, arrived: now, rate: -1, path: path,
+		rep.Undelivered += admitPending(ctx.rt, ctx.workers, pend, func(p pending, path []int32) {
+			admitted++
+			active = append(active, &simFlow{
+				src: int32(p.src), dst: int32(p.dst), id: flowID,
+				remaining: p.size, arrived: now, rate: -1, path: path,
+			})
+			if ctx.cfg.trace {
+				rep.Flows = append(rep.Flows, FlowRecord{
+					Src: p.src, Dst: p.dst, Size: p.size, Arrived: now,
 				})
 			}
-		}
+			flowID++
+		})
 		rep.Arrived += admitted
 
 		// Max-min fair rates: repeatedly find the bottleneck link
@@ -444,6 +667,12 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 					nflows[e]--
 				}
 			}
+			// The bottleneck's flows all just fixed at capRem/n, so its
+			// remaining capacity is exactly zero; snapping away the
+			// subtraction chain's ulp residue makes a saturated
+			// bottleneck read utilization 1.0 exactly — in both engines,
+			// which keeps the CCDF's knife-edge ≥1 bin agreeing.
+			capRem[best] = 0
 		}
 
 		// Link observations under the epoch's rates.
@@ -459,7 +688,7 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 			if load > capEdge[e] {
 				load = capEdge[e]
 			}
-			util := load / capEdge[e]
+			util := utilOf(load, capEdge[e])
 			epochUtilSum += util
 			if util > epochMaxUtil {
 				epochMaxUtil = util
@@ -489,8 +718,13 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		for _, f := range active {
 			send := f.rate * dt
 			if f.rate > 0 && f.remaining <= send {
-				fctSum += now + f.remaining/f.rate - f.arrived
+				finish := now + f.remaining/f.rate
+				fctSum += finish - f.arrived
 				completedNow++
+				if ctx.cfg.trace {
+					rep.Flows[f.id].Done = true
+					rep.Flows[f.id].Finished = finish
+				}
 				continue
 			}
 			f.remaining -= send
@@ -514,6 +748,15 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 	for _, f := range active {
 		rep.ResidualSize += f.remaining
 	}
+	finishReport(rep, ctx, fctSum, utilSum, activeSum, overloaded, ccdfCounts, avgLoad)
+	return rep, nil
+}
+
+// finishReport folds the accumulated sums into the aggregate fields and
+// materializes the CCDF and the time-averaged LoadReport — shared by
+// both engines so the aggregation arithmetic cannot drift apart.
+func finishReport(rep *SimReport, ctx *simContext, fctSum, utilSum float64, activeSum, overloaded int, ccdfCounts []int, avgLoad []float64) {
+	spec, edges, capEdge := ctx.spec, ctx.edges, ctx.capEdge
 	if rep.Completed > 0 {
 		rep.MeanFCT = fctSum / float64(rep.Completed)
 	}
@@ -534,7 +777,7 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 
 	// Time-averaged link loads as a LoadReport, in edge-id order.
 	load := &LoadReport{}
-	horizon := float64(spec.Epochs) * dt
+	horizon := float64(spec.Epochs) * spec.EpochLen
 	var loadSum float64
 	for id, l := range avgLoad {
 		if l == 0 {
@@ -547,7 +790,7 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		if mean > load.MaxLoad {
 			load.MaxLoad = mean
 		}
-		if util := mean / capEdge[id]; util > load.MaxUtilization {
+		if util := utilOf(mean, capEdge[id]); util > load.MaxUtilization {
 			load.MaxUtilization = util
 		}
 	}
@@ -555,5 +798,4 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		load.MeanLoad = loadSum / float64(len(load.Links))
 	}
 	rep.Links = load
-	return rep, nil
 }

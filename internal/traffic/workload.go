@@ -183,6 +183,16 @@ func (s *onOffSource) Arrivals(dt float64) int {
 // and vary LoadFactor and TailIndex as sweep axes. The zero value of
 // every optional field means its documented default.
 type WorkloadSpec struct {
+	// Engine selects the simulation engine: "epoch" (default) re-solves
+	// the max-min allocation from scratch every epoch — the pinned
+	// reference implementation — while "event" runs the event-calendar
+	// engine, which pre-draws arrivals, predicts departures on a heap
+	// and re-solves only the bottleneck components whose flow membership
+	// changed, solving independent components in parallel. Both engines
+	// simulate the same epoch-quantized dynamics from the same random
+	// streams; "event" reaches the same completion times up to
+	// floating-point association order and is the one that scales.
+	Engine string `json:"engine,omitempty"`
 	// Arrivals names the arrival process: "poisson" (default) or
 	// "onoff".
 	Arrivals string `json:"arrivals,omitempty"`
@@ -218,6 +228,17 @@ type WorkloadSpec struct {
 	OverloadAt float64 `json:"overload_at,omitempty"`
 }
 
+// The simulation engines selectable through WorkloadSpec.Engine.
+const (
+	// EngineEpoch is the discrete-epoch reference: a full max-min
+	// water-filling pass over every active flow, every epoch.
+	EngineEpoch = "epoch"
+	// EngineEvent is the event-calendar engine: pre-drawn arrivals, a
+	// predicted-departure heap, and incremental per-component rate
+	// recomputation parallelized across independent bottleneck groups.
+	EngineEvent = "event"
+)
+
 // workloadDefaults are the resolved fallbacks of WorkloadSpec.
 const (
 	defaultTailAlpha = 1.5
@@ -234,6 +255,9 @@ const (
 // withDefaults resolves every zero-valued optional field to its
 // documented default, so the spec echoed in reports is fully explicit.
 func (sp WorkloadSpec) withDefaults() WorkloadSpec {
+	if sp.Engine == "" {
+		sp.Engine = EngineEpoch
+	}
 	if sp.Arrivals == "" {
 		sp.Arrivals = "poisson"
 	}
@@ -282,6 +306,11 @@ func (sp WorkloadSpec) Validate() error {
 		if math.IsNaN(v) || math.IsInf(v, 0) {
 			return errors.New("traffic: workload spec values must be finite")
 		}
+	}
+	switch sp.Engine {
+	case EngineEpoch, EngineEvent:
+	default:
+		return fmt.Errorf("traffic: unknown engine %q (have %s, %s)", sp.Engine, EngineEpoch, EngineEvent)
 	}
 	switch sp.Arrivals {
 	case "poisson", "onoff":

@@ -106,15 +106,17 @@ func TestSweepBenchJSON(t *testing.T) {
 		Cells   int     `json:"cells"`
 		Workers int     `json:"workers"`
 		Cores   int     `json:"cores"`
+		NumCPU  int     `json:"num_cpu"`
 		NsPerOp int64   `json:"ns_per_op"`
 		Speedup float64 `json:"speedup,omitempty"`
 	}
 	models := fmt.Sprintf("%v", g.Models)
 	rows := []row{
 		{Name: "sweep-sequential-cells", Models: models, N: *sweepBenchN, Seeds: *sweepBenchSeeds,
-			Cells: len(seq.Cells), Workers: 1, Cores: runtime.GOMAXPROCS(0), NsPerOp: seqTime.Nanoseconds()},
+			Cells: len(seq.Cells), Workers: 1, Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
+			NsPerOp: seqTime.Nanoseconds()},
 		{Name: "sweep-parallel-cells", Models: models, N: *sweepBenchN, Seeds: *sweepBenchSeeds,
-			Cells: len(par.Cells), Workers: workers, Cores: runtime.GOMAXPROCS(0),
+			Cells: len(par.Cells), Workers: workers, Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
 			NsPerOp: parTime.Nanoseconds(), Speedup: speedup},
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"testing"
@@ -17,20 +18,27 @@ import (
 )
 
 // The traffic benchmarks time the flow-level workload simulator over a
-// frozen BA map at two pool widths: workers=1 (fully sequential,
-// including shortest-path tree construction) versus the sharded tree
-// builds. The two runs must be byte-identical — the simulator's
-// determinism contract at benchmark scale — and the JSON file records a
-// 10k-node smoke row next to the acceptance row at -traffic-bench-n
-// (100k by default):
+// frozen BA map, engine against engine: the epoch loop (the pinned
+// reference, full re-waterfill every epoch) versus the event engine
+// (arrival/departure calendar, incremental bottleneck re-solve). The
+// event engine also runs at two pool widths, and its runs must be
+// byte-identical — the determinism contract at benchmark scale. The
+// JSON file records a 10k-node smoke row set next to the acceptance
+// rows at -traffic-bench-n (100k by default):
 //
 //	make bench-traffic            # writes BENCH_traffic.json
 //	go test -bench TrafficSim .   # standard benchmark rows
+//
+// -traffic-bench-engine restricts which engine's rows are timed and
+// emitted ("both" by default); the cross-engine agreement check always
+// runs, so a single-engine CI smoke still pins per-flow completion
+// times against the other engine.
 var (
-	trafficBenchOut    = flag.String("traffic-bench-out", "", "write sequential-vs-parallel workload timings to this JSON file")
+	trafficBenchOut    = flag.String("traffic-bench-out", "", "write engine-vs-engine workload timings to this JSON file")
 	trafficBenchN      = flag.Int("traffic-bench-n", 100000, "workload acceptance row map size")
 	trafficBenchEpochs = flag.Int("traffic-bench-epochs", 10, "workload benchmark epochs")
-	trafficBenchFlows  = flag.Int("traffic-bench-flows", 1000, "target flow arrivals per epoch")
+	trafficBenchFlows  = flag.Int("traffic-bench-flows", 4000, "target flow arrivals per epoch")
+	trafficBenchEngine = flag.String("traffic-bench-engine", "both", "engine rows to emit: epoch, event, both")
 )
 
 // trafficBenchSetup freezes a BA map of n nodes and derives the
@@ -63,12 +71,19 @@ func trafficBenchSetup(tb testing.TB, n, flows int) (*graph.Snapshot, []float64,
 	return snap, masses, spec
 }
 
-// runTrafficSim simulates the workload and returns the report encoded
-// as JSON (aggregate report plus the link loads), the identity the
-// sequential and parallel runs are compared on.
-func runTrafficSim(tb testing.TB, snap *graph.Snapshot, masses []float64, spec traffic.WorkloadSpec, workers int) []byte {
+// runTrafficSim simulates the workload with the given engine and
+// returns the traced report plus its JSON encoding (aggregate report
+// and link loads), the identity worker-invariance is compared on. A
+// non-nil rt shares routing state across runs (identical results, BFS
+// paid once) so timed rows measure the engines, not the router.
+func runTrafficSim(tb testing.TB, snap *graph.Snapshot, masses []float64, spec traffic.WorkloadSpec, engine string, workers int, rt *traffic.Routing) (*traffic.SimReport, []byte) {
 	tb.Helper()
-	rep, err := traffic.Simulate(snap, masses, spec, rng.New(7), workers)
+	spec.Engine = engine
+	opts := []traffic.SimOption{traffic.WithFlowTrace()}
+	if rt != nil {
+		opts = append(opts, traffic.WithRouting(rt))
+	}
+	rep, err := traffic.Simulate(snap, masses, spec, rng.New(7), workers, opts...)
 	if err != nil {
 		tb.Fatal(err)
 	}
@@ -83,43 +98,103 @@ func runTrafficSim(tb testing.TB, snap *graph.Snapshot, masses []float64, spec t
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return append(data, links...)
+	return rep, append(data, links...)
 }
 
-func benchTrafficSim(b *testing.B, workers int) {
+// checkFlowAgreement asserts the two engines agree on the flow
+// population and on every flow's fate and completion time — the
+// cross-engine contract the CI smoke runs under the race detector.
+func checkFlowAgreement(tb testing.TB, epoch, event *traffic.SimReport) {
+	tb.Helper()
+	if len(epoch.Flows) != len(event.Flows) {
+		tb.Fatalf("engines drew different flow populations: %d vs %d", len(epoch.Flows), len(event.Flows))
+	}
+	for i := range epoch.Flows {
+		a, b := epoch.Flows[i], event.Flows[i]
+		if a.Src != b.Src || a.Dst != b.Dst || a.Size != b.Size || a.Arrived != b.Arrived {
+			tb.Fatalf("flow %d identity diverged: %+v vs %+v", i, a, b)
+		}
+		if a.Done != b.Done {
+			tb.Fatalf("flow %d fate diverged between engines: epoch done=%v, event done=%v", i, a.Done, b.Done)
+		}
+		if a.Done {
+			scale := math.Max(1, math.Abs(a.Finished))
+			if math.Abs(a.Finished-b.Finished) > 1e-9*scale {
+				tb.Fatalf("flow %d completion time diverged: epoch %v, event %v", i, a.Finished, b.Finished)
+			}
+		}
+	}
+}
+
+func benchTrafficSim(b *testing.B, engine string, workers int) {
 	snap, masses, spec := trafficBenchSetup(b, 2000, 100)
 	spec.Epochs = 5
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runTrafficSim(b, snap, masses, spec, workers)
+		runTrafficSim(b, snap, masses, spec, engine, workers, nil)
 	}
 }
 
-func BenchmarkTrafficSimSequential(b *testing.B) { benchTrafficSim(b, 1) }
-func BenchmarkTrafficSimParallel(b *testing.B)   { benchTrafficSim(b, genBenchWorkers) }
+// benchEngine resolves -traffic-bench-engine for the standing
+// benchmark rows: "both" (the JSON-emitter default) times the epoch
+// engine here, since BenchmarkTrafficSimEvent covers the other.
+func benchEngine(b *testing.B) string {
+	switch *trafficBenchEngine {
+	case "both", "epoch":
+		return traffic.EngineEpoch
+	case "event":
+		return traffic.EngineEvent
+	}
+	b.Fatalf("-traffic-bench-engine=%q: want epoch, event or both", *trafficBenchEngine)
+	return ""
+}
 
-// TestTrafficBenchJSON times the workload simulation at both pool
-// widths on the 10k smoke map and the acceptance map, checks the runs
-// are byte-identical, and records the rows in the JSON file named by
-// -traffic-bench-out (BENCH_traffic.json via `make bench-traffic`).
+func BenchmarkTrafficSimSequential(b *testing.B) { benchTrafficSim(b, benchEngine(b), 1) }
+func BenchmarkTrafficSimParallel(b *testing.B) {
+	benchTrafficSim(b, benchEngine(b), genBenchWorkers)
+}
+func BenchmarkTrafficSimEvent(b *testing.B) {
+	benchTrafficSim(b, traffic.EngineEvent, genBenchWorkers)
+}
+
+// TestTrafficBenchJSON times the workload simulation engine against
+// engine on the 10k smoke map and the acceptance map, checks the event
+// engine is byte-identical across pool widths and agrees with the
+// epoch engine flow by flow, and records the rows in the JSON file
+// named by -traffic-bench-out (BENCH_traffic.json via
+// `make bench-traffic`).
 func TestTrafficBenchJSON(t *testing.T) {
 	if *trafficBenchOut == "" {
 		t.Skip("enable with -traffic-bench-out <file>")
 	}
-	type row struct {
-		Name    string  `json:"name"`
-		N       int     `json:"n"`
-		Epochs  int     `json:"epochs"`
-		Flows   int     `json:"flows_per_epoch"`
-		Workers int     `json:"workers"`
-		Cores   int     `json:"cores"`
-		NsPerOp int64   `json:"ns_per_op"`
-		Speedup float64 `json:"speedup,omitempty"`
+	timeEpoch, timeEvent := true, true
+	switch *trafficBenchEngine {
+	case "both":
+	case "epoch":
+		timeEvent = false
+	case "event":
+		timeEpoch = false
+	default:
+		t.Fatalf("-traffic-bench-engine=%q: want epoch, event or both", *trafficBenchEngine)
 	}
-	// The 10k smoke row accompanies the acceptance row only when the
-	// latter is larger, so a small -traffic-bench-n (the CI race smoke)
-	// genuinely shrinks the run.
+	type row struct {
+		Name      string  `json:"name"`
+		Engine    string  `json:"engine"`
+		N         int     `json:"n"`
+		Epochs    int     `json:"epochs"`
+		Flows     int     `json:"flows_per_epoch"`
+		Workers   int     `json:"workers"`
+		Cores     int     `json:"cores"`
+		NumCPU    int     `json:"num_cpu"`
+		NsPerOp   int64   `json:"ns_per_op"`
+		Speedup   float64 `json:"speedup,omitempty"`
+		SpeedupVs string  `json:"speedup_vs,omitempty"`
+	}
+	cores, ncpu := runtime.GOMAXPROCS(0), runtime.NumCPU()
+	// The 10k smoke row set accompanies the acceptance rows only when
+	// the latter is larger, so a small -traffic-bench-n (the CI race
+	// smoke) genuinely shrinks the run.
 	sizes := []int{*trafficBenchN}
 	if *trafficBenchN > 10000 {
 		sizes = []int{10000, *trafficBenchN}
@@ -127,24 +202,48 @@ func TestTrafficBenchJSON(t *testing.T) {
 	var rows []row
 	for _, n := range sizes {
 		snap, masses, spec := trafficBenchSetup(t, n, *trafficBenchFlows)
+		// All runs share one routing state, pre-routed by an untimed
+		// warmup (both engines draw identical flow populations, so the
+		// warmup resolves every OD pair the timed runs will ask for):
+		// the timed rows compare the simulation engines, not the
+		// shared BFS router both sit on.
+		rt := traffic.NewRouting(snap)
+		runTrafficSim(t, snap, masses, spec, traffic.EngineEvent, genBenchWorkers, rt)
+		// Both engines always run — the agreement check is the point —
+		// but only the engines selected by -traffic-bench-engine are
+		// reported as timing rows.
 		start := time.Now()
-		seq := runTrafficSim(t, snap, masses, spec, 1)
-		seqTime := time.Since(start)
+		epochRep, _ := runTrafficSim(t, snap, masses, spec, traffic.EngineEpoch, 1, rt)
+		epochTime := time.Since(start)
 		start = time.Now()
-		par := runTrafficSim(t, snap, masses, spec, genBenchWorkers)
-		parTime := time.Since(start)
-		if !bytes.Equal(seq, par) {
-			t.Fatalf("n=%d: workers=%d simulation diverged from sequential", n, genBenchWorkers)
+		eventRep, eventSeq := runTrafficSim(t, snap, masses, spec, traffic.EngineEvent, 1, rt)
+		eventTime := time.Since(start)
+		start = time.Now()
+		_, eventPar := runTrafficSim(t, snap, masses, spec, traffic.EngineEvent, genBenchWorkers, rt)
+		eventParTime := time.Since(start)
+		if !bytes.Equal(eventSeq, eventPar) {
+			t.Fatalf("n=%d: event engine at workers=%d diverged from workers=1", n, genBenchWorkers)
 		}
-		speedup := float64(seqTime) / float64(parTime)
-		rows = append(rows,
-			row{Name: "traffic-sim-sequential", N: n, Epochs: *trafficBenchEpochs,
-				Flows: *trafficBenchFlows, Workers: 1, Cores: runtime.GOMAXPROCS(0),
-				NsPerOp: seqTime.Nanoseconds()},
-			row{Name: "traffic-sim-parallel", N: n, Epochs: *trafficBenchEpochs,
-				Flows: *trafficBenchFlows, Workers: genBenchWorkers, Cores: runtime.GOMAXPROCS(0),
-				NsPerOp: parTime.Nanoseconds(), Speedup: speedup})
-		t.Logf("n=%d: sequential %v, parallel %v (%.2fx, byte-identical)", n, seqTime, parTime, speedup)
+		checkFlowAgreement(t, epochRep, eventRep)
+		eventVsEpoch := float64(epochTime) / float64(eventTime)
+		if timeEpoch {
+			rows = append(rows, row{Name: "traffic-sim-epoch", Engine: traffic.EngineEpoch,
+				N: n, Epochs: *trafficBenchEpochs, Flows: *trafficBenchFlows,
+				Workers: 1, Cores: cores, NumCPU: ncpu, NsPerOp: epochTime.Nanoseconds()})
+		}
+		if timeEvent {
+			rows = append(rows,
+				row{Name: "traffic-sim-event", Engine: traffic.EngineEvent,
+					N: n, Epochs: *trafficBenchEpochs, Flows: *trafficBenchFlows,
+					Workers: 1, Cores: cores, NumCPU: ncpu, NsPerOp: eventTime.Nanoseconds(),
+					Speedup: eventVsEpoch, SpeedupVs: "traffic-sim-epoch"},
+				row{Name: "traffic-sim-event-parallel", Engine: traffic.EngineEvent,
+					N: n, Epochs: *trafficBenchEpochs, Flows: *trafficBenchFlows,
+					Workers: genBenchWorkers, Cores: cores, NumCPU: ncpu, NsPerOp: eventParTime.Nanoseconds(),
+					Speedup: float64(eventTime) / float64(eventParTime), SpeedupVs: "traffic-sim-event"})
+		}
+		t.Logf("n=%d: epoch %v, event %v (%.2fx), event@%d %v (byte-identical, flows agree)",
+			n, epochTime, eventTime, eventVsEpoch, genBenchWorkers, eventParTime)
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {

@@ -127,14 +127,15 @@ func TestTrajectoryBenchJSON(t *testing.T) {
 		Epochs  int     `json:"epochs"`
 		Workers int     `json:"workers"`
 		Cores   int     `json:"cores"`
+		NumCPU  int     `json:"num_cpu"`
 		NsPerOp int64   `json:"ns_per_op"`
 		Speedup float64 `json:"speedup,omitempty"`
 	}
 	rows := []row{
 		{Name: "trajectory-refreeze", Model: "ba", N: n, Epochs: epochs, Workers: workers,
-			Cores: runtime.GOMAXPROCS(0), NsPerOp: refreeze.Nanoseconds()},
+			Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), NsPerOp: refreeze.Nanoseconds()},
 		{Name: "trajectory-refresh", Model: "ba", N: n, Epochs: epochs, Workers: workers,
-			Cores: runtime.GOMAXPROCS(0), NsPerOp: refresh.Nanoseconds(), Speedup: speedup},
+			Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), NsPerOp: refresh.Nanoseconds(), Speedup: speedup},
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {

@@ -27,8 +27,11 @@ bench-gen:
 
 # Trajectory acceptance: the same 100k-node BA growth run observed at
 # 100 epochs, measured via delta-refreshed snapshots (refresh) vs a
-# full freeze per epoch (refreeze). Timings land in
-# BENCH_trajectory.json; the CI smoke runs the 10k variant under -race.
+# full freeze per epoch (refreeze), plus the path-metric rows (the
+# delta-repaired distance map vs cold pivot BFS per epoch) and the
+# routing rows (shortest-path tree repair vs cold rebuild). Timings
+# land in BENCH_trajectory.json; the CI smoke runs the 10k variant
+# under -race.
 bench-trajectory:
 	$(GO) test -run TestTrajectoryBenchJSON -trajectory-bench-out BENCH_trajectory.json .
 

@@ -19,7 +19,9 @@
 // proportional to the epoch's changes, not the map), and one row of
 // growth statistics per epoch is written to stderr or -trajectory-out.
 // Observation never perturbs generation: the emitted map is
-// bit-identical to the same run without -measure-every.
+// bit-identical to the same run without -measure-every. -paths adds
+// the incremental distance family (path lengths, diameter, closeness)
+// to every epoch row; -path-sources K samples K pivots (0 = exact).
 package main
 
 import (
@@ -51,10 +53,15 @@ func run(args []string, stdout io.Writer) error {
 	format := fs.String("format", "edgelist", "output format: edgelist, json, dot")
 	out := fs.String("o", "", "output file (default stdout)")
 	measureEvery := fs.Int("measure-every", 0, "trajectory mode: measure the growing map every k nodes (growth families)")
+	paths := fs.Bool("paths", false, "add incremental path metrics to trajectory rows (needs -measure-every)")
+	pathSources := fs.Int("path-sources", 0, "pivot sample size for -paths (0 = exact)")
 	trajOut := fs.String("trajectory-out", "", "trajectory table destination (default stderr)")
 	list := fs.Bool("list", false, "list available models and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *paths && *measureEvery <= 0 {
+		return fmt.Errorf("-paths requires -measure-every > 0")
 	}
 	if *list {
 		for _, name := range core.Names() {
@@ -75,6 +82,9 @@ func run(args []string, stdout io.Writer) error {
 	var top *gen.Topology
 	if *measureEvery > 0 {
 		obs := core.NewTrajectoryObserver(pool)
+		if *paths {
+			obs.EnablePathMetrics(*pathSources, *seed)
+		}
 		top, err = gen.GenerateTrajectoryWith(m.Build(*n), rng.New(*seed), pool,
 			gen.Trajectory{Every: *measureEvery, Observe: obs.Observe})
 		if err != nil {

@@ -66,6 +66,8 @@ func run(args []string, stdout io.Writer) error {
 	dt := fs.Float64("dt", 0, "epoch length (default 1)")
 	capacity := fs.Float64("capacity", 0, "capacity of a multiplicity-1 link (default 1)")
 	target := fs.String("target", "as", "reference target: as, asplus")
+	measureEvery := fs.Int("measure-every", 0, "record a growth trajectory per cell every k committed nodes")
+	paths := fs.Bool("paths", false, "add incremental path metrics to trajectory rows (needs -measure-every)")
 	sources := fs.Int("path-sources", 50, "BFS sources for path stats per cell (0 = exact)")
 	workers := fs.Int("workers", 0, "cell pool width; 0 = GOMAXPROCS (never changes results)")
 	cellWorkers := fs.Int("cell-workers", 1, "per-cell generation/simulation pool; >= 2 uses the sharded kernels")
@@ -87,12 +89,14 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-seeds: %w", err)
 	}
 	g := sweep.Grid{
-		Models:      []string{*model},
-		Sizes:       []int{*n},
-		Seeds:       seedList,
-		Target:      *target,
-		PathSources: *sources,
-		CellWorkers: *cellWorkers,
+		Models:          []string{*model},
+		Sizes:           []int{*n},
+		Seeds:           seedList,
+		Target:          *target,
+		PathSources:     *sources,
+		CellWorkers:     *cellWorkers,
+		MeasureEvery:    *measureEvery,
+		TrajectoryPaths: *paths,
 		Workload: &sweep.WorkloadAxes{
 			Spec: traffic.WorkloadSpec{
 				Engine:       *engine,

@@ -12,7 +12,11 @@
 // edges through delta-refreshed CSR snapshots, printing one row of
 // growth statistics per epoch before the final summary. The final
 // epoch's snapshot then serves the summary itself, so the map is
-// frozen exactly once either way.
+// frozen exactly once either way. -paths adds the distance family
+// (mean path length, diameter, mean closeness) to every trajectory
+// row, maintained incrementally across epochs by the engine's
+// delta-repaired distance map; -path-sources sizes its pivot sample
+// (0 = exact).
 package main
 
 import (
@@ -44,12 +48,16 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	seed := fs.Uint64("seed", 1, "sampling seed")
 	ccdf := fs.Bool("ccdf", false, "also print the degree CCDF series")
 	measureEvery := fs.Int("measure-every", 0, "replay the map as a growth trajectory, measuring every k edges")
+	paths := fs.Bool("paths", false, "add incremental path metrics to trajectory rows (needs -measure-every)")
 	workers := fs.Int("workers", 0, "analysis goroutines (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: topostat [flags] <edge-list file or - for stdin>")
+	}
+	if *paths && *measureEvery <= 0 {
+		return fmt.Errorf("-paths requires -measure-every > 0")
 	}
 	g, err := load(fs.Arg(0), stdin)
 	if err != nil {
@@ -61,6 +69,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	var eng *engine.Engine
 	if *measureEvery > 0 {
 		obs := core.NewTrajectoryObserver(pool)
+		if *paths {
+			obs.EnablePathMetrics(*sources, *seed)
+		}
 		if err := replayTrajectory(g, *measureEvery, obs); err != nil {
 			return err
 		}

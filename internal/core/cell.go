@@ -109,6 +109,14 @@ type Cell struct {
 	// committed nodes (growth families; everything else records a
 	// single completion epoch).
 	MeasureEvery int
+	// TrajectoryPaths adds the incremental distance family (path
+	// lengths, diameter, closeness) to every trajectory observation,
+	// maintained by the engine's delta-repaired distance map instead of
+	// per-epoch BFS sweeps. PathSources sizes the pivot sample (0 =
+	// exact mode); the pivots are drawn once, on the first observed
+	// snapshot, from a stream keyed by the cell seed. Only meaningful
+	// with MeasureEvery > 0.
+	TrajectoryPaths bool
 	// Workload, when non-nil, appends a flow-level traffic stage: after
 	// measurement the workload is simulated over the cell's frozen
 	// snapshot with degree masses, drawing from the cell's own workload
@@ -204,6 +212,9 @@ func (c Cell) runTopology() (*PipelineResult, *engine.Engine, error) {
 		// snapshots; the final epoch's warm engine then serves the full
 		// measurement below.
 		obs := NewTrajectoryObserver(c.Workers)
+		if c.TrajectoryPaths {
+			obs.EnablePathMetrics(c.PathSources, c.Seed)
+		}
 		top, err = gen.GenerateTrajectoryWith(g, gr, c.Workers,
 			gen.Trajectory{Every: c.MeasureEvery, Observe: obs.Observe})
 		if err != nil {

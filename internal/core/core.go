@@ -219,6 +219,14 @@ type TrajectoryObserver struct {
 	prev    *graph.Snapshot
 	eng     *engine.Engine
 	points  []TrajectoryPoint
+
+	// Path-metric mode (EnablePathMetrics): the engine maintains an
+	// incremental distance map across epochs and every observation
+	// carries the distance family of GrowthStats.
+	pathsOn    bool
+	pathPivots int
+	pathSeed   uint64
+	pivots     []int32
 }
 
 // NewTrajectoryObserver returns an observer measuring with the given
@@ -227,12 +235,26 @@ func NewTrajectoryObserver(workers int) *TrajectoryObserver {
 	return &TrajectoryObserver{workers: workers}
 }
 
+// EnablePathMetrics switches the observer to MeasureGrowthPaths: every
+// epoch additionally records average path length, diameter and mean
+// closeness from the engine's delta-repaired distance map. pivots <= 0
+// keeps the map exact (one BFS row per node, bit-identical to the full
+// traversal metrics); pivots > 0 samples that many BFS sources on the
+// first observed snapshot from a stream keyed by seed (the pivot set
+// stays fixed for the whole trajectory). Call before the first Observe.
+func (o *TrajectoryObserver) EnablePathMetrics(pivots int, seed uint64) {
+	o.pathsOn = true
+	o.pathPivots = pivots
+	o.pathSeed = seed
+}
+
 // Observe implements gen.Trajectory.Observe.
 func (o *TrajectoryObserver) Observe(g *graph.Graph, n int) error {
 	var next *graph.Snapshot
 	var d *graph.Delta
 	var err error
-	if o.prev == nil {
+	first := o.prev == nil
+	if first {
 		if next, err = g.FreezeChecked(); err != nil {
 			return err
 		}
@@ -246,11 +268,20 @@ func (o *TrajectoryObserver) Observe(g *graph.Graph, n int) error {
 		}
 	}
 	o.prev = next
+	var stats metrics.GrowthStats
+	if o.pathsOn {
+		if first && o.pathPivots > 0 {
+			o.pivots = metrics.PivotSources(rng.New(o.pathSeed), next.N(), o.pathPivots)
+		}
+		stats = o.eng.MeasureGrowthPaths(o.pivots)
+	} else {
+		stats = o.eng.MeasureGrowth()
+	}
 	o.points = append(o.points, TrajectoryPoint{
 		N:         next.N(),
 		M:         next.M(),
 		Refreshed: d != nil,
-		Stats:     o.eng.MeasureGrowth(),
+		Stats:     stats,
 	})
 	return nil
 }
@@ -266,10 +297,38 @@ func (o *TrajectoryObserver) Engine() *engine.Engine { return o.eng }
 // WriteTrajectory renders trajectory epochs as aligned columns, the
 // table the tools print in -measure-every mode. The refresh column
 // marks epochs measured through a delta refresh ("delta") versus a
-// full freeze ("full").
+// full freeze ("full"). Trajectories recorded with path metrics
+// (TrajectoryObserver.EnablePathMetrics, detected by a non-zero path
+// source count on any epoch) gain the distance columns — mean path
+// length, diameter, mean closeness — before the freeze column.
 func WriteTrajectory(w io.Writer, points []TrajectoryPoint) error {
-	if _, err := fmt.Fprintf(w, "%10s %10s %7s %7s %7s %8s %8s %5s %7s\n",
-		"nodes", "edges", "<k>", "kmax", "gamma", "clust", "trans", "core", "freeze"); err != nil {
+	paths := false
+	for _, p := range points {
+		if p.Stats.PathSources > 0 {
+			paths = true
+			break
+		}
+	}
+	if !paths {
+		if _, err := fmt.Fprintf(w, "%10s %10s %7s %7s %7s %8s %8s %5s %7s\n",
+			"nodes", "edges", "<k>", "kmax", "gamma", "clust", "trans", "core", "freeze"); err != nil {
+			return err
+		}
+		for _, p := range points {
+			mode := "full"
+			if p.Refreshed {
+				mode = "delta"
+			}
+			if _, err := fmt.Fprintf(w, "%10d %10d %7.3f %7d %7.3f %8.4f %8.4f %5d %7s\n",
+				p.N, p.M, p.Stats.AvgDegree, p.Stats.MaxDegree, p.Stats.Gamma,
+				p.Stats.AvgClustering, p.Stats.Transitivity, p.Stats.MaxCore, mode); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if _, err := fmt.Fprintf(w, "%10s %10s %7s %7s %7s %8s %8s %5s %7s %5s %8s %7s\n",
+		"nodes", "edges", "<k>", "kmax", "gamma", "clust", "trans", "core", "<d>", "diam", "<clo>", "freeze"); err != nil {
 		return err
 	}
 	for _, p := range points {
@@ -277,9 +336,10 @@ func WriteTrajectory(w io.Writer, points []TrajectoryPoint) error {
 		if p.Refreshed {
 			mode = "delta"
 		}
-		if _, err := fmt.Fprintf(w, "%10d %10d %7.3f %7d %7.3f %8.4f %8.4f %5d %7s\n",
+		if _, err := fmt.Fprintf(w, "%10d %10d %7.3f %7d %7.3f %8.4f %8.4f %5d %7.3f %5d %8.5f %7s\n",
 			p.N, p.M, p.Stats.AvgDegree, p.Stats.MaxDegree, p.Stats.Gamma,
-			p.Stats.AvgClustering, p.Stats.Transitivity, p.Stats.MaxCore, mode); err != nil {
+			p.Stats.AvgClustering, p.Stats.Transitivity, p.Stats.MaxCore,
+			p.Stats.AvgPathLen, p.Stats.Diameter, p.Stats.MeanCloseness, mode); err != nil {
 			return err
 		}
 	}
@@ -315,6 +375,11 @@ type Pipeline struct {
 	// every MeasureEvery committed nodes and the growing map is measured
 	// through delta-refreshed snapshots (PipelineResult.Trajectory).
 	MeasureEvery int
+	// TrajectoryPaths adds the incremental distance family (path
+	// lengths, diameter, closeness) to every trajectory observation;
+	// PathSources sizes the pivot sample (0 = exact). Requires
+	// MeasureEvery > 0.
+	TrajectoryPaths bool
 	// Workload, when non-nil, appends the flow-level traffic stage to
 	// every run (PipelineResult.Workload).
 	Workload *traffic.WorkloadSpec
@@ -324,14 +389,15 @@ type Pipeline struct {
 // corresponds to: the pipeline is the 1×1 special case of the grid.
 func (p Pipeline) Cell(name string) Cell {
 	return Cell{
-		Model:        name,
-		N:            p.N,
-		Seed:         p.Seed,
-		Target:       p.Target,
-		PathSources:  p.PathSources,
-		Workers:      p.Workers,
-		MeasureEvery: p.MeasureEvery,
-		Workload:     p.Workload,
+		Model:           name,
+		N:               p.N,
+		Seed:            p.Seed,
+		Target:          p.Target,
+		PathSources:     p.PathSources,
+		Workers:         p.Workers,
+		MeasureEvery:    p.MeasureEvery,
+		TrajectoryPaths: p.TrajectoryPaths,
+		Workload:        p.Workload,
 	}
 }
 

@@ -129,7 +129,8 @@ func (e *Engine) peek(key string) (any, bool) {
 // current snapshot produced by Graph.Refreeze. When d is the delta
 // between the two snapshots, metrics with incremental kernels —
 // triangle counts (and the clustering family derived from them), the
-// k-core decomposition, the degree histogram — are carried forward
+// k-core decomposition, the degree histogram, the incremental distance
+// map behind the trajectory path metrics — are carried forward
 // from the previous epoch's memoized values and maintained in time
 // proportional to the delta on their next demand; everything else is
 // dropped and recomputed lazily. A nil d (Refreeze fell back to a full
@@ -162,6 +163,17 @@ func (e *Engine) Advance(next *graph.Snapshot, d *graph.Delta) error {
 			prevHist := hist.([]int)
 			inherit["degree-hist"] = func() any {
 				return metrics.RefreshDegreeHistogram(prev, next, d, prevHist)
+			}
+		}
+		if dmv, ok := e.peek("distmap"); ok {
+			// The distance map repairs in place — it consumes the previous
+			// epoch's rows rather than copying them, so unlike the kernels
+			// above the old memo value must never be served again. Advance
+			// drops the old memo wholesale below, which is exactly that.
+			prevDM := dmv.(*metrics.DistMap)
+			inherit["distmap"] = func() any {
+				prevDM.Refresh(next, d, e.workers)
+				return prevDM
 			}
 		}
 	}

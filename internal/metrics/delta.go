@@ -13,13 +13,17 @@ import (
 // recompute by the equivalence tests in delta_test.go; RefreshKCore
 // additionally falls back to the full re-peel whenever the delta shape
 // (removals) or the touched region size voids its locality argument.
+// Distance-based metrics live in dynbfs.go: the DistMap structure
+// carries repaired BFS rows across epochs and derives path lengths,
+// closeness and sampled betweenness from them.
 
 // GrowthStats is the per-epoch observation vector of a growth
 // trajectory: the metrics of the paper's growth measurements that
-// admit delta maintenance (degree structure, clustering via touched
-// wedges, core depth). Global traversal statistics (path lengths,
-// betweenness) stay with the full metrics.Snapshot — they have no
-// incremental form and would dominate every epoch.
+// admit delta maintenance — degree structure, clustering via touched
+// wedges, core depth, and (when a DistMap is maintained alongside the
+// trajectory) the distance family. The path fields are zero when the
+// trajectory runs without path metrics; PathSources > 0 marks an
+// observation that carried them.
 type GrowthStats struct {
 	N, M, Strength int
 	AvgDegree      float64
@@ -28,6 +32,15 @@ type GrowthStats struct {
 	AvgClustering  float64
 	Transitivity   float64
 	MaxCore        int
+
+	// Distance family, maintained by the incremental DistMap: the BFS
+	// source count (n in exact mode, the pivot count in sampled mode),
+	// the mean distance and diameter over reached (source, node) pairs,
+	// and closeness averaged over all nodes.
+	PathSources   int
+	AvgPathLen    float64
+	Diameter      int
+	MeanCloseness float64
 }
 
 // DegreeHistogram returns hist[k] = number of nodes of degree k.

@@ -1,0 +1,553 @@
+package metrics
+
+import (
+	"netmodel/internal/graph"
+	"netmodel/internal/par"
+	"netmodel/internal/rng"
+)
+
+// This file is the incremental distance engine: a dynamic-BFS structure
+// (DistMap) that owns per-source distance vectors and repairs them
+// under the edge insertions of a snapshot delta instead of re-running
+// BFS per epoch. Growth deltas only ever shrink distances, so each
+// inserted edge seeds a shrink-only relaxation wave processed level by
+// level; the wave touches exactly the nodes whose distance changed,
+// making the repair cost proportional to the delta's impact rather
+// than n+m. Like RefreshKCore, every repair carries a work budget and
+// falls back to a full per-source rebuild when the touched region
+// rivals a cold BFS — the result is always exactly the cold build.
+//
+// On top of the repaired rows the DistMap maintains integer aggregates
+// (the global path histogram plus per-node reach/distance-sum columns),
+// so the per-epoch derivations RefreshPathLengths and RefreshCloseness
+// are O(n) reductions with no traversal at all, and
+// RefreshBetweennessSampled re-runs only the dependency passes over
+// already-correct distance rows in a canonical (distance, id) order
+// that makes refreshed and cold results bit-identical at every worker
+// count.
+
+// DistChange records one node touched by RelaxInserted: the node id and
+// its distance before the repair (-1 for previously unreachable). The
+// repaired value is read from the distance array itself. Restoring Old
+// into dist for every change rolls the repair back exactly — each node
+// appears at most once, stamped at first touch.
+type DistChange struct {
+	Node, Old int32
+}
+
+// DistScratch is the reusable per-worker state of RelaxInserted: a
+// round-stamped touch set, the level buckets of the relaxation wave,
+// and a BFS queue for rebuild fallbacks.
+type DistScratch struct {
+	stamp   []int32
+	round   int32
+	buckets [][]int32
+	queue   []int32
+}
+
+// NewDistScratch allocates scratch for an n-node snapshot; ensure grows
+// it as the trajectory adds nodes.
+func NewDistScratch(n int) *DistScratch {
+	return &DistScratch{stamp: make([]int32, n), queue: make([]int32, n)}
+}
+
+func (sc *DistScratch) ensure(n int) {
+	if len(sc.stamp) < n {
+		sc.stamp = append(sc.stamp, make([]int32, n-len(sc.stamp))...)
+	}
+	if len(sc.queue) < n {
+		sc.queue = append(sc.queue, make([]int32, n-len(sc.queue))...)
+	}
+}
+
+// Queue returns the scratch's BFS queue, at least n long after an
+// ensure; exposed so callers sharing the scratch (routing-tree repair)
+// can run BFSFrozen fallbacks without a second allocation.
+func (sc *DistScratch) Queue(n int) []int32 {
+	sc.ensure(n)
+	return sc.queue
+}
+
+// RelaxInserted repairs one source's distance vector under the
+// insertions of a growth delta. dist must hold the exact hop distances
+// on the delta's base snapshot, grown to next.N() entries with -1 for
+// the new nodes; ins is the delta's edge list (non-insertions are
+// skipped). Each insertion whose endpoints' distances disagree by more
+// than one seeds a shrink-only relaxation, and the wave is processed in
+// ascending distance order, so every touched node settles at its exact
+// distance on next — the final vector equals a cold BFSFrozen run.
+//
+// budget caps the neighbor-row scans of the wave. When exceeded,
+// RelaxInserted abandons the repair and returns ok == false with the
+// changes recorded so far; the caller must restore their Old values and
+// rebuild from scratch. Changes are reported one per touched node, in
+// first-touch order.
+func RelaxInserted(next *graph.Snapshot, ins []graph.DeltaEdge, dist []int32, sc *DistScratch, budget int) (changes []DistChange, ok bool) {
+	sc.ensure(len(dist))
+	sc.round++
+	lo, hi := int32(1<<30), int32(-1)
+	relax := func(v, dv int32) {
+		if sc.stamp[v] != sc.round {
+			sc.stamp[v] = sc.round
+			changes = append(changes, DistChange{Node: v, Old: dist[v]})
+		}
+		dist[v] = dv
+		for int(dv) >= len(sc.buckets) {
+			sc.buckets = append(sc.buckets, nil)
+		}
+		sc.buckets[dv] = append(sc.buckets[dv], v)
+		if dv < lo {
+			lo = dv
+		}
+		if dv > hi {
+			hi = dv
+		}
+	}
+	for _, e := range ins {
+		if e.OldW != 0 || e.NewW == 0 {
+			continue // removal or multiplicity change: not a new arc
+		}
+		if du := dist[e.U]; du >= 0 && (dist[e.V] < 0 || dist[e.V] > du+1) {
+			relax(e.V, du+1)
+		}
+		if dv := dist[e.V]; dv >= 0 && (dist[e.U] < 0 || dist[e.U] > dv+1) {
+			relax(e.U, dv+1)
+		}
+	}
+	// Process levels in ascending order: relaxations at level d only
+	// push level d+1, so when a node is popped at its current distance
+	// that distance is final. Entries superseded by a deeper relaxation
+	// are skipped stale.
+	spent := 0
+	for d := lo; d <= hi; d++ {
+		bucket := sc.buckets[d]
+		for _, v := range bucket {
+			if dist[v] != d {
+				continue
+			}
+			row := next.Neighbors(int(v))
+			spent += len(row) + 1
+			if spent > budget {
+				for x := d; x <= hi; x++ {
+					sc.buckets[x] = sc.buckets[x][:0]
+				}
+				return changes, false
+			}
+			nd := d + 1
+			for _, w := range row {
+				if dw := dist[w]; dw < 0 || dw > nd {
+					relax(w, nd)
+				}
+			}
+		}
+		sc.buckets[d] = sc.buckets[d][:0]
+	}
+	return changes, true
+}
+
+// DistMap owns the per-source BFS distance rows of a snapshot plus the
+// integer aggregates derived from them, and repairs both across
+// snapshot deltas. Exact mode (nil sources) keeps one row per node and
+// reproduces the full-traversal path metrics bit for bit; sampled mode
+// keeps a fixed pivot set (PivotSources) and estimates closeness and
+// betweenness from the pivot columns, so refresh cost scales with the
+// pivot count instead of n.
+type DistMap struct {
+	s       *graph.Snapshot
+	exact   bool
+	sources []int32
+	dist    [][]int32
+
+	// Aggregates maintained under repair: the global distance histogram
+	// over (source, node) pairs, and per node the number of sources
+	// reaching it plus the summed distance — by undirected symmetry, in
+	// exact mode these are each node's own BFS reach and distance sum.
+	hist  PathHistogram
+	reach []int32
+	sumd  []int64
+
+	// maxScan overrides the repair budget when positive (test hook for
+	// forcing the rebuild fallback).
+	maxScan int
+}
+
+// NewDistMap builds the distance rows of s from scratch. A nil sources
+// slice selects exact mode: one row per node, growing with the graph
+// across refreshes. A non-nil slice fixes that pivot set for the life
+// of the map (the slice is copied).
+func NewDistMap(s *graph.Snapshot, sources []int32, workers int) *DistMap {
+	dm := &DistMap{s: s, exact: sources == nil}
+	if !dm.exact {
+		dm.sources = append([]int32(nil), sources...)
+	}
+	dm.rebase(workers)
+	return dm
+}
+
+// NewDistMapSampled builds a DistMap over k uniformly drawn pivot
+// sources (exact mode when k <= 0 or k >= s.N(), mirroring the
+// PathSources convention).
+func NewDistMapSampled(s *graph.Snapshot, r *rng.Rand, k, workers int) *DistMap {
+	return NewDistMap(s, PivotSources(r, s.N(), k), workers)
+}
+
+// Snapshot returns the snapshot the rows currently describe.
+func (dm *DistMap) Snapshot() *graph.Snapshot { return dm.s }
+
+// Exact reports whether the map holds one row per node.
+func (dm *DistMap) Exact() bool { return dm.exact }
+
+// SourceCount returns the number of BFS sources maintained.
+func (dm *DistMap) SourceCount() int { return len(dm.sources) }
+
+// Sources returns the maintained source ids; the slice aliases the map
+// and must not be modified.
+func (dm *DistMap) Sources() []int32 { return dm.sources }
+
+// Dist returns source i's distance row; read-only.
+func (dm *DistMap) Dist(i int) []int32 { return dm.dist[i] }
+
+// rebase rebuilds every row and aggregate over dm.s from scratch; exact
+// mode re-enumerates the sources to cover new nodes.
+func (dm *DistMap) rebase(workers int) {
+	n := dm.s.N()
+	if dm.exact {
+		dm.sources = dm.sources[:0]
+		for v := 0; v < n; v++ {
+			dm.sources = append(dm.sources, int32(v))
+		}
+	}
+	k := len(dm.sources)
+	dm.dist = make([][]int32, k)
+	w := par.Workers(workers)
+	queues := make([][]int32, w)
+	par.ForEach(k, w, func(worker, i int) {
+		if len(queues[worker]) < n {
+			queues[worker] = make([]int32, n)
+		}
+		d := make([]int32, n)
+		BFSFrozen(dm.s, int(dm.sources[i]), d, queues[worker])
+		dm.dist[i] = d
+	})
+	dm.hist = PathHistogram{}
+	dm.reach = make([]int32, n)
+	dm.sumd = make([]int64, n)
+	for i, src := range dm.sources {
+		dm.accumulate(src, dm.dist[i], +1)
+	}
+}
+
+// accumulate folds one source row into (sign > 0) or out of (sign < 0)
+// the aggregates, the integer mirror of PathHistogram.AccumulateDistances.
+func (dm *DistMap) accumulate(src int32, dist []int32, sign int) {
+	for v, d := range dist {
+		if int32(v) == src || d <= 0 {
+			continue
+		}
+		if sign > 0 {
+			dm.hist.add(d)
+			dm.reach[v]++
+			dm.sumd[v] += int64(d)
+		} else {
+			dm.hist.sub(d)
+			dm.reach[v]--
+			dm.sumd[v] -= int64(d)
+		}
+	}
+}
+
+// add and sub maintain a PathHistogram one distance at a time, with the
+// same growth idiom as AccumulateDistances so merged and incremental
+// histograms are interchangeable.
+func (h *PathHistogram) add(d int32) {
+	for int(d) >= len(h.Counts) {
+		h.Counts = append(h.Counts, make([]int64, len(h.Counts)+8)...)
+	}
+	h.Counts[d]++
+	h.Sum += int64(d)
+	h.Total++
+}
+
+func (h *PathHistogram) sub(d int32) {
+	h.Counts[d]--
+	h.Sum -= int64(d)
+	h.Total--
+}
+
+// Refresh repairs the map in place so it describes next, the refreshed
+// successor of the map's current snapshot with delta d between them.
+// Each source's row is repaired independently (in parallel across
+// sources, merged in source order, so the result is identical at every
+// worker count); exact mode gains rows for the new nodes. Rows whose
+// relaxation wave exceeds the budget — n + 2m + 4096 row scans, one
+// cold BFS — are rebuilt from scratch, as is the whole map when d is
+// nil (full refreeze), has a foreign base version, or contains
+// removals. In every case the resulting rows and aggregates are
+// exactly those of a cold NewDistMap over next with the same sources.
+// Refresh consumes the previous state; the map never describes two
+// snapshots at once.
+func (dm *DistMap) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
+	if next == nil {
+		return
+	}
+	rebuild := d == nil || d.BaseVersion() != dm.s.Version()
+	if !rebuild {
+		if _, removed := d.Counts(); removed > 0 {
+			rebuild = true // distances can grow; shrink-only repair does not apply
+		}
+	}
+	if rebuild {
+		dm.s = next
+		dm.rebase(workers)
+		return
+	}
+	oldN, n := dm.s.N(), next.N()
+	dm.s = next
+	dm.reach = append(dm.reach, make([]int32, n-oldN)...)
+	dm.sumd = append(dm.sumd, make([]int64, n-oldN)...)
+	if dm.exact {
+		for v := oldN; v < n; v++ {
+			dm.sources = append(dm.sources, int32(v))
+			dm.dist = append(dm.dist, nil)
+		}
+	}
+	budget := dm.maxScan
+	if budget <= 0 {
+		budget = n + 2*next.M() + 4096
+	}
+	ins := d.Edges()
+	type repair struct {
+		changes []DistChange // wave-repaired: aggregate patch list
+		old, nd []int32      // rebuilt: retract old (nil for new sources), fold nd
+	}
+	results := make([]repair, len(dm.sources))
+	w := par.Workers(workers)
+	scratch := make([]*DistScratch, w)
+	par.ForEach(len(dm.sources), w, func(worker, i int) {
+		sc := scratch[worker]
+		if sc == nil {
+			sc = NewDistScratch(n)
+			scratch[worker] = sc
+		}
+		sc.ensure(n)
+		old := dm.dist[i]
+		if old == nil { // new source: cold build, nothing to retract
+			nd := make([]int32, n)
+			BFSFrozen(next, int(dm.sources[i]), nd, sc.queue)
+			results[i] = repair{nd: nd}
+			return
+		}
+		dist := growDist(old, n)
+		dm.dist[i] = dist
+		changes, ok := RelaxInserted(next, ins, dist, sc, budget)
+		if !ok {
+			for _, c := range changes {
+				dist[c.Node] = c.Old
+			}
+			nd := make([]int32, n)
+			BFSFrozen(next, int(dm.sources[i]), nd, sc.queue)
+			results[i] = repair{old: dist, nd: nd}
+			return
+		}
+		results[i] = repair{changes: changes}
+	})
+	// Sequential merge in source order: integer aggregate patches, so
+	// the outcome is order-free anyway — the fixed order documents the
+	// determinism contract rather than carrying it.
+	for i := range results {
+		r := &results[i]
+		if r.nd != nil {
+			if r.old != nil {
+				dm.accumulate(dm.sources[i], r.old, -1)
+			}
+			dm.accumulate(dm.sources[i], r.nd, +1)
+			dm.dist[i] = r.nd
+			continue
+		}
+		dist := dm.dist[i]
+		for _, c := range r.changes {
+			if c.Old > 0 {
+				dm.hist.sub(c.Old)
+				dm.reach[c.Node]--
+				dm.sumd[c.Node] -= int64(c.Old)
+			}
+			if nd := dist[c.Node]; nd > 0 {
+				dm.hist.add(nd)
+				dm.reach[c.Node]++
+				dm.sumd[c.Node] += int64(nd)
+			}
+		}
+	}
+}
+
+// growDist pads a distance row with -1 entries up to n nodes.
+func growDist(dist []int32, n int) []int32 {
+	for len(dist) < n {
+		dist = append(dist, -1)
+	}
+	return dist
+}
+
+// RefreshPathLengths reduces the map's maintained histogram to
+// PathStats. In exact mode the result is bit-identical to
+// PathLengthsFrozen over the same snapshot with all sources; in sampled
+// mode it is the same estimator PathLengthsFrozen computes for the
+// map's pivot set.
+func RefreshPathLengths(dm *DistMap) PathStats {
+	return dm.hist.ToStats(len(dm.sources))
+}
+
+// RefreshCloseness derives Wasserman-Faust closeness from the map's
+// per-node reach and distance-sum columns. In exact mode the undirected
+// symmetry d(u,v) = d(v,u) makes each node's column equal its own BFS
+// row, and the expression matches ClosenessOfDist term for term, so the
+// result is bit-identical to ClosenessFrozen. In sampled mode reach is
+// rescaled by n/k, the standard pivot estimate.
+func RefreshCloseness(dm *DistMap) []float64 {
+	n := dm.s.N()
+	k := len(dm.sources)
+	out := make([]float64, n)
+	for v := 0; v < n; v++ {
+		sum, reach := dm.sumd[v], dm.reach[v]
+		if sum == 0 {
+			continue
+		}
+		scaled := float64(reach)
+		if !dm.exact {
+			scaled = float64(reach) * float64(n) / float64(k)
+		}
+		out[v] = float64(reach) / float64(sum) * scaled / float64(n-1)
+	}
+	return out
+}
+
+// brandesGroup is the source-batch grain of RefreshBetweennessSampled:
+// groups of sources accumulate into one partial vector each, merged in
+// group order — small enough to spread across workers, large enough to
+// bound the partial-vector memory at K/8 rows.
+const brandesGroup = 8
+
+// orderFromDist fills order with the reachable nodes of dist sorted by
+// (distance, id) via counting sort — a canonical traversal order that
+// is a pure function of the distance field, unlike BFS discovery order,
+// so repaired and cold rows induce identical Brandes passes.
+func orderFromDist(dist []int32, order []int32) []int32 {
+	maxd := int32(0)
+	for _, d := range dist {
+		if d > maxd {
+			maxd = d
+		}
+	}
+	starts := make([]int32, maxd+2)
+	for _, d := range dist {
+		if d >= 0 {
+			starts[d+1]++
+		}
+	}
+	for i := 1; i < len(starts); i++ {
+		starts[i] += starts[i-1]
+	}
+	cnt := starts[maxd+1]
+	for v, d := range dist {
+		if d >= 0 {
+			order[starts[d]] = int32(v)
+			starts[d]++
+		}
+	}
+	return order[:cnt]
+}
+
+// BrandesFromDist runs one Brandes dependency pass over an
+// already-correct distance row, in canonical (distance, id) order: the
+// counterpart of BrandesFrozen that skips the BFS. Results agree with
+// BrandesFrozen to summation order (~1e-12), and are bit-identical
+// between any two calls given the same distances.
+func BrandesFromDist(s *graph.Snapshot, src int, dist []int32, sc *BrandesScratch, bc []float64, scale float64) {
+	for i := range sc.sigma {
+		sc.sigma[i] = 0
+		sc.delta[i] = 0
+	}
+	order := orderFromDist(dist, sc.queue)
+	SigmaForward(s, src, order, dist, sc.sigma)
+	for i := len(order) - 1; i >= 0; i-- {
+		w := order[i]
+		coeff := (1 + sc.delta[w]) / sc.sigma[w]
+		dw := dist[w]
+		for _, v := range s.Neighbors(int(w)) {
+			if dist[v]+1 == dw {
+				sc.delta[v] += sc.sigma[v] * coeff
+			}
+		}
+		if int(w) != src {
+			bc[w] += sc.delta[w] * scale
+		}
+	}
+}
+
+// RefreshBetweennessSampled computes betweenness centrality from the
+// map's distance rows: exact Brandes normalization in exact mode, the
+// n/k source rescaling of BetweennessSampledFrozen in sampled mode. The
+// distances are already repaired, so each source costs only its
+// dependency pass. Source groups run in parallel and their partial
+// vectors merge in group order, making the result bit-identical at
+// every worker count and between refreshed and cold maps; against
+// BetweennessFrozen it agrees to summation order (~1e-12).
+func RefreshBetweennessSampled(dm *DistMap, workers int) []float64 {
+	n := dm.s.N()
+	bc := make([]float64, n)
+	k := len(dm.sources)
+	if n < 3 || k == 0 {
+		return bc
+	}
+	scale := 1.0
+	if !dm.exact {
+		scale = float64(n) / float64(k)
+	}
+	groups := (k + brandesGroup - 1) / brandesGroup
+	partials := make([][]float64, groups)
+	w := par.Workers(workers)
+	scratch := make([]*BrandesScratch, w)
+	par.ForEach(groups, w, func(worker, g int) {
+		sc := scratch[worker]
+		if sc == nil {
+			sc = NewBrandesScratch(n)
+			scratch[worker] = sc
+		}
+		part := make([]float64, n)
+		hi := (g + 1) * brandesGroup
+		if hi > k {
+			hi = k
+		}
+		for i := g * brandesGroup; i < hi; i++ {
+			BrandesFromDist(dm.s, int(dm.sources[i]), dm.dist[i], sc, part, scale)
+		}
+		partials[g] = part
+	})
+	for _, part := range partials {
+		for v, x := range part {
+			bc[v] += x
+		}
+	}
+	norm := float64(n-1) * float64(n-2)
+	for i := range bc {
+		bc[i] /= norm
+	}
+	return bc
+}
+
+// PivotSources draws the k-pivot source set of a sampled DistMap with
+// the same selection as PathSources and BetweennessSources, so sampled
+// trajectory metrics and their frozen counterparts pick identical
+// pivots for a given generator state. k <= 0 or k >= n returns nil,
+// the exact-mode marker.
+func PivotSources(r *rng.Rand, n, k int) []int32 {
+	if k <= 0 || k >= n {
+		return nil
+	}
+	perm := r.Perm(n)
+	out := make([]int32, k)
+	for i := range out {
+		out[i] = int32(perm[i])
+	}
+	return out
+}

@@ -71,6 +71,11 @@ type Grid struct {
 	// MeasureEvery > 0 records a growth trajectory per cell (growth
 	// families) every that many committed nodes.
 	MeasureEvery int `json:"measure_every,omitempty"`
+	// TrajectoryPaths adds the incremental distance family (path
+	// lengths, diameter, closeness) to every trajectory observation;
+	// PathSources sizes the pivot sample (0 = exact). Requires
+	// MeasureEvery > 0.
+	TrajectoryPaths bool `json:"trajectory_paths,omitempty"`
 	// Workload, when non-nil, adds the flow-level traffic stage and its
 	// (load factor × tail index) axes to the grid.
 	Workload *WorkloadAxes `json:"workload,omitempty"`
@@ -138,6 +143,9 @@ func (g Grid) Validate() error {
 		if !models[m] {
 			return fmt.Errorf("sweep: params for %q, which is not a swept model", m)
 		}
+	}
+	if g.TrajectoryPaths && g.MeasureEvery <= 0 {
+		return fmt.Errorf("sweep: trajectory_paths requires measure_every > 0")
 	}
 	if g.Workload != nil {
 		if len(g.Workload.LoadFactors) == 0 {
@@ -221,15 +229,16 @@ func (g Grid) Cells() ([]core.Cell, error) {
 			for _, wl := range combos {
 				for _, seed := range g.Seeds {
 					cells = append(cells, core.Cell{
-						Model:        model,
-						N:            n,
-						Seed:         seed,
-						Params:       g.Params[model],
-						Target:       tgt,
-						PathSources:  g.PathSources,
-						Workers:      cellWorkers,
-						MeasureEvery: g.MeasureEvery,
-						Workload:     wl,
+						Model:           model,
+						N:               n,
+						Seed:            seed,
+						Params:          g.Params[model],
+						Target:          tgt,
+						PathSources:     g.PathSources,
+						Workers:         cellWorkers,
+						MeasureEvery:    g.MeasureEvery,
+						TrajectoryPaths: g.TrajectoryPaths,
+						Workload:        wl,
 					})
 				}
 			}

@@ -1,0 +1,230 @@
+package traffic
+
+import (
+	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
+	"netmodel/internal/par"
+)
+
+// This file carries the routing cache across snapshot refreshes. A
+// growth epoch inserts a handful of edges into a 100k-node map; before,
+// every cached shortest-path tree and memoized OD path died with the
+// snapshot version and was rebuilt cold. Refresh instead repairs each
+// cached tree with the shared shrink-only relaxation of the metrics
+// package (metrics.RelaxInserted), re-selects canonical parents only
+// where the distance field or the candidate sets moved, remaps memoized
+// path edge ids to the refreshed numbering, and invalidates only the
+// memo entries whose origin tree actually changed — so a long
+// trajectory simulation pays per epoch for the delta's impact, not for
+// n trees of BFS.
+
+// Snapshot returns the snapshot the routing state currently describes.
+func (rt *Routing) Snapshot() *graph.Snapshot { return rt.s }
+
+// reset rebases the routing state onto next with everything dropped —
+// the cold path of Refresh, equivalent to NewRouting(next) in place.
+func (rt *Routing) reset(next *graph.Snapshot) {
+	max := routingTreeBudget / (12 * (next.N() + 1))
+	if max < 16 {
+		max = 16
+	}
+	rt.s = next
+	rt.arcEdge = next.ArcEdgeIDs()
+	rt.max = max
+	rt.trees = make(map[int]*rtree)
+	rt.fifo = rt.fifo[:0]
+	rt.paths = make(map[int64][]int32)
+}
+
+// treeScratch is the reusable per-worker state of one tree repair: the
+// relaxation scratch plus a stamped dedup set for the parent
+// re-selection frontier.
+type treeScratch struct {
+	ds    *metrics.DistScratch
+	stamp []int32
+	round int32
+	resel []int32
+}
+
+func newTreeScratch(n int) *treeScratch {
+	return &treeScratch{ds: metrics.NewDistScratch(n), stamp: make([]int32, n)}
+}
+
+func (sc *treeScratch) ensure(n int) {
+	if len(sc.stamp) < n {
+		sc.stamp = append(sc.stamp, make([]int32, n-len(sc.stamp))...)
+	}
+}
+
+// Refresh advances the routing state to next, the refreshed successor
+// of its current snapshot with delta d between them (the pair returned
+// by Graph.Refreeze). Cached trees are repaired in place — distances by
+// shrink-only relaxation, parents re-selected only where a candidate
+// set moved — and repairs of independent source trees run in parallel
+// across workers with index-private results, so the final state is
+// identical at every worker count and entry-identical to cold builds
+// over next. Memoized OD paths survive with their edge ids remapped
+// when their origin's tree is cached and unchanged on pre-existing
+// nodes; they are dropped when the tree changed or was evicted. A nil
+// delta (full refreeze), a foreign base version, or a delta carrying
+// removals resets the state instead, exactly as NewRouting(next) would.
+func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
+	if next == nil {
+		return
+	}
+	rebuild := d == nil || d.BaseVersion() != rt.s.Version()
+	if !rebuild {
+		if _, removed := d.Counts(); removed > 0 {
+			rebuild = true // removals can grow distances; repair is shrink-only
+		}
+	}
+	if rebuild {
+		rt.reset(next)
+		return
+	}
+	oldN, n := rt.s.N(), next.N()
+
+	// Structural insertions, in delta (U,V) order.
+	var ins []graph.DeltaEdge
+	for _, e := range d.Edges() {
+		if e.OldW == 0 && e.NewW != 0 {
+			ins = append(ins, e)
+		}
+	}
+
+	// Edge ids follow (u,v)-sorted order, so the insertion-only refresh
+	// shifts old id i up by the number of inserted edges sorting before
+	// it: one merged walk of the old edge list against the sorted
+	// insertions.
+	prevEdges := rt.s.EdgeList()
+	oldToNew := make([]int32, len(prevEdges))
+	shift := 0
+	for i, e := range prevEdges {
+		for shift < len(ins) && (int(ins[shift].U) < e.U ||
+			(int(ins[shift].U) == e.U && int(ins[shift].V) < e.V)) {
+			shift++
+		}
+		oldToNew[i] = int32(i + shift)
+	}
+
+	arcEdge := next.ArcEdgeIDs()
+	budget := n + 2*next.M() + 4096
+	srcs := append([]int(nil), rt.fifo...)
+	changed := make([]bool, len(srcs))
+	w := par.Workers(workers)
+	scratch := make([]*treeScratch, w)
+	par.ForEach(len(srcs), w, func(worker, i int) {
+		sc := scratch[worker]
+		if sc == nil {
+			sc = newTreeScratch(n)
+			scratch[worker] = sc
+		}
+		sc.ensure(n)
+		changed[i] = repairTree(next, arcEdge, rt.trees[srcs[i]], srcs[i], ins, oldToNew, oldN, sc, budget)
+	})
+
+	max := routingTreeBudget / (12 * (n + 1))
+	if max < 16 {
+		max = 16
+	}
+	rt.s = next
+	rt.arcEdge = arcEdge
+	rt.max = max
+
+	// Memo policy: an entry survives exactly when its origin's tree is
+	// cached and unchanged on pre-existing nodes — then the memoized
+	// path (all of whose nodes predate the refresh) re-reads identically
+	// from the repaired tree, modulo the edge-id renumbering applied
+	// here. Entries of changed or evicted trees are dropped; a cold
+	// rebuild would re-resolve them anyway.
+	changedSrc := make(map[int]bool, len(srcs))
+	for i, src := range srcs {
+		if changed[i] {
+			changedSrc[src] = true
+		}
+	}
+	for key, p := range rt.paths {
+		src := int(key >> 32)
+		if _, ok := rt.trees[src]; !ok || changedSrc[src] {
+			delete(rt.paths, key)
+			continue
+		}
+		for i, e := range p {
+			p[i] = oldToNew[e]
+		}
+	}
+}
+
+// repairTree advances one cached tree to next under the delta's
+// insertions: remap its edge ids, grow its arrays, repair its distances
+// with the shared relaxation kernel, and re-select canonical parents on
+// the frontier where parent candidacy can have moved — nodes whose
+// distance changed, their next-level neighbors (candidates may have
+// entered), and the deeper endpoints of inserted arcs (the new arc
+// itself is a candidate). Everywhere else the candidate set is
+// untouched: a candidate can only leave by shrinking, which would have
+// shrunk — and flagged — the child too. When the relaxation exceeds its
+// budget the tree is rebuilt cold instead. Returns whether any
+// pre-existing node's entry changed (the memo invalidation signal);
+// the repaired tree always equals buildTree(next, arcEdge, src).
+func repairTree(next *graph.Snapshot, arcEdge []int32, t *rtree, src int, ins []graph.DeltaEdge, oldToNew []int32, oldN int, sc *treeScratch, budget int) (changed bool) {
+	n := next.N()
+	for v := range t.edge {
+		if t.edge[v] >= 0 {
+			t.edge[v] = oldToNew[t.edge[v]]
+		}
+	}
+	for len(t.dist) < n {
+		t.dist = append(t.dist, -1)
+	}
+	for len(t.parent) < n {
+		t.parent = append(t.parent, -1)
+	}
+	for len(t.edge) < n {
+		t.edge = append(t.edge, -1)
+	}
+	changes, ok := metrics.RelaxInserted(next, ins, t.dist, sc.ds, budget)
+	if !ok {
+		*t = *buildTree(next, arcEdge, src)
+		return true
+	}
+	sc.round++
+	sc.resel = sc.resel[:0]
+	add := func(v int32) {
+		if sc.stamp[v] != sc.round {
+			sc.stamp[v] = sc.round
+			sc.resel = append(sc.resel, v)
+		}
+	}
+	for _, c := range changes {
+		if int(c.Node) < oldN {
+			changed = true // distances only shrink, so every touch is a real change
+		}
+		add(c.Node)
+		dv := t.dist[c.Node]
+		for _, w := range next.Neighbors(int(c.Node)) {
+			if t.dist[w] == dv+1 {
+				add(w)
+			}
+		}
+	}
+	for _, e := range ins {
+		if du := t.dist[e.U]; du >= 0 && du+1 == t.dist[e.V] {
+			add(e.V)
+		}
+		if dv := t.dist[e.V]; dv >= 0 && dv+1 == t.dist[e.U] {
+			add(e.U)
+		}
+	}
+	for _, v := range sc.resel {
+		parent, edge := selectParent(next, arcEdge, t.dist, int(v))
+		if t.parent[v] != parent || t.edge[v] != edge {
+			if int(v) < oldN {
+				changed = true
+			}
+			t.parent[v] = parent
+			t.edge[v] = edge
+		}
+	}
+	return changed
+}

@@ -5,6 +5,7 @@ import (
 
 	"netmodel/internal/engine"
 	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
 	"netmodel/internal/par"
 	"netmodel/internal/rng"
 )
@@ -91,34 +92,36 @@ func RoutingOf(eng *engine.Engine) *Routing {
 	}).(*Routing)
 }
 
-// buildTree runs one BFS from src, recording parents and the edge ids
-// toward them. Discovery follows CSR arc order, so the tree — and every
-// path read from it — is deterministic.
+// selectParent picks v's canonical tree entry: the smallest-id neighbor
+// one hop closer to the source, with the snapshot edge id toward it
+// (-1, -1 at the source and for unreachable nodes). The choice is a
+// pure function of the distance field — not of BFS discovery order — so
+// cold builds and incremental repairs (Routing.Refresh) produce the
+// tree entry for entry.
+func selectParent(s *graph.Snapshot, arcEdge []int32, dist []int32, v int) (parent, edge int32) {
+	dv := dist[v]
+	if dv <= 0 {
+		return -1, -1
+	}
+	lo, _ := s.ArcRange(v)
+	for j, u := range s.Neighbors(v) {
+		if dist[u] == dv-1 {
+			return u, arcEdge[int(lo)+j]
+		}
+	}
+	return -1, -1
+}
+
+// buildTree runs one BFS from src for the distances, then selects every
+// node's canonical parent. The tree — and every path read from it — is
+// deterministic and depends only on (snapshot, source).
 func buildTree(s *graph.Snapshot, arcEdge []int32, src int) *rtree {
 	n := s.N()
 	t := &rtree{dist: make([]int32, n), parent: make([]int32, n), edge: make([]int32, n)}
-	for i := 0; i < n; i++ {
-		t.dist[i] = -1
-		t.parent[i] = -1
-		t.edge[i] = -1
-	}
 	queue := make([]int32, n)
-	t.dist[src] = 0
-	queue[0] = int32(src)
-	size := 1
-	for head := 0; head < size; head++ {
-		u := queue[head]
-		du := t.dist[u]
-		lo, _ := s.ArcRange(int(u))
-		for j, v := range s.Neighbors(int(u)) {
-			if t.dist[v] < 0 {
-				t.dist[v] = du + 1
-				t.parent[v] = u
-				t.edge[v] = arcEdge[int(lo)+j]
-				queue[size] = v
-				size++
-			}
-		}
+	metrics.BFSFrozen(s, src, t.dist, queue)
+	for v := 0; v < n; v++ {
+		t.parent[v], t.edge[v] = selectParent(s, arcEdge, t.dist, v)
 	}
 	return t
 }
@@ -302,12 +305,14 @@ func WithFlowTrace() SimOption {
 	return func(c *simConfig) { c.trace = true }
 }
 
-// WithRouting shares a routing state (NewRouting) across simulations of
-// one snapshot, the Simulate-level counterpart of SimulateWith's
-// engine-memoized trees: repeated runs — a benchmark comparing engines,
-// a caller sweeping load factors by hand — skip rebuilding BFS trees
-// for sources already ensured. Trees are per-source deterministic, so
-// sharing never changes results.
+// WithRouting shares a routing state (NewRouting) across simulations,
+// the Simulate-level counterpart of SimulateWith's engine-memoized
+// trees: repeated runs — a benchmark comparing engines, a caller
+// sweeping load factors by hand — skip rebuilding BFS trees for sources
+// already ensured. Trees are per-source deterministic, so sharing never
+// changes results. Across a growth trajectory, advance the shared state
+// to each epoch's snapshot with Routing.Refresh before simulating;
+// Simulate rejects a routing state describing a different snapshot.
 func WithRouting(rt *Routing) SimOption {
 	return func(c *simConfig) { c.rt = rt }
 }
@@ -400,6 +405,9 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		opt(&cfg)
 	}
 	if cfg.rt != nil {
+		if cfg.rt.s.Version() != s.Version() {
+			return nil, errors.New("traffic: shared routing state describes a different snapshot; advance it with Routing.Refresh")
+		}
 		rt = cfg.rt
 	}
 	positive := 0

@@ -13,7 +13,9 @@ import (
 	"netmodel/internal/engine"
 	"netmodel/internal/gen"
 	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
 	"netmodel/internal/rng"
+	"netmodel/internal/traffic"
 )
 
 // The trajectory benchmarks are the acceptance surface of incremental
@@ -32,6 +34,7 @@ var (
 	trajBenchOut    = flag.String("trajectory-bench-out", "", "write refresh-vs-refreeze trajectory timings to this JSON file")
 	trajBenchN      = flag.Int("trajectory-bench-n", 100000, "trajectory benchmark map size")
 	trajBenchEpochs = flag.Int("trajectory-bench-epochs", 100, "trajectory benchmark observation epochs")
+	trajBenchPivots = flag.Int("trajectory-bench-pivots", 64, "pivot sample size of the path-metric benchmark rows")
 )
 
 // runTrajectory drives one BA growth run of n nodes observed every
@@ -79,6 +82,127 @@ func runTrajectory(tb testing.TB, n, epochs, workers int, refresh bool) int {
 	return measured
 }
 
+// runTrajectoryPaths is runTrajectory with the distance family on: the
+// refresh arm observes through a path-enabled TrajectoryObserver (the
+// engine's distance map is repaired across Advance), the recompute arm
+// pays a full freeze, a cold engine and cold pivot BFS per epoch. Both
+// arms measure the same pivot sample, drawn once on the first epoch.
+func runTrajectoryPaths(tb testing.TB, n, epochs, workers, pivots int, refresh bool) int {
+	tb.Helper()
+	every := n / epochs
+	if every < 1 {
+		every = 1
+	}
+	measured := 0
+	var observe func(g *graph.Graph, nn int) error
+	if refresh {
+		obs := core.NewTrajectoryObserver(workers)
+		obs.EnablePathMetrics(pivots, 1)
+		observe = func(g *graph.Graph, nn int) error {
+			if err := obs.Observe(g, nn); err != nil {
+				return err
+			}
+			measured++
+			return nil
+		}
+	} else {
+		var pivotList []int32
+		first := true
+		observe = func(g *graph.Graph, nn int) error {
+			snap, err := g.FreezeChecked()
+			if err != nil {
+				return err
+			}
+			if first {
+				first = false
+				pivotList = metrics.PivotSources(rng.New(1), snap.N(), pivots)
+			}
+			eng := engine.New(snap, engine.WithWorkers(workers))
+			if st := eng.MeasureGrowthPaths(pivotList); st.N != nn {
+				return fmt.Errorf("measured %d nodes, want %d", st.N, nn)
+			}
+			measured++
+			return nil
+		}
+	}
+	_, err := gen.BA{N: n, M: 2}.GenerateTrajectory(rng.New(1), workers, gen.Trajectory{
+		Every:   every,
+		Observe: observe,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return measured
+}
+
+// routingBenchSources is the warm tree set of the routing rows: enough
+// trees that repair work dominates bookkeeping, few enough to stay
+// under the cache budget at 100k nodes.
+const routingBenchSources = 24
+
+// runRoutingBench replays one BA map as a growth trajectory and keeps a
+// set of shortest-path trees warm at every epoch — by Routing.Refresh
+// on a shared state (refresh) or a cold NewRouting + Ensure per epoch
+// (rebuild). Only the routing maintenance is timed; the replay and
+// Refreeze cost is common to both arms and excluded, so the row is a
+// clean attribution of tree repair vs tree rebuild.
+func runRoutingBench(tb testing.TB, n, epochs, workers int, refresh bool) time.Duration {
+	tb.Helper()
+	top, err := gen.BA{N: n, M: 2}.Generate(rng.New(1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	edges := top.G.EdgeList()
+	every := len(edges) / epochs
+	if every < 1 {
+		every = 1
+	}
+	sources := make([]int, routingBenchSources)
+	for i := range sources {
+		sources[i] = i
+	}
+	g := graph.New(0)
+	prev, err := g.FreezeChecked()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var rt *traffic.Routing
+	var spent time.Duration
+	for i, e := range edges {
+		for g.N() <= e.V || g.N() <= e.U {
+			g.AddNode()
+		}
+		for w := 0; w < e.W; w++ {
+			g.MustAddEdge(e.U, e.V)
+		}
+		if (i+1)%every != 0 && i != len(edges)-1 {
+			continue
+		}
+		next, d, err := g.Refreeze(prev)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		prev = next
+		if next.N() <= routingBenchSources {
+			continue
+		}
+		start := time.Now()
+		if refresh {
+			if rt == nil {
+				rt = traffic.NewRouting(next)
+			} else {
+				rt.Refresh(next, d, workers)
+			}
+			rt.Ensure(sources, workers)
+		} else {
+			cold := traffic.NewRouting(next)
+			cold.Ensure(sources, workers)
+		}
+		spent += time.Since(start)
+	}
+	return spent
+}
+
 func benchTrajectory(b *testing.B, n, epochs int, refresh bool) {
 	b.Helper()
 	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
@@ -96,6 +220,32 @@ func BenchmarkTrajectoryRefreeze10k(b *testing.B) { benchTrajectory(b, 10000, 20
 // The 100k-node, 100-epoch rows are the acceptance-criterion scale.
 func BenchmarkTrajectoryRefresh100k(b *testing.B)  { benchTrajectory(b, 100000, 100, true) }
 func BenchmarkTrajectoryRefreeze100k(b *testing.B) { benchTrajectory(b, 100000, 100, false) }
+
+func benchTrajectoryPaths(b *testing.B, n, epochs int, refresh bool) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := runTrajectoryPaths(b, n, epochs, genBenchWorkers, *trajBenchPivots, refresh); got < epochs {
+			b.Fatalf("measured %d epochs, want >= %d", got, epochs)
+		}
+	}
+}
+
+func BenchmarkTrajectoryPathsRefresh10k(b *testing.B)   { benchTrajectoryPaths(b, 10000, 20, true) }
+func BenchmarkTrajectoryPathsRecompute10k(b *testing.B) { benchTrajectoryPaths(b, 10000, 20, false) }
+
+func benchRouting(b *testing.B, n, epochs int, refresh bool) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runRoutingBench(b, n, epochs, genBenchWorkers, refresh)
+	}
+}
+
+func BenchmarkRoutingRefresh10k(b *testing.B) { benchRouting(b, 10000, 20, true) }
+func BenchmarkRoutingRebuild10k(b *testing.B) { benchRouting(b, 10000, 20, false) }
 
 // TestTrajectoryBenchJSON times both arms once and records the rows in
 // the JSON file named by -trajectory-bench-out (BENCH_trajectory.json
@@ -120,22 +270,54 @@ func TestTrajectoryBenchJSON(t *testing.T) {
 	refresh := time1(true)
 	speedup := float64(refreeze) / float64(refresh)
 
+	pivots := *trajBenchPivots
+	timePaths := func(refresh bool) time.Duration {
+		start := time.Now()
+		if got := runTrajectoryPaths(t, n, epochs, workers, pivots, refresh); got < epochs {
+			t.Fatalf("measured %d path epochs, want >= %d", got, epochs)
+		}
+		return time.Since(start)
+	}
+	pathsRecompute := timePaths(false)
+	pathsRefresh := timePaths(true)
+	pathsSpeedup := float64(pathsRecompute) / float64(pathsRefresh)
+
+	routRebuild := runRoutingBench(t, n, epochs, workers, false)
+	routRefresh := runRoutingBench(t, n, epochs, workers, true)
+	routSpeedup := float64(routRebuild) / float64(routRefresh)
+
 	type row struct {
 		Name    string  `json:"name"`
 		Model   string  `json:"model"`
 		N       int     `json:"n"`
 		Epochs  int     `json:"epochs"`
 		Workers int     `json:"workers"`
+		Pivots  int     `json:"pivots,omitempty"`
 		Cores   int     `json:"cores"`
 		NumCPU  int     `json:"num_cpu"`
 		NsPerOp int64   `json:"ns_per_op"`
 		Speedup float64 `json:"speedup,omitempty"`
+		// SpeedupVs names the row the speedup is measured against, so
+		// every attribution in the file is explicit.
+		SpeedupVs string `json:"speedup_vs,omitempty"`
 	}
+	cores, ncpu := runtime.GOMAXPROCS(0), runtime.NumCPU()
 	rows := []row{
 		{Name: "trajectory-refreeze", Model: "ba", N: n, Epochs: epochs, Workers: workers,
-			Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), NsPerOp: refreeze.Nanoseconds()},
+			Cores: cores, NumCPU: ncpu, NsPerOp: refreeze.Nanoseconds()},
 		{Name: "trajectory-refresh", Model: "ba", N: n, Epochs: epochs, Workers: workers,
-			Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), NsPerOp: refresh.Nanoseconds(), Speedup: speedup},
+			Cores: cores, NumCPU: ncpu, NsPerOp: refresh.Nanoseconds(),
+			Speedup: speedup, SpeedupVs: "trajectory-refreeze"},
+		{Name: "trajectory-paths-recompute", Model: "ba", N: n, Epochs: epochs, Workers: workers,
+			Pivots: pivots, Cores: cores, NumCPU: ncpu, NsPerOp: pathsRecompute.Nanoseconds()},
+		{Name: "trajectory-paths-refresh", Model: "ba", N: n, Epochs: epochs, Workers: workers,
+			Pivots: pivots, Cores: cores, NumCPU: ncpu, NsPerOp: pathsRefresh.Nanoseconds(),
+			Speedup: pathsSpeedup, SpeedupVs: "trajectory-paths-recompute"},
+		{Name: "routing-rebuild", Model: "ba", N: n, Epochs: epochs, Workers: workers,
+			Cores: cores, NumCPU: ncpu, NsPerOp: routRebuild.Nanoseconds()},
+		{Name: "routing-refresh", Model: "ba", N: n, Epochs: epochs, Workers: workers,
+			Cores: cores, NumCPU: ncpu, NsPerOp: routRefresh.Nanoseconds(),
+			Speedup: routSpeedup, SpeedupVs: "routing-rebuild"},
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
@@ -146,4 +328,8 @@ func TestTrajectoryBenchJSON(t *testing.T) {
 	}
 	t.Logf("n=%d epochs=%d workers=%d: refreeze %v, refresh %v, speedup %.2fx",
 		n, epochs, workers, refreeze, refresh, speedup)
+	t.Logf("paths (pivots=%d): recompute %v, refresh %v, speedup %.2fx",
+		pivots, pathsRecompute, pathsRefresh, pathsSpeedup)
+	t.Logf("routing (%d trees): rebuild %v, refresh %v, speedup %.2fx",
+		routingBenchSources, routRebuild, routRefresh, routSpeedup)
 }

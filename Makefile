@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-traffic bench-check staticcheck lint fmt ci
+.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-traffic bench-failures bench-check staticcheck lint fmt ci
 
 all: build
 
@@ -50,6 +50,15 @@ bench-sweep:
 # variant under -race, once per engine.
 bench-traffic:
 	$(GO) test -run TestTrafficBenchJSON -traffic-bench-out BENCH_traffic.json .
+
+# Failure acceptance: an outage/repair replay (2 random links down per
+# epoch, revived two epochs later) over a 100k-node BA map, warm
+# routing trees and a warm distance map maintained via the delta-scoped
+# removal-repair paths (repair) vs cold rebuilds per failure epoch
+# (rebuild). Timings land in BENCH_failures.json; the CI smoke runs
+# the 10k variant under -race.
+bench-failures:
+	$(GO) test -run TestFailuresBenchJSON -failures-bench-out BENCH_failures.json .
 
 # Benchmark-regression gate: the speedup fields of the BENCH_*.json
 # files in the working tree must clear the committed floors in

@@ -80,6 +80,9 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *requireAll && *lenient {
+		return fmt.Errorf("-require-all and -lenient contradict each other; pick one")
+	}
 	data, err := os.ReadFile(*floorsPath)
 	if err != nil {
 		return err

@@ -50,11 +50,16 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := cliutil.FirstError(
+		cliutil.PositiveInt("-n", *n),
+		cliutil.NonNegativeInt("-path-sources", *sources),
+		cliutil.OneOf("-target", *target, "as", "asplus"),
+	); err != nil {
+		return err
+	}
 	tgt := refdata.ASMap2001
 	if *target == "asplus" {
 		tgt = refdata.ASPlusMap2001
-	} else if *target != "as" {
-		return fmt.Errorf("unknown target %q", *target)
 	}
 	// -workers unset keeps the historical default: sequential reference
 	// generation with the metrics engine on every core (pool 0 means

@@ -65,6 +65,14 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := cliutil.FirstError(
+		cliutil.PositiveInt("-n", *n),
+		cliutil.PositiveInt("-grid", *grid),
+		cliutil.NonNegativeInt("-refine", *refine),
+		cliutil.NonNegativeInt("-path-sources", *sources),
+	); err != nil {
+		return err
+	}
 	// Same -workers resolution as topocmp: unset keeps sequential
 	// reference generation with the engine on every core; explicit
 	// values size both pools (0 = all cores for both).

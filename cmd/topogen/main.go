@@ -60,6 +60,14 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := cliutil.FirstError(
+		cliutil.PositiveInt("-n", *n),
+		cliutil.OneOf("-format", *format, "edgelist", "json", "dot"),
+		cliutil.NonNegativeInt("-measure-every", *measureEvery),
+		cliutil.NonNegativeInt("-path-sources", *pathSources),
+	); err != nil {
+		return err
+	}
 	if *paths && *measureEvery <= 0 {
 		return fmt.Errorf("-paths requires -measure-every > 0")
 	}

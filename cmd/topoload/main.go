@@ -28,6 +28,19 @@
 // components in parallel on the cell's pool. Both engines draw the
 // same flows from the same streams and agree on per-flow completion
 // times; the event engine is the fast path for large sparse runs.
+//
+// -failures adds a failure-scenario axis next to the load and tail
+// axes: each listed mode (none, random, degree, load) becomes one
+// scenario built from the -fail-* sub-flags, and every cell reports
+// survivability metrics — killed/rerouted/retried flows,
+// disconnected-OD fraction, giant-component capacity — next to the
+// usual workload scalars:
+//
+//	topoload -model ba -n 5000 -load 0.6 -failures none,random -fail-links 5 -mtbf 10 -mttr 3
+//	topoload -model glp -n 2000 -failures degree -fail-nodes 2 -fail-at 5 -repair-at 15 -fail-retries 2
+//
+// Scheduled event lists are a JSON-grid feature (toposweep -grid with
+// workload.failures), not a flag.
 package main
 
 import (
@@ -73,6 +86,15 @@ func run(args []string, stdout io.Writer) error {
 	cellWorkers := fs.Int("cell-workers", 1, "per-cell generation/simulation pool; >= 2 uses the sharded kernels")
 	format := fs.String("format", "table", "output format: table, csv, json")
 	out := fs.String("o", "", "output file (default stdout)")
+	failures := fs.String("failures", "", "comma-separated failure scenarios to sweep: none, random, degree, load")
+	failLinks := fs.Int("fail-links", 1, "links failing per scenario")
+	failNodes := fs.Int("fail-nodes", 0, "nodes failing per scenario")
+	mtbf := fs.Float64("mtbf", 10, "random failures: mean time between failures (epoch-length units)")
+	mttr := fs.Float64("mttr", 2, "random failures: mean time to repair (0 = permanent)")
+	failAt := fs.Int("fail-at", 1, "targeted failures: epoch the outage starts")
+	repairAt := fs.Int("repair-at", 0, "targeted failures: epoch the outage is repaired (0 = never)")
+	failRetries := fs.Int("fail-retries", 0, "retry budget for flows killed by an outage")
+	failRetryAfter := fs.Int("fail-retry-after", 1, "epochs between a kill and its retry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,6 +109,53 @@ func run(args []string, stdout io.Writer) error {
 	seedList, err := cliutil.ParseSeeds(*seeds)
 	if err != nil {
 		return fmt.Errorf("-seeds: %w", err)
+	}
+	if err := cliutil.FirstError(
+		cliutil.PositiveInt("-n", *n),
+		cliutil.PositiveFloats("-load", loadFactors),
+		cliutil.PositiveFloats("-tail", tailIndexes),
+		cliutil.OneOf("-engine", *engine, traffic.EngineEpoch, traffic.EngineEvent),
+		cliutil.OneOf("-arrivals", *arrivals, "poisson", "onoff"),
+		cliutil.OneOf("-sizes", *sizes, "pareto", "lognormal", "exp"),
+		cliutil.OneOf("-format", *format, "table", "csv", "json"),
+		cliutil.NonNegativeFloat("-mean-size", *meanSize),
+		cliutil.NonNegativeFloat("-mean-on", *meanOn),
+		cliutil.NonNegativeFloat("-mean-off", *meanOff),
+		cliutil.NonNegativeInt("-epochs", *epochs),
+		cliutil.NonNegativeFloat("-dt", *dt),
+		cliutil.NonNegativeFloat("-capacity", *capacity),
+		cliutil.NonNegativeInt("-measure-every", *measureEvery),
+		cliutil.NonNegativeInt("-path-sources", *sources),
+		cliutil.NonNegativeInt("-fail-links", *failLinks),
+		cliutil.NonNegativeInt("-fail-nodes", *failNodes),
+		cliutil.NonNegativeFloat("-mtbf", *mtbf),
+		cliutil.NonNegativeFloat("-mttr", *mttr),
+		cliutil.PositiveInt("-fail-at", *failAt),
+		cliutil.NonNegativeInt("-repair-at", *repairAt),
+		cliutil.NonNegativeInt("-fail-retries", *failRetries),
+		cliutil.PositiveInt("-fail-retry-after", *failRetryAfter),
+	); err != nil {
+		return err
+	}
+	var failSpecs []traffic.FailureSpec
+	for _, mode := range cliutil.SplitList(*failures) {
+		if err := cliutil.OneOf("-failures", mode,
+			traffic.FailNone, traffic.FailRandom, traffic.FailDegree, traffic.FailLoad); err != nil {
+			return err
+		}
+		spec := traffic.FailureSpec{Mode: mode}
+		switch mode {
+		case traffic.FailRandom:
+			spec.Links, spec.Nodes = *failLinks, *failNodes
+			spec.MTBF, spec.MTTR = *mtbf, *mttr
+		case traffic.FailDegree, traffic.FailLoad:
+			spec.Links, spec.Nodes = *failLinks, *failNodes
+			spec.FailAt, spec.RepairAt = *failAt, *repairAt
+		}
+		if mode != traffic.FailNone {
+			spec.MaxRetries, spec.RetryAfter = *failRetries, *failRetryAfter
+		}
+		failSpecs = append(failSpecs, spec)
 	}
 	g := sweep.Grid{
 		Models:          []string{*model},
@@ -111,6 +180,7 @@ func run(args []string, stdout io.Writer) error {
 			},
 			LoadFactors: loadFactors,
 			TailIndexes: tailIndexes,
+			Failures:    failSpecs,
 		},
 	}
 	s, err := sweep.Run(g, *workers)

@@ -32,7 +32,7 @@ func TestLoadCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := out.String()
-	if !strings.HasPrefix(s, "model,n,seed,load_factor,tail_index,arrived,") {
+	if !strings.HasPrefix(s, "model,n,seed,load_factor,tail_index,failure,arrived,") {
 		t.Fatalf("missing CSV header:\n%s", s)
 	}
 	for _, label := range []string{"mean", "std", "min", "max"} {
@@ -144,12 +144,67 @@ func TestLoadEngineInvariance(t *testing.T) {
 		if len(epF) < 7 || len(evF) < 7 {
 			continue
 		}
-		// Columns 5..8 are arrived, completed, undelivered, residual_flows.
-		for c := 5; c <= 8 && c < len(epF); c++ {
+		// Columns 6..9 are arrived, completed, undelivered, residual_flows.
+		for c := 6; c <= 9 && c < len(epF); c++ {
 			if epF[c] != evF[c] {
 				t.Fatalf("row %d column %d diverged between engines:\nepoch: %s\nevent: %s",
 					i, c, epRows[i], evRows[i])
 			}
+		}
+	}
+}
+
+// TestLoadFailureAxis runs the -failures axis end to end: scenario
+// labels appear as cell coordinates, survivability columns fill in for
+// the outage scenarios, and the whole grid stays byte-identical across
+// worker counts.
+func TestLoadFailureAxis(t *testing.T) {
+	args := []string{"-model", "ba", "-n", "200", "-seeds", "1,2", "-load", "0.6",
+		"-epochs", "8", "-path-sources", "20", "-format", "csv",
+		"-failures", "none,random,degree", "-fail-links", "3", "-mtbf", "5", "-mttr", "2",
+		"-fail-at", "3", "-repair-at", "6", "-fail-retries", "1"}
+	var base string
+	for _, w := range []string{"1", "2", "4"} {
+		var out bytes.Buffer
+		if err := run(append([]string{"-workers", w}, args...), &out); err != nil {
+			t.Fatal(err)
+		}
+		if base == "" {
+			base = out.String()
+		} else if out.String() != base {
+			t.Fatalf("-workers %s failure sweep diverged", w)
+		}
+	}
+	// Labels with commas come back CSV-quoted.
+	for _, label := range []string{",none,", `,"random:l3,n0,mtbf5,mttr2",`, `,"degree:l3,n0@3",`} {
+		if !strings.Contains(base, label) {
+			t.Fatalf("missing failure scenario %q:\n%.400s", label, base)
+		}
+	}
+}
+
+// TestLoadRejectsBadFailureFlags pins the -failures validation
+// surface: unknown scenarios and negative sub-flags fail as one-line
+// flag errors before any simulation runs.
+func TestLoadRejectsBadFailureFlags(t *testing.T) {
+	for name, args := range map[string][]string{
+		"unknown mode":    {"-failures", "meteor"},
+		"scheduled flag":  {"-failures", "scheduled"},
+		"negative links":  {"-failures", "random", "-fail-links", "-1"},
+		"negative mtbf":   {"-failures", "random", "-mtbf", "-5"},
+		"zero fail-at":    {"-failures", "degree", "-fail-at", "0"},
+		"negative load":   {"-load", "-0.5"},
+		"negative tail":   {"-tail", "-1.3"},
+		"negative epochs": {"-epochs", "-4"},
+		"zero n":          {"-n", "0"},
+	} {
+		var out bytes.Buffer
+		err := run(append([]string{"-model", "ba", "-n", "150", "-epochs", "3"}, args...), &out)
+		if err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+		if msg := err.Error(); strings.ContainsRune(msg, '\n') {
+			t.Fatalf("%s: error not one-line: %q", name, msg)
 		}
 	}
 }

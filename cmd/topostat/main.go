@@ -56,6 +56,12 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if fs.NArg() != 1 {
 		return fmt.Errorf("usage: topostat [flags] <edge-list file or - for stdin>")
 	}
+	if err := cliutil.FirstError(
+		cliutil.NonNegativeInt("-path-sources", *sources),
+		cliutil.NonNegativeInt("-measure-every", *measureEvery),
+	); err != nil {
+		return err
+	}
 	if *paths && *measureEvery <= 0 {
 		return fmt.Errorf("-paths requires -measure-every > 0")
 	}

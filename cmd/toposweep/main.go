@@ -66,6 +66,14 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := cliutil.FirstError(
+		cliutil.OneOf("-target", *target, "as", "asplus"),
+		cliutil.NonNegativeInt("-path-sources", *sources),
+		cliutil.NonNegativeInt("-measure-every", *measureEvery),
+		cliutil.OneOf("-format", *format, "table", "csv", "json"),
+	); err != nil {
+		return err
+	}
 	var g sweep.Grid
 	if *gridFile != "" {
 		// The grid file specifies the sweep completely; any sweep-shaping

@@ -1,0 +1,241 @@
+package netmodel
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"netmodel/internal/gen"
+	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
+	"netmodel/internal/rng"
+	"netmodel/internal/traffic"
+)
+
+// The failure benchmarks are the acceptance surface of scoped removal
+// repair: the same outage/repair schedule (random links going down
+// every epoch and coming back two epochs later — an MTTR-2 on/off
+// process) replayed against a warm routing state and a warm distance
+// map, measured either by the delta-scoped Refresh paths (repair) or
+// by a cold rebuild per failure epoch (what every survivability study
+// cost before this change). Only the maintenance work is timed; the
+// replay and Refreeze cost is common to both arms. The 10k rows are
+// the CI smoke; the 100k rows are the acceptance scale (target >= 2x):
+//
+//	make bench-failures          # writes BENCH_failures.json
+//	go test -bench Failure .     # standard benchmark rows
+var (
+	failBenchOut    = flag.String("failures-bench-out", "", "write repair-vs-rebuild failure timings to this JSON file")
+	failBenchN      = flag.Int("failures-bench-n", 100000, "failure benchmark map size")
+	failBenchEpochs = flag.Int("failures-bench-epochs", 40, "failure benchmark outage epochs")
+	failBenchLinks  = flag.Int("failures-bench-links", 2, "links failed per outage epoch")
+)
+
+// failBenchSources mirrors routingBenchSources: enough warm trees and
+// distance rows that repair work dominates bookkeeping at 100k nodes.
+const failBenchSources = 24
+
+// failBenchM is the BA edge density of the benchmark map. Routing
+// removal repair is tree-scoped — a tree is rebuilt cold exactly when
+// one of its own n-1 parent arcs died — so the win per epoch is the
+// fraction of warm trees a random outage misses, (1 - (n-1)/m)^links.
+// M=4 with 2 links down per epoch is the representative outage regime
+// (small simultaneous failure counts on a denser-than-tree map); at
+// M=2 half of all links are parent arcs of any given tree and any
+// repair scheme degenerates to a rebuild.
+const failBenchM = 4
+
+// failureChurn drives one outage/repair replay over a frozen BA map:
+// each epoch fails `links` random live links and revives the links
+// failed two epochs earlier, then hands the refrozen snapshot and its
+// delta to `maintain`, whose cost is the only thing accumulated. The
+// schedule is a pure function of the seed, so repair and rebuild arms
+// replay identical deltas.
+func failureChurn(tb testing.TB, n, epochs, links int,
+	maintain func(next *graph.Snapshot, d *graph.Delta) error) time.Duration {
+	tb.Helper()
+	top, err := gen.BA{N: n, M: failBenchM}.Generate(rng.New(1))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	g := top.G
+	prev, err := g.FreezeChecked()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r := rng.New(7)
+	var downPrev, downCur []graph.Edge
+	var spent time.Duration
+	for epoch := 0; epoch < epochs; epoch++ {
+		// Revive the links failed two epochs ago...
+		for _, e := range downPrev {
+			g.MustAddEdge(e.U, e.V)
+		}
+		downPrev = downCur
+		// ...and fail a fresh random sample of live links (a fresh
+		// slice: downPrev aliases the old backing array).
+		edges := prev.EdgeList()
+		downCur = make([]graph.Edge, 0, links)
+		for len(downCur) < links {
+			e := edges[r.Intn(len(edges))]
+			if !g.HasEdge(e.U, e.V) {
+				continue
+			}
+			if err := g.RemoveEdge(e.U, e.V); err != nil {
+				tb.Fatal(err)
+			}
+			downCur = append(downCur, e)
+		}
+		next, d, err := g.Refreeze(prev)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		prev = next
+		start := time.Now()
+		if err := maintain(next, d); err != nil {
+			tb.Fatal(err)
+		}
+		spent += time.Since(start)
+	}
+	return spent
+}
+
+// runFailureRoutingBench keeps failBenchSources shortest-path trees
+// warm across the outage replay — by scoped Routing.Refresh (repair:
+// only trees that lost a parent arc are rebuilt) or by a cold
+// NewRouting + Ensure per failure epoch (rebuild).
+func runFailureRoutingBench(tb testing.TB, n, epochs, links, workers int, repair bool) time.Duration {
+	tb.Helper()
+	sources := make([]int, failBenchSources)
+	for i := range sources {
+		sources[i] = i
+	}
+	var rt *traffic.Routing
+	return failureChurn(tb, n, epochs, links, func(next *graph.Snapshot, d *graph.Delta) error {
+		if repair {
+			if rt == nil {
+				rt = traffic.NewRouting(next)
+			} else {
+				rt.Refresh(next, d, workers)
+			}
+			rt.Ensure(sources, workers)
+		} else {
+			cold := traffic.NewRouting(next)
+			cold.Ensure(sources, workers)
+		}
+		return nil
+	})
+}
+
+// runFailureDistMapBench keeps a failBenchSources-row distance map
+// warm across the same replay — by the delta-scoped DistMap.Refresh
+// removal path (repair) or a cold NewDistMap per failure epoch
+// (rebuild).
+func runFailureDistMapBench(tb testing.TB, n, epochs, links, workers int, repair bool) time.Duration {
+	tb.Helper()
+	var dm *metrics.DistMap
+	return failureChurn(tb, n, epochs, links, func(next *graph.Snapshot, d *graph.Delta) error {
+		if repair {
+			if dm == nil {
+				dm = metrics.NewDistMapSampled(next, rng.New(3), failBenchSources, workers)
+			} else {
+				dm.Refresh(next, d, workers)
+			}
+		} else {
+			if dm == nil {
+				dm = metrics.NewDistMapSampled(next, rng.New(3), failBenchSources, workers)
+			} else {
+				dm = metrics.NewDistMap(next, dm.Sources(), workers)
+			}
+		}
+		return nil
+	})
+}
+
+func benchFailureRouting(b *testing.B, n, epochs, links int, repair bool) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFailureRoutingBench(b, n, epochs, links, genBenchWorkers, repair)
+	}
+}
+
+func benchFailureDistMap(b *testing.B, n, epochs, links int, repair bool) {
+	b.Helper()
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "cores")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runFailureDistMapBench(b, n, epochs, links, genBenchWorkers, repair)
+	}
+}
+
+func BenchmarkFailureRoutingRepair10k(b *testing.B)  { benchFailureRouting(b, 10000, 10, 2, true) }
+func BenchmarkFailureRoutingRebuild10k(b *testing.B) { benchFailureRouting(b, 10000, 10, 2, false) }
+func BenchmarkFailureDistMapRepair10k(b *testing.B)  { benchFailureDistMap(b, 10000, 10, 2, true) }
+func BenchmarkFailureDistMapRebuild10k(b *testing.B) { benchFailureDistMap(b, 10000, 10, 2, false) }
+
+// TestFailuresBenchJSON times both arms of both subsystems once and
+// records the rows in the JSON file named by -failures-bench-out
+// (BENCH_failures.json via `make bench-failures`). Disabled unless the
+// flag is set; the CI smoke runs the 10k variant under -race, so the
+// file also documents that the removal-repair paths are race-clean.
+func TestFailuresBenchJSON(t *testing.T) {
+	if *failBenchOut == "" {
+		t.Skip("enable with -failures-bench-out <file>")
+	}
+	n, epochs, links := *failBenchN, *failBenchEpochs, *failBenchLinks
+	workers := genBenchWorkers
+
+	routRebuild := runFailureRoutingBench(t, n, epochs, links, workers, false)
+	routRepair := runFailureRoutingBench(t, n, epochs, links, workers, true)
+	routSpeedup := float64(routRebuild) / float64(routRepair)
+
+	distRebuild := runFailureDistMapBench(t, n, epochs, links, workers, false)
+	distRepair := runFailureDistMapBench(t, n, epochs, links, workers, true)
+	distSpeedup := float64(distRebuild) / float64(distRepair)
+
+	type row struct {
+		Name    string  `json:"name"`
+		Model   string  `json:"model"`
+		N       int     `json:"n"`
+		Epochs  int     `json:"epochs"`
+		Links   int     `json:"links"`
+		Workers int     `json:"workers"`
+		Cores   int     `json:"cores"`
+		NumCPU  int     `json:"num_cpu"`
+		NsPerOp int64   `json:"ns_per_op"`
+		Speedup float64 `json:"speedup,omitempty"`
+		// SpeedupVs names the row the speedup is measured against, so
+		// every attribution in the file is explicit.
+		SpeedupVs string `json:"speedup_vs,omitempty"`
+	}
+	cores, ncpu := runtime.GOMAXPROCS(0), runtime.NumCPU()
+	rows := []row{
+		{Name: "failure-routing-rebuild", Model: "ba", N: n, Epochs: epochs, Links: links,
+			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: routRebuild.Nanoseconds()},
+		{Name: "failure-routing-repair", Model: "ba", N: n, Epochs: epochs, Links: links,
+			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: routRepair.Nanoseconds(),
+			Speedup: routSpeedup, SpeedupVs: "failure-routing-rebuild"},
+		{Name: "failure-distmap-rebuild", Model: "ba", N: n, Epochs: epochs, Links: links,
+			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: distRebuild.Nanoseconds()},
+		{Name: "failure-distmap-repair", Model: "ba", N: n, Epochs: epochs, Links: links,
+			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: distRepair.Nanoseconds(),
+			Speedup: distSpeedup, SpeedupVs: "failure-distmap-rebuild"},
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(*failBenchOut, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("n=%d epochs=%d links=%d workers=%d", n, epochs, links, workers)
+	t.Logf("routing (%d trees): rebuild %v, repair %v, speedup %.2fx",
+		failBenchSources, routRebuild, routRepair, routSpeedup)
+	t.Logf("distmap (%d sources): rebuild %v, repair %v, speedup %.2fx",
+		failBenchSources, distRebuild, distRepair, distSpeedup)
+}

@@ -1,13 +1,16 @@
 // Package cliutil holds the flag-handling conventions shared by the
-// netmodel command-line tools: comma-separated axis lists, the two
-// -workers resolution policies, and -o output redirection. Extracting
-// them keeps the six CLIs (topogen, topostat, topocmp, topofit,
-// toposweep, topoload) answering the same flags the same way.
+// netmodel command-line tools: comma-separated axis lists, flag-value
+// validation with clear one-line errors, the two -workers resolution
+// policies, and -o output redirection. Extracting them keeps the seven
+// CLIs (topogen, topostat, topocmp, topofit, toposweep, topoload,
+// benchcheck) answering the same flags the same way.
 package cliutil
 
 import (
 	"flag"
+	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"strconv"
@@ -63,6 +66,67 @@ func ParseFloats(s string) ([]float64, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// The validators below are the shared flag-checking vocabulary of the
+// CLIs: each returns a clear one-line error naming the flag, so a typo
+// like "-load -1" or "-engine evnt" fails at the flag layer with an
+// actionable message instead of deep inside a subsystem.
+
+// PositiveInt rejects values that are not strictly positive.
+func PositiveInt(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("%s must be positive, got %d", name, v)
+	}
+	return nil
+}
+
+// NonNegativeInt rejects negative values.
+func NonNegativeInt(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("%s must not be negative, got %d", name, v)
+	}
+	return nil
+}
+
+// NonNegativeFloat rejects negative, NaN and infinite values.
+func NonNegativeFloat(name string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+		return fmt.Errorf("%s must be a non-negative finite number, got %v", name, v)
+	}
+	return nil
+}
+
+// PositiveFloats rejects any list entry that is not strictly positive
+// and finite — the shape of the swept -load and -tail axes.
+func PositiveFloats(name string, vs []float64) error {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+			return fmt.Errorf("%s entries must be positive finite numbers, got %v", name, v)
+		}
+	}
+	return nil
+}
+
+// OneOf rejects values outside the allowed set, echoing the choices.
+func OneOf(name, v string, allowed ...string) error {
+	for _, a := range allowed {
+		if v == a {
+			return nil
+		}
+	}
+	return fmt.Errorf("%s: unknown value %q (have %s)", name, v, strings.Join(allowed, ", "))
+}
+
+// FirstError returns the first non-nil error, so a CLI can stack its
+// flag validations in one readable call.
+func FirstError(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ResolveWorkers is the topogen policy: an explicit value stands, and

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"flag"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"strings"
 	"testing"
 )
 
@@ -144,5 +146,48 @@ func TestWriteOutput(t *testing.T) {
 		return err
 	}); err != nil || buf.String() != "to stdout" {
 		t.Fatalf("stdout path: %q, %v", buf.String(), err)
+	}
+}
+
+// TestValidators pins the flag-validation helpers: each rejection is a
+// one-line error naming the flag, and every valid value passes.
+func TestValidators(t *testing.T) {
+	valid := []error{
+		PositiveInt("-n", 1),
+		NonNegativeInt("-epochs", 0),
+		NonNegativeFloat("-mtbf", 0),
+		NonNegativeFloat("-mttr", 2.5),
+		PositiveFloats("-load", []float64{0.3, 1.5}),
+		PositiveFloats("-load", nil),
+		OneOf("-engine", "epoch", "epoch", "event"),
+		FirstError(nil, nil),
+	}
+	for i, err := range valid {
+		if err != nil {
+			t.Fatalf("valid case %d rejected: %v", i, err)
+		}
+	}
+	nan := math.NaN()
+	invalid := map[string]error{
+		"zero positive int":  PositiveInt("-n", 0),
+		"negative int":       NonNegativeInt("-epochs", -1),
+		"negative float":     NonNegativeFloat("-mtbf", -0.5),
+		"nan float":          NonNegativeFloat("-mtbf", nan),
+		"inf float":          NonNegativeFloat("-mttr", math.Inf(1)),
+		"zero float entry":   PositiveFloats("-load", []float64{0.5, 0}),
+		"nan float entry":    PositiveFloats("-tail", []float64{nan}),
+		"unknown enum value": OneOf("-engine", "quantum", "epoch", "event"),
+	}
+	for name, err := range invalid {
+		if err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+		if msg := err.Error(); !strings.Contains(msg, "-") || strings.ContainsRune(msg, '\n') {
+			t.Fatalf("%s: want one-line error naming the flag, got %q", name, msg)
+		}
+	}
+	first := FirstError(nil, PositiveInt("-a", 0), PositiveInt("-b", 0))
+	if first == nil || !strings.Contains(first.Error(), "-a") {
+		t.Fatalf("FirstError should surface the first violation, got %v", first)
 	}
 }

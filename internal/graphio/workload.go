@@ -19,7 +19,7 @@ var errNoWorkload = errors.New("graphio: summary has no workload results")
 // cell coordinates (with the workload axes) followed by the flow
 // counters and the folded scalar schema.
 func workloadHeader() []string {
-	return append([]string{"model", "n", "seed", "load_factor", "tail_index",
+	return append([]string{"model", "n", "seed", "load_factor", "tail_index", "failure",
 		"arrived", "completed", "undelivered", "residual_flows"},
 		traffic.WorkloadMetricNames()...)
 }
@@ -45,7 +45,7 @@ func WriteWorkloadCSV(w io.Writer, s *sweep.Summary) error {
 			return fmt.Errorf("graphio: cell (%s, %d, %d) has no workload report", c.Model, c.N, c.Seed)
 		}
 		rec := []string{c.Model, strconv.Itoa(c.N), strconv.FormatUint(c.Seed, 10),
-			f(c.LoadFactor), f(c.TailIndex),
+			f(c.LoadFactor), f(c.TailIndex), c.Failure,
 			strconv.Itoa(wl.Arrived), strconv.Itoa(wl.Completed),
 			strconv.Itoa(wl.Undelivered), strconv.Itoa(wl.ResidualFlows)}
 		for _, v := range wl.Scalars() {
@@ -67,7 +67,7 @@ func WriteWorkloadCSV(w io.Writer, s *sweep.Summary) error {
 			{"max", func(m sweep.MetricAggregate) float64 { return m.Max }},
 		} {
 			rec := []string{a.Model, strconv.Itoa(a.N), stat.label,
-				f(a.LoadFactor), f(a.TailIndex), "", "", "", ""}
+				f(a.LoadFactor), f(a.TailIndex), a.Failure, "", "", "", ""}
 			for _, name := range names {
 				rec = append(rec, f(stat.pick(sweep.FindMetric(a.Metrics, name))))
 			}

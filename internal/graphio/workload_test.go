@@ -44,8 +44,9 @@ func TestWriteWorkloadCSV(t *testing.T) {
 		t.Fatalf("CSV has %d rows, want 13", len(recs))
 	}
 	header := recs[0]
-	wantCols := 9 + len(traffic.WorkloadMetricNames())
-	if len(header) != wantCols || header[3] != "load_factor" || header[9] != "wl_mean_fct" {
+	wantCols := 10 + len(traffic.WorkloadMetricNames())
+	if len(header) != wantCols || header[3] != "load_factor" || header[5] != "failure" ||
+		header[10] != "wl_mean_fct" {
 		t.Fatalf("header = %v", header)
 	}
 	for i, rec := range recs[1:] {

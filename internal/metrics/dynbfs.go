@@ -8,14 +8,18 @@ import (
 
 // This file is the incremental distance engine: a dynamic-BFS structure
 // (DistMap) that owns per-source distance vectors and repairs them
-// under the edge insertions of a snapshot delta instead of re-running
-// BFS per epoch. Growth deltas only ever shrink distances, so each
-// inserted edge seeds a shrink-only relaxation wave processed level by
-// level; the wave touches exactly the nodes whose distance changed,
-// making the repair cost proportional to the delta's impact rather
-// than n+m. Like RefreshKCore, every repair carries a work budget and
-// falls back to a full per-source rebuild when the touched region
-// rivals a cold BFS — the result is always exactly the cold build.
+// under the edges of a snapshot delta instead of re-running BFS per
+// epoch. Growth deltas only ever shrink distances, so each inserted
+// edge seeds a shrink-only relaxation wave processed level by level;
+// the wave touches exactly the nodes whose distance changed, making
+// the repair cost proportional to the delta's impact rather than n+m.
+// Mixed deltas (failure epochs remove arcs too) take RelaxDelta, which
+// first isolates the nodes whose every shortest-path support chain
+// died, re-settles them from the surviving boundary, then runs the
+// same shrink wave. Like RefreshKCore, every repair carries a work
+// budget and falls back to a full per-source rebuild when the touched
+// region rivals a cold BFS — the result is always exactly the cold
+// build.
 //
 // On top of the repaired rows the DistMap maintains integer aggregates
 // (the global path histogram plus per-node reach/distance-sum columns),
@@ -35,20 +39,23 @@ type DistChange struct {
 	Node, Old int32
 }
 
-// DistScratch is the reusable per-worker state of RelaxInserted: a
-// round-stamped touch set, the level buckets of the relaxation wave,
-// and a BFS queue for rebuild fallbacks.
+// DistScratch is the reusable per-worker state of RelaxInserted and
+// RelaxDelta: a round-stamped touch set, the level buckets of the
+// relaxation waves, a candidate-dedupe set for the removal phase, and
+// a BFS queue for rebuild fallbacks.
 type DistScratch struct {
 	stamp   []int32
 	round   int32
 	buckets [][]int32
 	queue   []int32
+	mark    []int32
+	mround  int32
 }
 
 // NewDistScratch allocates scratch for an n-node snapshot; ensure grows
 // it as the trajectory adds nodes.
 func NewDistScratch(n int) *DistScratch {
-	return &DistScratch{stamp: make([]int32, n), queue: make([]int32, n)}
+	return &DistScratch{stamp: make([]int32, n), queue: make([]int32, n), mark: make([]int32, n)}
 }
 
 func (sc *DistScratch) ensure(n int) {
@@ -57,6 +64,9 @@ func (sc *DistScratch) ensure(n int) {
 	}
 	if len(sc.queue) < n {
 		sc.queue = append(sc.queue, make([]int32, n-len(sc.queue))...)
+	}
+	if len(sc.mark) < n {
+		sc.mark = append(sc.mark, make([]int32, n-len(sc.mark))...)
 	}
 }
 
@@ -132,6 +142,219 @@ func RelaxInserted(next *graph.Snapshot, ins []graph.DeltaEdge, dist []int32, sc
 					sc.buckets[x] = sc.buckets[x][:0]
 				}
 				return changes, false
+			}
+			nd := d + 1
+			for _, w := range row {
+				if dw := dist[w]; dw < 0 || dw > nd {
+					relax(w, nd)
+				}
+			}
+		}
+		sc.buckets[d] = sc.buckets[d][:0]
+	}
+	return changes, true
+}
+
+// RelaxDelta repairs one source's distance vector under a mixed
+// insert+remove delta; pure-insertion deltas delegate to RelaxInserted
+// unchanged. dist must hold the exact hop distances on the delta's base
+// snapshot, grown to next.N() entries with -1 for new nodes. The repair
+// runs in three phases, all scanning next's rows (which already exclude
+// the removed arcs):
+//
+//  1. Affected detection. The deeper endpoint of each removed arc is a
+//     candidate, bucketed at its old distance and processed in
+//     ascending order, so every verdict one level up is final: a
+//     candidate at level d is affected iff no surviving neighbor holds
+//     distance d-1 and is itself unaffected. Affected nodes cascade
+//     candidacy to their old-level-d+1 neighbors. An unaffected node's
+//     value is witnessed by an intact support chain, so it is already
+//     exact and is never touched.
+//  2. Re-settle. The affected set is re-settled by a multi-source
+//     unit-weight bucket Dijkstra seeded from the surviving boundary
+//     (tentative distance = min over unaffected neighbors + 1);
+//     never-settled nodes become unreachable.
+//  3. Shrink wave. The insertion wave of RelaxInserted, seeded from
+//     the inserted arcs plus every re-settled node — a node whose new
+//     value arrived through an inserted arc must get the chance to
+//     relax neighbors that kept their old values.
+//
+// The final vector equals a cold BFSFrozen run on next. budget caps
+// the neighbor-row scans across all phases; on overrun RelaxDelta
+// returns ok == false and the caller must restore the recorded Old
+// values (the vector holds internal markers until then) and rebuild
+// from scratch. Changes are reported one per touched node, stamped at
+// first touch with the pre-repair value.
+func RelaxDelta(next *graph.Snapshot, edges []graph.DeltaEdge, dist []int32, sc *DistScratch, budget int) (changes []DistChange, ok bool) {
+	hasRemoval := false
+	for _, e := range edges {
+		if e.OldW != 0 && e.NewW == 0 {
+			hasRemoval = true
+			break
+		}
+	}
+	if !hasRemoval {
+		return RelaxInserted(next, edges, dist, sc, budget)
+	}
+	sc.ensure(len(dist))
+	sc.round++
+	round := sc.round
+	touch := func(v int32) {
+		if sc.stamp[v] != round {
+			sc.stamp[v] = round
+			changes = append(changes, DistChange{Node: v, Old: dist[v]})
+		}
+	}
+	abort := func() ([]DistChange, bool) {
+		for i := range sc.buckets {
+			sc.buckets[i] = sc.buckets[i][:0]
+		}
+		return changes, false
+	}
+	lo, hi := int32(1<<30), int32(-1)
+	push := func(v, d int32) {
+		for int(d) >= len(sc.buckets) {
+			sc.buckets = append(sc.buckets, nil)
+		}
+		sc.buckets[d] = append(sc.buckets[d], v)
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	spent := 0
+
+	// Phase 1: find the affected set. Affected nodes are marked with the
+	// in-repair distance -2, which excludes them from later support
+	// checks without a second marker array.
+	sc.mround++
+	mr := sc.mround
+	aff := sc.queue[:0]
+	cand := func(v int32) {
+		if sc.mark[v] == mr || dist[v] <= 0 {
+			return
+		}
+		sc.mark[v] = mr
+		push(v, dist[v])
+	}
+	for _, e := range edges {
+		if e.OldW == 0 || e.NewW != 0 {
+			continue // insertion or reweight: no arc disappeared
+		}
+		du, dv := dist[e.U], dist[e.V]
+		if du >= 0 && dv == du+1 {
+			cand(e.V)
+		}
+		if dv >= 0 && du == dv+1 {
+			cand(e.U)
+		}
+	}
+	for d := lo; d <= hi; d++ {
+		for _, v := range sc.buckets[d] {
+			row := next.Neighbors(int(v))
+			spent += len(row) + 1
+			if spent > budget {
+				return abort()
+			}
+			supported := false
+			for _, w := range row {
+				if dist[w] == d-1 {
+					supported = true
+					break
+				}
+			}
+			if supported {
+				continue
+			}
+			touch(v)
+			dist[v] = -2
+			aff = append(aff, v)
+			for _, w := range row {
+				if dist[w] == d+1 {
+					cand(w)
+				}
+			}
+		}
+		sc.buckets[d] = sc.buckets[d][:0]
+	}
+
+	// Phase 2: re-settle the affected set from the surviving boundary.
+	lo, hi = 1<<30, -1
+	for _, x := range aff {
+		row := next.Neighbors(int(x))
+		spent += len(row) + 1
+		if spent > budget {
+			return abort()
+		}
+		tent := int32(-1)
+		for _, w := range row {
+			if dw := dist[w]; dw >= 0 && (tent < 0 || dw+1 < tent) {
+				tent = dw + 1
+			}
+		}
+		if tent >= 0 {
+			push(x, tent)
+		}
+	}
+	for d := lo; d <= hi; d++ {
+		for _, v := range sc.buckets[d] {
+			if dist[v] != -2 {
+				continue // settled at a lower level; stale entry
+			}
+			row := next.Neighbors(int(v))
+			spent += len(row) + 1
+			if spent > budget {
+				return abort()
+			}
+			dist[v] = d
+			for _, w := range row {
+				if dist[w] == -2 {
+					push(w, d+1)
+				}
+			}
+		}
+		sc.buckets[d] = sc.buckets[d][:0]
+	}
+
+	// Phase 3: the shrink wave, seeded from re-settled nodes and
+	// inserted arcs. Never-settled affected nodes become unreachable
+	// first so the wave's dw < 0 test treats them like any other
+	// unreached node.
+	lo, hi = 1<<30, -1
+	relax := func(v, dv int32) {
+		touch(v)
+		dist[v] = dv
+		push(v, dv)
+	}
+	for _, x := range aff {
+		if dist[x] == -2 {
+			dist[x] = -1
+			continue
+		}
+		push(x, dist[x])
+	}
+	for _, e := range edges {
+		if e.OldW != 0 || e.NewW == 0 {
+			continue // removal or multiplicity change: not a new arc
+		}
+		if du := dist[e.U]; du >= 0 && (dist[e.V] < 0 || dist[e.V] > du+1) {
+			relax(e.V, du+1)
+		}
+		if dv := dist[e.V]; dv >= 0 && (dist[e.U] < 0 || dist[e.U] > dv+1) {
+			relax(e.U, dv+1)
+		}
+	}
+	for d := lo; d <= hi; d++ {
+		for _, v := range sc.buckets[d] {
+			if dist[v] != d {
+				continue
+			}
+			row := next.Neighbors(int(v))
+			spent += len(row) + 1
+			if spent > budget {
+				return abort()
 			}
 			nd := d + 1
 			for _, w := range row {
@@ -278,24 +501,20 @@ func (h *PathHistogram) sub(d int32) {
 // successor of the map's current snapshot with delta d between them.
 // Each source's row is repaired independently (in parallel across
 // sources, merged in source order, so the result is identical at every
-// worker count); exact mode gains rows for the new nodes. Rows whose
-// relaxation wave exceeds the budget — n + 2m + 4096 row scans, one
-// cold BFS — are rebuilt from scratch, as is the whole map when d is
-// nil (full refreeze), has a foreign base version, or contains
-// removals. In every case the resulting rows and aggregates are
-// exactly those of a cold NewDistMap over next with the same sources.
-// Refresh consumes the previous state; the map never describes two
-// snapshots at once.
+// worker count); exact mode gains rows for the new nodes. Insertion-only
+// deltas ride the shrink wave; mixed deltas with removals take the
+// three-phase RelaxDelta repair. Rows whose repair exceeds the budget —
+// n + 2m + 4096 row scans, one cold BFS — are rebuilt from scratch, as
+// is the whole map when d is nil (full refreeze) or has a foreign base
+// version. In every case the resulting rows and aggregates are exactly
+// those of a cold NewDistMap over next with the same sources. Refresh
+// consumes the previous state; the map never describes two snapshots at
+// once.
 func (dm *DistMap) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 	if next == nil {
 		return
 	}
 	rebuild := d == nil || d.BaseVersion() != dm.s.Version()
-	if !rebuild {
-		if _, removed := d.Counts(); removed > 0 {
-			rebuild = true // distances can grow; shrink-only repair does not apply
-		}
-	}
 	if rebuild {
 		dm.s = next
 		dm.rebase(workers)
@@ -315,7 +534,7 @@ func (dm *DistMap) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 	if budget <= 0 {
 		budget = n + 2*next.M() + 4096
 	}
-	ins := d.Edges()
+	des := d.Edges()
 	type repair struct {
 		changes []DistChange // wave-repaired: aggregate patch list
 		old, nd []int32      // rebuilt: retract old (nil for new sources), fold nd
@@ -339,7 +558,7 @@ func (dm *DistMap) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 		}
 		dist := growDist(old, n)
 		dm.dist[i] = dist
-		changes, ok := RelaxInserted(next, ins, dist, sc, budget)
+		changes, ok := RelaxDelta(next, des, dist, sc, budget)
 		if !ok {
 			for _, c := range changes {
 				dist[c.Node] = c.Old

@@ -43,6 +43,11 @@ type WorkloadAxes struct {
 	// TailIndexes are the swept flow-size tail indexes (spec.TailIndex);
 	// empty means the base spec's value.
 	TailIndexes []float64 `json:"tail_indexes,omitempty"`
+	// Failures are the swept failure scenarios (spec.Failures), crossed
+	// with the load and tail axes; empty means the base spec's failure
+	// configuration (usually none). Include a {"mode": "none"} entry to
+	// keep an undisturbed baseline next to the outage scenarios.
+	Failures []traffic.FailureSpec `json:"failures,omitempty"`
 }
 
 // Grid specifies a sweep: the cross product of Models × Sizes × Seeds,
@@ -165,6 +170,14 @@ func (g Grid) Validate() error {
 			}
 			tails[ti] = true
 		}
+		labels := make(map[string]bool, len(g.Workload.Failures))
+		for _, fs := range g.Workload.Failures {
+			label := fs.Label()
+			if labels[label] {
+				return fmt.Errorf("sweep: duplicate failure scenario %q", label)
+			}
+			labels[label] = true
+		}
 		// Every swept combination must be a valid spec on its own.
 		for _, sp := range g.workloadSpecs() {
 			if err := sp.Validate(); err != nil {
@@ -179,9 +192,9 @@ func (g Grid) Validate() error {
 }
 
 // workloadSpecs expands the workload axes into one spec per (load
-// factor, tail index) pair in axis order, or the single nil spec when
-// the grid has no workload stage — the degenerate combo that keeps the
-// cell expansion and fold uniform.
+// factor, tail index, failure scenario) triple in axis order, or the
+// single nil spec when the grid has no workload stage — the degenerate
+// combo that keeps the cell expansion and fold uniform.
 func (g Grid) workloadSpecs() []*traffic.WorkloadSpec {
 	if g.Workload == nil {
 		return []*traffic.WorkloadSpec{nil}
@@ -190,13 +203,23 @@ func (g Grid) workloadSpecs() []*traffic.WorkloadSpec {
 	if len(tails) == 0 {
 		tails = []float64{g.Workload.Spec.TailIndex}
 	}
-	out := make([]*traffic.WorkloadSpec, 0, len(g.Workload.LoadFactors)*len(tails))
+	fails := []*traffic.FailureSpec{g.Workload.Spec.Failures}
+	if len(g.Workload.Failures) > 0 {
+		fails = fails[:0]
+		for i := range g.Workload.Failures {
+			fails = append(fails, &g.Workload.Failures[i])
+		}
+	}
+	out := make([]*traffic.WorkloadSpec, 0, len(g.Workload.LoadFactors)*len(tails)*len(fails))
 	for _, lf := range g.Workload.LoadFactors {
 		for _, ti := range tails {
-			sp := g.Workload.Spec
-			sp.LoadFactor = lf
-			sp.TailIndex = ti
-			out = append(out, &sp)
+			for _, fs := range fails {
+				sp := g.Workload.Spec
+				sp.LoadFactor = lf
+				sp.TailIndex = ti
+				sp.Failures = fs
+				out = append(out, &sp)
+			}
 		}
 	}
 	return out
@@ -255,9 +278,12 @@ type CellResult struct {
 	N     int    `json:"n"`
 	Seed  uint64 `json:"seed"`
 	// LoadFactor and TailIndex are the cell's workload-axis coordinates
-	// when the grid sweeps a workload, zero otherwise.
+	// when the grid sweeps a workload, zero otherwise; Failure labels the
+	// cell's failure scenario (traffic.FailureSpec.Label) when the spec
+	// carries one, empty otherwise.
 	LoadFactor float64                `json:"load_factor,omitempty"`
 	TailIndex  float64                `json:"tail_index,omitempty"`
+	Failure    string                 `json:"failure,omitempty"`
 	Score      float64                `json:"score"`
 	Report     *compare.Report        `json:"report"`
 	Snapshot   metrics.Snapshot       `json:"snapshot"`
@@ -286,6 +312,7 @@ type Aggregate struct {
 	N          int               `json:"n"`
 	LoadFactor float64           `json:"load_factor,omitempty"`
 	TailIndex  float64           `json:"tail_index,omitempty"`
+	Failure    string            `json:"failure,omitempty"`
 	Seeds      int               `json:"seeds"`
 	Score      MetricAggregate   `json:"score"`
 	Metrics    []MetricAggregate `json:"metrics"`
@@ -379,7 +406,7 @@ func runWorkloadGrid(g Grid, cells []core.Cell, workers int) (*Summary, error) {
 				for ki, seed := range g.Seeds {
 					t := outs[(si*nm+mi)*ns+ki]
 					wl := t.wls[wi]
-					s.Cells[((si*nm+mi)*nw+wi)*ns+ki] = CellResult{
+					cell := CellResult{
 						Model:      model,
 						N:          n,
 						Seed:       seed,
@@ -391,6 +418,10 @@ func runWorkloadGrid(g Grid, cells []core.Cell, workers int) (*Summary, error) {
 						Trajectory: t.res.Trajectory,
 						Workload:   wl,
 					}
+					if wl.Spec.Failures != nil {
+						cell.Failure = wl.Spec.Failures.Label()
+					}
+					s.Cells[((si*nm+mi)*nw+wi)*ns+ki] = cell
 				}
 			}
 		}
@@ -424,6 +455,9 @@ func fold(g Grid, cells []core.Cell, results []*core.PipelineResult) (*Summary, 
 			// as the distribution's default, not 0).
 			s.Cells[i].LoadFactor = res.Workload.Spec.LoadFactor
 			s.Cells[i].TailIndex = res.Workload.Spec.TailIndex
+			if res.Workload.Spec.Failures != nil {
+				s.Cells[i].Failure = res.Workload.Spec.Failures.Label()
+			}
 		}
 	}
 	s.aggregateAndRank()
@@ -463,7 +497,8 @@ func (s *Summary) aggregateAndRank() {
 // is identical across cells and the fold is positional.
 func aggregate(model string, n int, group []CellResult) Aggregate {
 	agg := Aggregate{Model: model, N: n, Seeds: len(group),
-		LoadFactor: group[0].LoadFactor, TailIndex: group[0].TailIndex}
+		LoadFactor: group[0].LoadFactor, TailIndex: group[0].TailIndex,
+		Failure: group[0].Failure}
 	var score stats.Moments
 	rows := make([]stats.Moments, len(group[0].Report.Rows))
 	wlNames := traffic.WorkloadMetricNames()
@@ -513,13 +548,30 @@ func (s *Summary) String() string {
 		combos := len(g.workloadSpecs())
 		fmt.Fprintf(&b, "workload sweep against %s: %d models × %d sizes × %d workloads × %d seeds = %d cells\n",
 			s.Target, len(g.Models), len(g.Sizes), combos, len(g.Seeds), len(s.Cells))
-		fmt.Fprintf(&b, "\n%-12s %8s %8s %6s %6s %9s %9s %8s %8s\n",
-			"model", "n", "seed", "load", "tail", "fct", "active", "util", "ovl")
-		for _, c := range s.Cells {
-			w := c.Workload
-			fmt.Fprintf(&b, "%-12s %8d %8d %6.2f %6.2f %9.3f %9.1f %7.1f%% %7.1f%%\n",
-				c.Model, c.N, c.Seed, c.LoadFactor, c.TailIndex,
-				w.MeanFCT, w.MeanActive, 100*w.MeanUtil, 100*w.OverloadFrac)
+		withFail := len(g.Workload.Failures) > 0
+		if withFail {
+			fmt.Fprintf(&b, "\n%-12s %8s %8s %6s %6s %-24s %9s %8s %7s %7s\n",
+				"model", "n", "seed", "load", "tail", "failure", "fct", "util", "killed", "disc")
+			for _, c := range s.Cells {
+				w := c.Workload
+				var killed, disc float64
+				if w.Failures != nil && w.Arrived > 0 {
+					killed = float64(w.Failures.Killed) / float64(w.Arrived)
+					disc = w.Failures.DisconnectedOD
+				}
+				fmt.Fprintf(&b, "%-12s %8d %8d %6.2f %6.2f %-24s %9.3f %7.1f%% %6.1f%% %6.1f%%\n",
+					c.Model, c.N, c.Seed, c.LoadFactor, c.TailIndex, c.Failure,
+					w.MeanFCT, 100*w.MeanUtil, 100*killed, 100*disc)
+			}
+		} else {
+			fmt.Fprintf(&b, "\n%-12s %8s %8s %6s %6s %9s %9s %8s %8s\n",
+				"model", "n", "seed", "load", "tail", "fct", "active", "util", "ovl")
+			for _, c := range s.Cells {
+				w := c.Workload
+				fmt.Fprintf(&b, "%-12s %8d %8d %6.2f %6.2f %9.3f %9.1f %7.1f%% %7.1f%%\n",
+					c.Model, c.N, c.Seed, c.LoadFactor, c.TailIndex,
+					w.MeanFCT, w.MeanActive, 100*w.MeanUtil, 100*w.OverloadFrac)
+			}
 		}
 	}
 	byModel := make(map[int]map[string]Aggregate, len(g.Sizes))
@@ -542,15 +594,28 @@ func (s *Summary) String() string {
 	}
 	if g.Workload != nil {
 		fmt.Fprintf(&b, "\ncross-seed workload aggregates (mean ± std over %d seeds)\n", len(g.Seeds))
-		fmt.Fprintf(&b, "%-12s %8s %6s %6s %16s %16s %8s\n",
-			"model", "n", "load", "tail", "fct", "overload", "maxutil")
-		for _, a := range s.Aggregates {
-			fct := FindMetric(a.Metrics, "wl_mean_fct")
-			ovl := FindMetric(a.Metrics, "wl_overload_frac")
-			mu := FindMetric(a.Metrics, "wl_max_util")
-			fmt.Fprintf(&b, "%-12s %8d %6.2f %6.2f %8.3f ± %5.3f %7.1f%% ± %4.1f%% %7.1f%%\n",
-				a.Model, a.N, a.LoadFactor, a.TailIndex,
-				fct.Mean, fct.Std, 100*ovl.Mean, 100*ovl.Std, 100*mu.Mean)
+		if len(g.Workload.Failures) > 0 {
+			fmt.Fprintf(&b, "%-12s %8s %6s %6s %-24s %16s %8s %8s\n",
+				"model", "n", "load", "tail", "failure", "fct", "killed", "disc")
+			for _, a := range s.Aggregates {
+				fct := FindMetric(a.Metrics, "wl_mean_fct")
+				killed := FindMetric(a.Metrics, "wl_killed_frac")
+				disc := FindMetric(a.Metrics, "wl_disconnected_od")
+				fmt.Fprintf(&b, "%-12s %8d %6.2f %6.2f %-24s %8.3f ± %5.3f %7.1f%% %7.1f%%\n",
+					a.Model, a.N, a.LoadFactor, a.TailIndex, a.Failure,
+					fct.Mean, fct.Std, 100*killed.Mean, 100*disc.Mean)
+			}
+		} else {
+			fmt.Fprintf(&b, "%-12s %8s %6s %6s %16s %16s %8s\n",
+				"model", "n", "load", "tail", "fct", "overload", "maxutil")
+			for _, a := range s.Aggregates {
+				fct := FindMetric(a.Metrics, "wl_mean_fct")
+				ovl := FindMetric(a.Metrics, "wl_overload_frac")
+				mu := FindMetric(a.Metrics, "wl_max_util")
+				fmt.Fprintf(&b, "%-12s %8d %6.2f %6.2f %8.3f ± %5.3f %7.1f%% ± %4.1f%% %7.1f%%\n",
+					a.Model, a.N, a.LoadFactor, a.TailIndex,
+					fct.Mean, fct.Std, 100*ovl.Mean, 100*ovl.Std, 100*mu.Mean)
+			}
 		}
 	}
 	return b.String()

@@ -404,3 +404,84 @@ func TestWorkloadSharedTopologyMatchesPerComboCells(t *testing.T) {
 		t.Fatal("shared-topology workload sweep diverged from per-combo cells")
 	}
 }
+
+// failureGrid is workloadGrid with a failure axis: one undisturbed
+// baseline plus a random-outage scenario, at one load and tail each.
+func failureGrid() Grid {
+	g := workloadGrid()
+	g.Workload.LoadFactors = []float64{0.6}
+	g.Workload.TailIndexes = []float64{1.3}
+	g.Workload.Failures = []traffic.FailureSpec{
+		{Mode: traffic.FailNone},
+		{Mode: traffic.FailRandom, Links: 3, MTBF: 4, MTTR: 2, MaxRetries: 1},
+	}
+	return g
+}
+
+// TestFailureAxisSweep pins the failure axis end to end: the grid
+// crosses it into the combos, cells carry scenario labels and
+// survivability reports, the summary is byte-identical at every pool
+// width, and the baseline scenario stays failure-free.
+func TestFailureAxisSweep(t *testing.T) {
+	g := failureGrid()
+	if got := len(g.workloadSpecs()); got != 2 {
+		t.Fatalf("workload combos = %d, want 2", got)
+	}
+	var base []byte
+	var s *Summary
+	for _, workers := range []int{1, 4} {
+		run, err := Run(g, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(run)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if base == nil {
+			base, s = data, run
+		} else if !bytes.Equal(base, data) {
+			t.Fatalf("workers=%d failure sweep diverged", workers)
+		}
+	}
+	sawBaseline, sawOutage := false, false
+	for _, c := range s.Cells {
+		switch c.Failure {
+		case "none":
+			sawBaseline = true
+			if c.Workload.Failures != nil {
+				t.Fatal("baseline scenario must not carry a survivability report")
+			}
+		case "random:l3,n0,mtbf4,mttr2":
+			sawOutage = true
+			if c.Workload.Failures == nil || c.Workload.Failures.LinksFailed == 0 {
+				t.Fatalf("outage scenario missing survivability data: %+v", c.Workload.Failures)
+			}
+		default:
+			t.Fatalf("unexpected failure label %q", c.Failure)
+		}
+	}
+	if !sawBaseline || !sawOutage {
+		t.Fatalf("scenario coverage incomplete: baseline=%v outage=%v", sawBaseline, sawOutage)
+	}
+	for _, a := range s.Aggregates {
+		if a.Failure == "" {
+			t.Fatal("aggregates must carry the failure label")
+		}
+	}
+}
+
+// TestFailureAxisValidate checks the failure-axis rejections: ambiguous
+// duplicate scenario labels and invalid specs fail loudly.
+func TestFailureAxisValidate(t *testing.T) {
+	g := failureGrid()
+	g.Workload.Failures = append(g.Workload.Failures, traffic.FailureSpec{Mode: traffic.FailNone})
+	if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate failure scenario") {
+		t.Fatalf("duplicate scenario: err = %v", err)
+	}
+	g = failureGrid()
+	g.Workload.Failures[1].MTBF = -1
+	if err := g.Validate(); err == nil {
+		t.Fatal("invalid failure spec must fail grid validation")
+	}
+}

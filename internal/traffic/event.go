@@ -35,9 +35,14 @@ import (
 // but break share ties differently), which the equivalence suite pins
 // with a tight relative tolerance.
 
-// evFlow is one flow of the event engine, indexed by admission order.
+// evFlow is one flow of the event engine. Entries are internal: a
+// reroute or retry re-admission detaches the old entry and appends a
+// fresh one, so the stable trace identity is tid, not the slice index.
+// Without fault injection tid always equals the index.
 type evFlow struct {
 	src, dst  int32
+	tid       int32 // trace identity (epoch engine's admission index)
+	retries   int32 // re-admission attempts consumed so far
 	done      bool
 	version   uint32  // departure-event validity; bump to invalidate
 	upEpoch   int32   // epoch remaining was last materialized at
@@ -201,12 +206,56 @@ type eventSim struct {
 	linkVer  []uint32
 
 	departures depHeap
+
+	// nextTID numbers original admissions — the shared trace identity
+	// both engines agree on.
+	nextTID int32
 }
 
 func (ev *eventSim) markDirty(e int32) {
 	if !ev.inDirty[e] {
 		ev.inDirty[e] = true
 		ev.dirtyList = append(ev.dirtyList, e)
+	}
+}
+
+// attach appends a live flow entry — an original admission, a reroute's
+// replacement, or a retry re-admission — and joins it to its path's
+// link sets, dirtying them for the epoch's closure.
+func (ev *eventSim) attach(tid, src, dst int32, path []int32, remaining, arrived float64, retries int32, epoch int) {
+	id := int32(len(ev.flows))
+	ev.flows = append(ev.flows, evFlow{
+		src: src, dst: dst, tid: tid, retries: retries,
+		upEpoch: int32(epoch), remaining: remaining, size: remaining,
+		arrived: arrived, rate: -1, path: path,
+	})
+	ev.flowSeen = append(ev.flowSeen, 0)
+	for _, g := range path {
+		ev.nact[g]++
+		ev.lflows[g] = append(ev.lflows[g], id)
+		ev.markDirty(g)
+		if !ev.inCarrying[g] {
+			ev.inCarrying[g] = true
+			ev.carrying = append(ev.carrying, g)
+		}
+	}
+}
+
+// detach materializes the flow's remaining volume at the given epoch
+// and retires its entry: done entries are compacted from link flow sets
+// by the next closure, and its links are dirtied so the component
+// re-solves without it.
+func (ev *eventSim) detach(id int32, epoch int) {
+	f := &ev.flows[id]
+	if f.rate > 0 && int32(epoch) > f.upEpoch {
+		f.remaining -= f.rate * float64(int32(epoch)-f.upEpoch) * ev.dt
+	}
+	f.upEpoch = int32(epoch)
+	f.done = true
+	f.version++ // strand any scheduled departure
+	for _, g := range f.path {
+		ev.nact[g]--
+		ev.markDirty(g)
 	}
 }
 
@@ -410,31 +459,79 @@ func simulateEvent(ctx *simContext) (*SimReport, error) {
 	for epoch := 0; epoch < spec.Epochs; epoch++ {
 		now := float64(epoch) * dt
 
+		// Failure phase, mirroring the epoch engine exactly: apply the
+		// epoch's outage ops, then scan the flow entries in admission
+		// order — a broken-path flow's entry is detached and either
+		// replaced (reroute) or killed — and re-admit due retries. The
+		// detached links are dirty, so the closure re-solves their
+		// components without the departed members.
+		reroutedNow, killedNow, retriedNow := 0, 0, 0
+		if fail := ctx.fail; fail != nil {
+			if err := fail.beginEpoch(epoch); err != nil {
+				return nil, err
+			}
+			if fail.flipped {
+				nf := len(ev.flows)
+				for id := 0; id < nf; id++ {
+					f := &ev.flows[id]
+					if f.done || !fail.pathBroken(f.path) {
+						continue
+					}
+					ev.detach(int32(id), epoch)
+					// Copy before attach: appending may move ev.flows.
+					tid, src, dst := f.tid, f.src, f.dst
+					remaining, arrived, retries := f.remaining, f.arrived, f.retries
+					if np, ok := fail.resolve(int(src), int(dst)); ok {
+						reroutedNow++
+						fail.rerouted++
+						if ctx.cfg.trace {
+							rep.Flows[tid].Reroutes++
+						}
+						ev.attach(tid, src, dst, np, remaining, arrived, retries, epoch)
+						continue
+					}
+					killedNow++
+					activeCount--
+					fail.kill(epoch, tid, src, dst, remaining, arrived, retries)
+					if ctx.cfg.trace {
+						rep.Flows[tid].Killed = true
+					}
+				}
+			}
+			for _, rf := range fail.takeRetries(epoch) {
+				fail.retried++
+				retriedNow++
+				rf.retries++
+				if ctx.cfg.trace {
+					rep.Flows[rf.id].Retries++
+				}
+				if path, ok := fail.resolve(int(rf.src), int(rf.dst)); ok {
+					ev.attach(rf.id, rf.src, rf.dst, path, rf.remaining, rf.arrived, rf.retries, epoch)
+					activeCount++
+					if ctx.cfg.trace {
+						rep.Flows[rf.id].Killed = false
+					}
+				} else {
+					fail.requeue(epoch, rf)
+				}
+			}
+		}
+
 		// Admission: route the pre-drawn arrivals, create flows, add
 		// them to their links' sets and dirty those links.
 		admitted := 0
-		rep.Undelivered += admitPending(ctx.rt, ctx.workers, calendar[epoch], func(p pending, path []int32) {
-			id := int32(len(ev.flows))
-			ev.flows = append(ev.flows, evFlow{
-				src: int32(p.src), dst: int32(p.dst),
-				upEpoch: int32(epoch), remaining: p.size, size: p.size,
-				arrived: now, rate: -1, path: path,
-			})
-			ev.flowSeen = append(ev.flowSeen, 0)
+		rep.Undelivered += admitPending(ctx.routing(), ctx.workers, calendar[epoch], func(p pending, path []int32) {
+			if ctx.fail != nil {
+				path = ctx.fail.toBase(path)
+			}
+			tid := ev.nextTID
+			ev.nextTID++
 			if ctx.cfg.trace {
 				rep.Flows = append(rep.Flows, FlowRecord{
 					Src: p.src, Dst: p.dst, Size: p.size, Arrived: now,
 				})
 			}
-			for _, g := range path {
-				ev.nact[g]++
-				ev.lflows[g] = append(ev.lflows[g], id)
-				ev.markDirty(g)
-				if !ev.inCarrying[g] {
-					ev.inCarrying[g] = true
-					ev.carrying = append(ev.carrying, g)
-				}
-			}
+			ev.attach(tid, int32(p.src), int32(p.dst), path, p.size, now, 0, epoch)
 			admitted++
 			activeCount++
 		})
@@ -510,9 +607,12 @@ func simulateEvent(ctx *simContext) (*SimReport, error) {
 			fctSum += de.t - f.arrived
 			completedNow++
 			activeCount--
+			if ctx.fail != nil {
+				ctx.fail.noteFCT(f.arrived, de.t-f.arrived)
+			}
 			if ctx.cfg.trace {
-				rep.Flows[de.id].Done = true
-				rep.Flows[de.id].Finished = de.t
+				rep.Flows[f.tid].Done = true
+				rep.Flows[f.tid].Finished = de.t
 			}
 			for _, g := range f.path {
 				ev.nact[g]--
@@ -521,7 +621,7 @@ func simulateEvent(ctx *simContext) (*SimReport, error) {
 		}
 		rep.Completed += completedNow
 		activeSum += activeCount
-		rep.Epochs = append(rep.Epochs, EpochStats{
+		es := EpochStats{
 			Epoch:        epoch,
 			Arrived:      admitted,
 			Completed:    completedNow,
@@ -529,7 +629,15 @@ func simulateEvent(ctx *simContext) (*SimReport, error) {
 			MeanUtil:     epochUtilSum / float64(nLinks),
 			MaxUtil:      epochMaxUtil,
 			OverloadFrac: float64(epochOverloaded) / float64(nLinks),
-		})
+		}
+		if fail := ctx.fail; fail != nil {
+			es.LinksDown = fail.linksDown
+			es.NodesDown = fail.nodesDown
+			es.Rerouted = reroutedNow
+			es.Killed = killedNow
+			es.Retried = retriedNow
+		}
+		rep.Epochs = append(rep.Epochs, es)
 	}
 
 	// Residuals: materialize every live flow's remaining volume at the

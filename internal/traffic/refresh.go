@@ -16,7 +16,13 @@ import (
 // path edge ids to the refreshed numbering, and invalidates only the
 // memo entries whose origin tree actually changed — so a long
 // trajectory simulation pays per epoch for the delta's impact, not for
-// n trees of BFS.
+// n trees of BFS. Removal deltas (failure epochs) are scoped the same
+// way: a tree arc that died orphans one node, and when every orphan
+// still has a neighbor one hop closer the whole distance field
+// provably survives and only the orphans' parent pointers are
+// re-selected; a tree is rebuilt cold only when some orphan lost its
+// last shortest-path predecessor — then distances can grow, which the
+// shrink-only repair cannot express.
 
 // Snapshot returns the snapshot the routing state currently describes.
 func (rt *Routing) Snapshot() *graph.Snapshot { return rt.s }
@@ -44,6 +50,7 @@ type treeScratch struct {
 	stamp []int32
 	round int32
 	resel []int32
+	orph  []int32
 }
 
 func newTreeScratch(n int) *treeScratch {
@@ -63,48 +70,62 @@ func (sc *treeScratch) ensure(n int) {
 // set moved — and repairs of independent source trees run in parallel
 // across workers with index-private results, so the final state is
 // identical at every worker count and entry-identical to cold builds
-// over next. Memoized OD paths survive with their edge ids remapped
-// when their origin's tree is cached and unchanged on pre-existing
-// nodes; they are dropped when the tree changed or was evicted. A nil
-// delta (full refreeze), a foreign base version, or a delta carrying
-// removals resets the state instead, exactly as NewRouting(next) would.
+// over next. Removal deltas are scoped: a dead tree arc orphans one
+// node, and as long as every orphan keeps some neighbor one hop
+// closer, the distance field provably survives — by induction on BFS
+// level each orphan's support is itself still at its old distance, any
+// strictly shorter path in next must use an inserted edge (which the
+// insertion relaxation finds), and a removed non-parent candidate
+// always has a larger id than the canonical min-id parent, so parent
+// selection elsewhere is untouched. Such trees take the ordinary
+// insertion repair with the orphans added to the parent re-selection
+// frontier; a tree is rebuilt cold only when an orphan lost its last
+// shortest-path predecessor — then distances can grow, which the
+// shrink-only repair cannot express. Memoized OD paths
+// survive with their edge ids remapped when their origin's tree is
+// cached and unchanged on pre-existing nodes; they are dropped when the
+// tree changed or was evicted. A nil delta (full refreeze) or a foreign
+// base version resets the state instead, exactly as NewRouting(next)
+// would.
 func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 	if next == nil {
 		return
 	}
-	rebuild := d == nil || d.BaseVersion() != rt.s.Version()
-	if !rebuild {
-		if _, removed := d.Counts(); removed > 0 {
-			rebuild = true // removals can grow distances; repair is shrink-only
-		}
-	}
-	if rebuild {
+	if d == nil || d.BaseVersion() != rt.s.Version() {
 		rt.reset(next)
 		return
 	}
 	oldN, n := rt.s.N(), next.N()
 
-	// Structural insertions, in delta (U,V) order.
-	var ins []graph.DeltaEdge
+	// Structural insertions and removals, in delta (U,V) order.
+	var ins, rem []graph.DeltaEdge
 	for _, e := range d.Edges() {
-		if e.OldW == 0 && e.NewW != 0 {
+		switch {
+		case e.OldW == 0 && e.NewW != 0:
 			ins = append(ins, e)
+		case e.OldW != 0 && e.NewW == 0:
+			rem = append(rem, e)
 		}
 	}
 
-	// Edge ids follow (u,v)-sorted order, so the insertion-only refresh
-	// shifts old id i up by the number of inserted edges sorting before
-	// it: one merged walk of the old edge list against the sorted
-	// insertions.
+	// Edge ids follow (u,v)-sorted order, so a refresh shifts old id i
+	// up by the number of inserted edges sorting before it and down by
+	// the number of removed edges before it; removed ids map to -1. One
+	// merged walk of the old edge list against the sorted delta.
 	prevEdges := rt.s.EdgeList()
 	oldToNew := make([]int32, len(prevEdges))
-	shift := 0
+	insAt, remAt := 0, 0
 	for i, e := range prevEdges {
-		for shift < len(ins) && (int(ins[shift].U) < e.U ||
-			(int(ins[shift].U) == e.U && int(ins[shift].V) < e.V)) {
-			shift++
+		for insAt < len(ins) && (int(ins[insAt].U) < e.U ||
+			(int(ins[insAt].U) == e.U && int(ins[insAt].V) < e.V)) {
+			insAt++
 		}
-		oldToNew[i] = int32(i + shift)
+		if remAt < len(rem) && int(rem[remAt].U) == e.U && int(rem[remAt].V) == e.V {
+			oldToNew[i] = -1
+			remAt++
+			continue
+		}
+		oldToNew[i] = int32(i - remAt + insAt)
 	}
 
 	arcEdge := next.ArcEdgeIDs()
@@ -120,7 +141,27 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 			scratch[worker] = sc
 		}
 		sc.ensure(n)
-		changed[i] = repairTree(next, arcEdge, rt.trees[srcs[i]], srcs[i], ins, oldToNew, oldN, sc, budget)
+		t := rt.trees[srcs[i]]
+		sc.orph = sc.orph[:0]
+		for _, e := range rem {
+			if t.parent[e.U] == e.V {
+				sc.orph = append(sc.orph, e.U)
+			} else if t.parent[e.V] == e.U {
+				sc.orph = append(sc.orph, e.V)
+			}
+		}
+		for _, v := range sc.orph {
+			if p, _ := selectParent(next, arcEdge, t.dist, int(v)); p < 0 {
+				// An orphan lost its last shortest-path predecessor: its
+				// subtree's distances can grow, which the shrink-only
+				// repair cannot express.
+				*t = *buildTree(next, arcEdge, srcs[i])
+				changed[i] = true
+				return
+			}
+		}
+		changed[i] = repairTree(next, arcEdge, t, srcs[i], ins, oldToNew, oldN, sc, budget) ||
+			len(sc.orph) > 0
 	})
 
 	max := routingTreeBudget / (12 * (n + 1))
@@ -149,8 +190,21 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 			delete(rt.paths, key)
 			continue
 		}
+		drop := false
 		for i, e := range p {
-			p[i] = oldToNew[e]
+			ne := oldToNew[e]
+			if ne < 0 {
+				// Cannot happen for an unchanged tree — memoized path arcs
+				// are tree arcs, and trees with a dead arc were flagged
+				// changed above — but a dangling id must never survive
+				// the remap.
+				drop = true
+				break
+			}
+			p[i] = ne
+		}
+		if drop {
+			delete(rt.paths, key)
 		}
 	}
 }
@@ -160,8 +214,9 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 // with the shared relaxation kernel, and re-select canonical parents on
 // the frontier where parent candidacy can have moved — nodes whose
 // distance changed, their next-level neighbors (candidates may have
-// entered), and the deeper endpoints of inserted arcs (the new arc
-// itself is a candidate). Everywhere else the candidate set is
+// entered), the deeper endpoints of inserted arcs (the new arc
+// itself is a candidate), and the orphans of removed tree arcs
+// collected in sc.orph. Everywhere else the candidate set is
 // untouched: a candidate can only leave by shrinking, which would have
 // shrunk — and flagged — the child too. When the relaxation exceeds its
 // budget the tree is rebuilt cold instead. Returns whether any
@@ -215,6 +270,12 @@ func repairTree(next *graph.Snapshot, arcEdge []int32, t *rtree, src int, ins []
 		if dv := t.dist[e.V]; dv >= 0 && dv+1 == t.dist[e.U] {
 			add(e.U)
 		}
+	}
+	// Orphans of removed tree arcs (support-checked by the caller):
+	// their distances are intact but their parent arc is gone, so they
+	// must re-select even when no distance moved near them.
+	for _, v := range sc.orph {
+		add(v)
 	}
 	for _, v := range sc.resel {
 		parent, edge := selectParent(next, arcEdge, t.dist, int(v))

@@ -3,6 +3,7 @@ package traffic
 import (
 	"math"
 	"reflect"
+	"sort"
 	"testing"
 
 	"netmodel/internal/gen"
@@ -190,6 +191,112 @@ func TestRoutingRefreshEquivalence(t *testing.T) {
 	})
 	if epoch < 5 {
 		t.Fatalf("trajectory too short: %d epochs", epoch)
+	}
+}
+
+// TestRoutingRefreshUnderChurn drives the scoped removal repair: mixed
+// insert+remove epochs where only trees traversing a dead arc may cold
+// rebuild. Every cached tree, memo entry, and the simulations on top
+// must match cold rebuilds, at every worker count.
+func TestRoutingRefreshUnderChurn(t *testing.T) {
+	top, err := gen.BA{N: 250, M: 2}.Generate(rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := top.G.Copy()
+	prev, err := g.FreezeChecked()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := NewRouting(prev)
+	r := rng.New(99)
+	warm := func(s *graph.Snapshot) {
+		// Ensure requires ascending, duplicate-free sources.
+		pick := make(map[int]bool, 12)
+		for i := 0; i < 12; i++ {
+			pick[r.Intn(s.N())] = true
+		}
+		srcs := make([]int, 0, len(pick))
+		for src := range pick {
+			srcs = append(srcs, src)
+		}
+		sort.Ints(srcs)
+		rt.Ensure(srcs, 2)
+		for _, src := range srcs {
+			dst := r.Intn(s.N())
+			if _, ok, _ := rt.cachedPath(src, dst); !ok {
+				p, reachable := rt.Tree(src).appendPath(nil, dst)
+				rt.storePath(src, dst, p, reachable)
+			}
+		}
+	}
+	warm(prev)
+	for epoch := 0; epoch < 15; epoch++ {
+		edges := prev.EdgeList()
+		removed := 0
+		for i := 0; i < 6 && len(edges) > 0; i++ {
+			e := edges[r.Intn(len(edges))]
+			if g.HasEdge(e.U, e.V) {
+				if err := g.RemoveEdge(e.U, e.V); err != nil {
+					t.Fatal(err)
+				}
+				removed++
+			}
+		}
+		for i := 0; i < 5; i++ {
+			u, v := r.Intn(g.N()), r.Intn(g.N())
+			if u != v {
+				g.MustAddEdge(u, v)
+			}
+		}
+		next, d, err := g.Refreeze(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d == nil || removed == 0 {
+			t.Fatalf("epoch %d: churn epoch carries no removal delta", epoch)
+		}
+		alt := cloneRouting(rt)
+		rt.Refresh(next, d, 4)
+		alt.Refresh(next, d, 1)
+		requireRoutingEqual(t, "churn-worker-invariance", rt, alt)
+		arcEdge := next.ArcEdgeIDs()
+		for _, src := range rt.fifo {
+			if !reflect.DeepEqual(rt.trees[src], buildTree(next, arcEdge, src)) {
+				t.Fatalf("epoch %d: churned tree %d diverged from cold build", epoch, src)
+			}
+		}
+		for key, p := range rt.paths {
+			src, dst := int(key>>32), int(int32(key))
+			tree, ok := rt.trees[src]
+			if !ok {
+				t.Fatalf("epoch %d: memo entry kept for evicted tree %d", epoch, src)
+			}
+			fresh, reachable := tree.appendPath(nil, dst)
+			if p == nil {
+				if reachable {
+					t.Fatalf("epoch %d: stale unreachable memo %d→%d", epoch, src, dst)
+				}
+			} else if !reflect.DeepEqual(p, fresh) {
+				t.Fatalf("epoch %d: churned memo path %d→%d diverged", epoch, src, dst)
+			}
+		}
+		masses := make([]float64, next.N())
+		for u := range masses {
+			masses[u] = float64(next.Degree(u) + 1)
+		}
+		spec := WorkloadSpec{LoadFactor: 0.5, Epochs: 4}
+		warmRep, err := Simulate(next, masses, spec, rng.New(7), 2, WithFlowTrace(), WithRouting(rt))
+		if err != nil {
+			t.Fatalf("epoch %d warm: %v", epoch, err)
+		}
+		coldRep, err := Simulate(next, masses, spec, rng.New(7), 2, WithFlowTrace())
+		if err != nil {
+			t.Fatalf("epoch %d cold: %v", epoch, err)
+		}
+		requireSameFlows(t, "churn", warmRep, coldRep)
+		warm(next)
+		prev = next
 	}
 }
 

@@ -206,6 +206,14 @@ type EpochStats struct {
 	MeanUtil     float64 `json:"mean_util"`
 	MaxUtil      float64 `json:"max_util"`
 	OverloadFrac float64 `json:"overload_frac"`
+	// Failure-epoch observations, present only under fault injection:
+	// the down-entity counts at epoch end and this epoch's reroute,
+	// kill and re-admission-attempt counts.
+	LinksDown int `json:"links_down,omitempty"`
+	NodesDown int `json:"nodes_down,omitempty"`
+	Rerouted  int `json:"rerouted,omitempty"`
+	Killed    int `json:"killed,omitempty"`
+	Retried   int `json:"retried,omitempty"`
 }
 
 // UtilBin is one point of the link-utilization CCDF: the fraction of
@@ -229,6 +237,13 @@ type FlowRecord struct {
 	Arrived  float64 // arrival instant
 	Finished float64 // completion instant; meaningful only when Done
 	Done     bool
+	// Failure fate: Killed marks a flow dead at the horizon because a
+	// failure severed its path (cleared again if a retry re-admits it);
+	// Reroutes and Retries count its successful mid-life path
+	// replacements and its re-admission attempts.
+	Killed   bool
+	Reroutes int
+	Retries  int
 }
 
 // SimReport is the outcome of one workload simulation: the resolved
@@ -252,7 +267,10 @@ type SimReport struct {
 	OverloadFrac float64      `json:"overload_frac"`
 	UtilCCDF     []UtilBin    `json:"util_ccdf"`
 	Epochs       []EpochStats `json:"epochs"`
-	Links        *LoadReport  `json:"-"`
+	// Failures summarizes survivability under fault injection; nil when
+	// the spec injects none.
+	Failures *SurvivabilityReport `json:"failures,omitempty"`
+	Links    *LoadReport          `json:"-"`
 	// Flows holds the per-flow trace in admission order when the
 	// simulation ran with WithFlowTrace, nil otherwise. Never
 	// serialized: it is O(arrivals).
@@ -263,18 +281,33 @@ type SimReport struct {
 // rows the sweep driver folds across seeds (order matches Scalars).
 func WorkloadMetricNames() []string {
 	return []string{"wl_mean_fct", "wl_mean_active", "wl_mean_util",
-		"wl_max_util", "wl_overload_frac", "wl_completed_frac"}
+		"wl_max_util", "wl_overload_frac", "wl_completed_frac",
+		"wl_killed_frac", "wl_rerouted_frac", "wl_disconnected_od",
+		"wl_giant_cap_min"}
 }
 
 // Scalars returns the report's scalar metric vector in
-// WorkloadMetricNames order.
+// WorkloadMetricNames order. Without fault injection the survivability
+// entries take their healthy-topology values (nothing killed or
+// rerouted, no measured disconnection, full giant capacity).
 func (rep *SimReport) Scalars() []float64 {
 	completedFrac := 1.0
 	if rep.Arrived > 0 {
 		completedFrac = float64(rep.Completed) / float64(rep.Arrived)
 	}
+	killedFrac, reroutedFrac, disc := 0.0, 0.0, 0.0
+	giantMin := 1.0
+	if f := rep.Failures; f != nil {
+		if rep.Arrived > 0 {
+			killedFrac = float64(f.Killed) / float64(rep.Arrived)
+			reroutedFrac = float64(f.Rerouted) / float64(rep.Arrived)
+		}
+		disc = f.DisconnectedOD
+		giantMin = f.MinGiantCapacity
+	}
 	return []float64{rep.MeanFCT, rep.MeanActive, rep.MeanUtil,
-		rep.MaxUtil, rep.OverloadFrac, completedFrac}
+		rep.MaxUtil, rep.OverloadFrac, completedFrac,
+		killedFrac, reroutedFrac, disc, giantMin}
 }
 
 // SimOption tweaks a simulation without widening the WorkloadSpec wire
@@ -321,6 +354,7 @@ func WithRouting(rt *Routing) SimOption {
 type simFlow struct {
 	src, dst  int32
 	id        int32 // admission index, the trace identity
+	retries   int32 // re-admission attempts consumed so far
 	remaining float64
 	arrived   float64 // arrival instant
 	rate      float64 // current max-min rate; -1 while unallocated
@@ -353,6 +387,18 @@ type simContext struct {
 	sources  []ArrivalSource
 	sizes    SizeDist
 	alias    *rng.Alias
+	// fail is the fault-injection state, nil on the no-failure path.
+	fail *failState
+}
+
+// routing returns the routing state admissions and reroutes resolve
+// against: the private mirror-topology state under fault injection, the
+// shared base state otherwise.
+func (ctx *simContext) routing() *Routing {
+	if ctx.fail != nil {
+		return ctx.fail.frt
+	}
+	return ctx.rt
 }
 
 // Simulate runs the flow-level workload over a frozen snapshot with
@@ -480,6 +526,13 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		srcNodes: srcNodes, streams: streams, sources: sources,
 		sizes: spec.sizeDist(), alias: alias,
 	}
+	if spec.Failures != nil && spec.Failures.Active() {
+		fail, err := newFailState(ctx, masses, r)
+		if err != nil {
+			return nil, err
+		}
+		ctx.fail = fail
+	}
 	if spec.Engine == EngineEvent {
 		return simulateEvent(ctx)
 	}
@@ -606,6 +659,63 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 	for epoch := 0; epoch < spec.Epochs; epoch++ {
 		now := float64(epoch) * dt
 
+		// Failure phase: apply this epoch's outage ops, then walk the
+		// active flows in admission order — a flow whose path lost a link
+		// reroutes over the surviving topology or dies with a recorded
+		// fate — and re-admit killed flows whose retry backoff expired.
+		// All of it precedes arrivals, in the exact order the event
+		// engine replicates.
+		reroutedNow, killedNow, retriedNow := 0, 0, 0
+		if fail := ctx.fail; fail != nil {
+			if err := fail.beginEpoch(epoch); err != nil {
+				return nil, err
+			}
+			if fail.flipped {
+				keep := active[:0]
+				for _, f := range active {
+					if !fail.pathBroken(f.path) {
+						keep = append(keep, f)
+						continue
+					}
+					if np, ok := fail.resolve(int(f.src), int(f.dst)); ok {
+						f.path = np
+						reroutedNow++
+						fail.rerouted++
+						if ctx.cfg.trace {
+							rep.Flows[f.id].Reroutes++
+						}
+						keep = append(keep, f)
+						continue
+					}
+					killedNow++
+					fail.kill(epoch, f.id, f.src, f.dst, f.remaining, f.arrived, f.retries)
+					if ctx.cfg.trace {
+						rep.Flows[f.id].Killed = true
+					}
+				}
+				active = keep
+			}
+			for _, rf := range fail.takeRetries(epoch) {
+				fail.retried++
+				retriedNow++
+				rf.retries++
+				if ctx.cfg.trace {
+					rep.Flows[rf.id].Retries++
+				}
+				if path, ok := fail.resolve(int(rf.src), int(rf.dst)); ok {
+					active = append(active, &simFlow{
+						src: rf.src, dst: rf.dst, id: rf.id, retries: rf.retries,
+						remaining: rf.remaining, arrived: rf.arrived, rate: -1, path: path,
+					})
+					if ctx.cfg.trace {
+						rep.Flows[rf.id].Killed = false
+					}
+				} else {
+					fail.requeue(epoch, rf)
+				}
+			}
+		}
+
 		// Arrivals, in ascending origin order.
 		var pend []pending
 		for i := range ctx.srcNodes {
@@ -613,7 +723,10 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 		}
 
 		admitted := 0
-		rep.Undelivered += admitPending(ctx.rt, ctx.workers, pend, func(p pending, path []int32) {
+		rep.Undelivered += admitPending(ctx.routing(), ctx.workers, pend, func(p pending, path []int32) {
+			if ctx.fail != nil {
+				path = ctx.fail.toBase(path)
+			}
 			admitted++
 			active = append(active, &simFlow{
 				src: int32(p.src), dst: int32(p.dst), id: flowID,
@@ -729,6 +842,9 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 				finish := now + f.remaining/f.rate
 				fctSum += finish - f.arrived
 				completedNow++
+				if ctx.fail != nil {
+					ctx.fail.noteFCT(f.arrived, finish-f.arrived)
+				}
 				if ctx.cfg.trace {
 					rep.Flows[f.id].Done = true
 					rep.Flows[f.id].Finished = finish
@@ -741,7 +857,7 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 		active = keep
 		rep.Completed += completedNow
 		activeSum += len(active)
-		rep.Epochs = append(rep.Epochs, EpochStats{
+		es := EpochStats{
 			Epoch:        epoch,
 			Arrived:      admitted,
 			Completed:    completedNow,
@@ -749,7 +865,15 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 			MeanUtil:     epochUtilSum / float64(len(edges)),
 			MaxUtil:      epochMaxUtil,
 			OverloadFrac: float64(epochOverloaded) / float64(len(edges)),
-		})
+		}
+		if fail := ctx.fail; fail != nil {
+			es.LinksDown = fail.linksDown
+			es.NodesDown = fail.nodesDown
+			es.Rerouted = reroutedNow
+			es.Killed = killedNow
+			es.Retried = retriedNow
+		}
+		rep.Epochs = append(rep.Epochs, es)
 	}
 
 	rep.ResidualFlows = len(active)
@@ -765,6 +889,9 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 // both engines so the aggregation arithmetic cannot drift apart.
 func finishReport(rep *SimReport, ctx *simContext, fctSum, utilSum float64, activeSum, overloaded int, ccdfCounts []int, avgLoad []float64) {
 	spec, edges, capEdge := ctx.spec, ctx.edges, ctx.capEdge
+	if ctx.fail != nil {
+		rep.Failures = ctx.fail.report()
+	}
 	if rep.Completed > 0 {
 		rep.MeanFCT = fctSum / float64(rep.Completed)
 	}

@@ -226,6 +226,10 @@ type WorkloadSpec struct {
 	// counts as overloaded (default 0.999 — saturated under max-min
 	// sharing).
 	OverloadAt float64 `json:"overload_at,omitempty"`
+	// Failures optionally injects link/node outages into the horizon
+	// (see FailureSpec). nil — or mode "none" — is the pinned no-failure
+	// path: the simulation is bit-identical to one without the field.
+	Failures *FailureSpec `json:"failures,omitempty"`
 }
 
 // The simulation engines selectable through WorkloadSpec.Engine.
@@ -292,6 +296,10 @@ func (sp WorkloadSpec) withDefaults() WorkloadSpec {
 	if sp.OverloadAt == 0 {
 		sp.OverloadAt = defaultOverload
 	}
+	if sp.Failures != nil {
+		f := sp.Failures.withDefaults()
+		sp.Failures = &f
+	}
 	return sp
 }
 
@@ -337,6 +345,11 @@ func (sp WorkloadSpec) Validate() error {
 	}
 	if sp.Epochs < 0 {
 		return errors.New("traffic: workload epochs must not be negative")
+	}
+	if sp.Failures != nil {
+		if err := sp.Failures.Validate(); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-traffic bench-failures bench-check staticcheck lint fmt ci
+.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-traffic bench-failures bench-kernels bench-check staticcheck lint fmt ci
 
 all: build
 
@@ -59,6 +59,17 @@ bench-traffic:
 # the 10k variant under -race.
 bench-failures:
 	$(GO) test -run TestFailuresBenchJSON -failures-bench-out BENCH_failures.json .
+
+# Kernel acceptance: the zero-alloc hot-path rows. Cold shortest-path
+# tree builds over a degree-8 BA map, classic queue BFS vs the
+# direction-optimizing hybrid (10k smoke row plus the acceptance size,
+# 100k by default, where the hybrid must clear its 2x floor), then the
+# steady-state rows the allocation ceilings gate: per-epoch marginal
+# allocations of both simulation engines and per-refresh allocations of
+# the warm distance map and routing state under edge churn. Rows land
+# in BENCH_kernels.json; the CI smoke runs the 10k variant under -race.
+bench-kernels:
+	$(GO) test ./internal/traffic/ -run TestKernelsBenchJSON -kernels-bench-out $(CURDIR)/BENCH_kernels.json
 
 # Benchmark-regression gate: the speedup fields of the BENCH_*.json
 # files in the working tree must clear the committed floors in

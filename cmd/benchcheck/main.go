@@ -1,6 +1,10 @@
 // Command benchcheck is the CI benchmark-regression gate: it compares
 // the speedup fields of emitted BENCH_*.json files against committed
-// floors and fails when a speedup regresses below its floor.
+// floors and fails when a speedup regresses below its floor. A floor
+// may instead (or additionally) carry an allocation ceiling —
+// max_allocs_per_op / max_bytes_per_op — gating the row's recorded
+// allocs_per_op / bytes_per_op from above, which is how the zero-alloc
+// steady-state guarantees of the traffic engines stay enforced.
 //
 // Usage:
 //
@@ -25,6 +29,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"netmodel/internal/cliutil"
 )
 
 // Floor is one regression constraint against one benchmark file.
@@ -38,9 +44,16 @@ type Floor struct {
 	// MinCores scopes the floor to rows whose recorded GOMAXPROCS is
 	// at least MinCores (0 = all rows).
 	MinCores int `json:"min_cores,omitempty"`
-	// MinSpeedup is the floor itself: every eligible row's "speedup"
-	// must be at least this.
-	MinSpeedup float64 `json:"min_speedup"`
+	// MinSpeedup is the classic floor: every eligible row's "speedup"
+	// must be at least this. Optional (0) when the floor carries a
+	// ceiling instead.
+	MinSpeedup float64 `json:"min_speedup,omitempty"`
+	// MaxAllocsPerOp / MaxBytesPerOp are ceilings: every eligible row's
+	// "allocs_per_op" / "bytes_per_op" must be at most this. A row that
+	// does not record the gated field fails the ceiling — an emitter
+	// that silently stops measuring must not pass vacuously.
+	MaxAllocsPerOp *float64 `json:"max_allocs_per_op,omitempty"`
+	MaxBytesPerOp  *float64 `json:"max_bytes_per_op,omitempty"`
 	// Require makes a floor with no eligible row a failure instead of
 	// a skip — for floors that must always find their row (algorithmic
 	// speedups recorded at acceptance scale in the committed files).
@@ -62,6 +75,11 @@ type row struct {
 	N       int     `json:"n"`
 	Cores   int     `json:"cores"`
 	Speedup float64 `json:"speedup"`
+	// Pointers, not values: a ceiling against a row that omits the
+	// field must fail, and only the emitter's explicit 0 may pass a
+	// zero-alloc ceiling.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 }
 
 func main() {
@@ -77,12 +95,17 @@ func run(args []string, stdout io.Writer) error {
 	dir := fs.String("dir", ".", "directory holding the BENCH_*.json files")
 	requireAll := fs.Bool("require-all", false, "fail floors with no eligible row instead of skipping them")
 	lenient := fs.Bool("lenient", false, "downgrade required floors with no eligible row to skips (for gating smoke-scale emissions)")
+	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *requireAll && *lenient {
 		return fmt.Errorf("-require-all and -lenient contradict each other; pick one")
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	data, err := os.ReadFile(*floorsPath)
 	if err != nil {
 		return err
@@ -97,8 +120,12 @@ func run(args []string, stdout io.Writer) error {
 	rowsByFile := map[string][]row{}
 	var failures int
 	for _, fl := range ff.Floors {
-		if fl.File == "" || fl.Name == "" || fl.MinSpeedup <= 0 {
-			return fmt.Errorf("%s: floor %+v needs file, name and a positive min_speedup", *floorsPath, fl)
+		if fl.File == "" || fl.Name == "" {
+			return fmt.Errorf("%s: floor %+v needs file and name", *floorsPath, fl)
+		}
+		if fl.MinSpeedup <= 0 && fl.MaxAllocsPerOp == nil && fl.MaxBytesPerOp == nil {
+			return fmt.Errorf("%s: floor %s/%s needs a positive min_speedup or a ceiling (max_allocs_per_op / max_bytes_per_op)",
+				*floorsPath, fl.File, fl.Name)
 		}
 		rows, ok := rowsByFile[fl.File]
 		if !ok {
@@ -117,18 +144,54 @@ func run(args []string, stdout io.Writer) error {
 				continue
 			}
 			eligible++
-			if r.Speedup < fl.MinSpeedup {
+			fail := func(format string, a ...any) {
 				failures++
-				fmt.Fprintf(stdout, "FAIL %s %s (n=%d cores=%d): speedup %.3f < floor %.3f",
-					fl.File, fl.Name, r.N, r.Cores, r.Speedup, fl.MinSpeedup)
+				fmt.Fprintf(stdout, "FAIL %s %s (n=%d cores=%d): ", fl.File, fl.Name, r.N, r.Cores)
+				fmt.Fprintf(stdout, format, a...)
 				if fl.Note != "" {
 					fmt.Fprintf(stdout, " — %s", fl.Note)
 				}
 				fmt.Fprintln(stdout)
+			}
+			bad := false
+			if fl.MinSpeedup > 0 && r.Speedup < fl.MinSpeedup {
+				fail("speedup %.3f < floor %.3f", r.Speedup, fl.MinSpeedup)
+				bad = true
+			}
+			if c := fl.MaxAllocsPerOp; c != nil {
+				switch {
+				case r.AllocsPerOp == nil:
+					fail("row records no allocs_per_op but a ceiling of %g is set", *c)
+					bad = true
+				case *r.AllocsPerOp > *c:
+					fail("allocs_per_op %g > ceiling %g", *r.AllocsPerOp, *c)
+					bad = true
+				}
+			}
+			if c := fl.MaxBytesPerOp; c != nil {
+				switch {
+				case r.BytesPerOp == nil:
+					fail("row records no bytes_per_op but a ceiling of %g is set", *c)
+					bad = true
+				case *r.BytesPerOp > *c:
+					fail("bytes_per_op %g > ceiling %g", *r.BytesPerOp, *c)
+					bad = true
+				}
+			}
+			if bad {
 				continue
 			}
-			fmt.Fprintf(stdout, "ok   %s %s (n=%d cores=%d): speedup %.3f >= %.3f\n",
-				fl.File, fl.Name, r.N, r.Cores, r.Speedup, fl.MinSpeedup)
+			fmt.Fprintf(stdout, "ok   %s %s (n=%d cores=%d):", fl.File, fl.Name, r.N, r.Cores)
+			if fl.MinSpeedup > 0 {
+				fmt.Fprintf(stdout, " speedup %.3f >= %.3f", r.Speedup, fl.MinSpeedup)
+			}
+			if fl.MaxAllocsPerOp != nil {
+				fmt.Fprintf(stdout, " allocs/op %g <= %g", *r.AllocsPerOp, *fl.MaxAllocsPerOp)
+			}
+			if fl.MaxBytesPerOp != nil {
+				fmt.Fprintf(stdout, " B/op %g <= %g", *r.BytesPerOp, *fl.MaxBytesPerOp)
+			}
+			fmt.Fprintln(stdout)
 		}
 		if eligible == 0 {
 			if *requireAll || (fl.Require && !*lenient) {
@@ -144,5 +207,5 @@ func run(args []string, stdout io.Writer) error {
 	if failures > 0 {
 		return fmt.Errorf("%d floor(s) violated", failures)
 	}
-	return nil
+	return prof.Stop()
 }

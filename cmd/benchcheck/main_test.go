@@ -105,6 +105,83 @@ func TestMissingSpeedupFails(t *testing.T) {
 	}
 }
 
+const allocRows = `[
+  {"name": "steady", "n": 100000, "cores": 1, "speedup": 1.0, "allocs_per_op": 0, "bytes_per_op": 0},
+  {"name": "leaky", "n": 100000, "cores": 1, "speedup": 1.0, "allocs_per_op": 3.5, "bytes_per_op": 4096},
+  {"name": "unmeasured", "n": 100000, "cores": 1, "speedup": 5.0}
+]`
+
+func TestAllocCeilingHolds(t *testing.T) {
+	dir, fp := writeBenchDir(t, `{"floors": [
+		{"file": "BENCH_x.json", "name": "steady", "max_allocs_per_op": 0, "max_bytes_per_op": 0}
+	]}`, allocRows)
+	var out bytes.Buffer
+	if err := run([]string{"-floors", fp, "-dir", dir}, &out); err != nil {
+		t.Fatalf("zero-alloc ceiling should hold on an explicit-zero row: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "ok   BENCH_x.json steady") {
+		t.Fatalf("missing ok line:\n%s", out.String())
+	}
+}
+
+func TestAllocCeilingViolated(t *testing.T) {
+	dir, fp := writeBenchDir(t, `{"floors": [
+		{"file": "BENCH_x.json", "name": "leaky", "max_allocs_per_op": 0, "note": "steady state must not allocate"}
+	]}`, allocRows)
+	var out bytes.Buffer
+	if err := run([]string{"-floors", fp, "-dir", dir}, &out); err == nil {
+		t.Fatalf("3.5 allocs/op must violate a ceiling of 0:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "allocs_per_op 3.5 > ceiling 0") ||
+		!strings.Contains(out.String(), "steady state must not allocate") {
+		t.Fatalf("missing FAIL detail:\n%s", out.String())
+	}
+}
+
+func TestBytesCeilingViolated(t *testing.T) {
+	dir, fp := writeBenchDir(t, `{"floors": [
+		{"file": "BENCH_x.json", "name": "leaky", "max_bytes_per_op": 1024}
+	]}`, allocRows)
+	var out bytes.Buffer
+	if err := run([]string{"-floors", fp, "-dir", dir}, &out); err == nil {
+		t.Fatalf("4096 B/op must violate a ceiling of 1024:\n%s", out.String())
+	}
+}
+
+func TestCeilingAgainstUnmeasuredRowFails(t *testing.T) {
+	// An emitter that stops recording allocs_per_op must not pass the
+	// ceiling vacuously.
+	dir, fp := writeBenchDir(t, `{"floors": [
+		{"file": "BENCH_x.json", "name": "unmeasured", "max_allocs_per_op": 0}
+	]}`, allocRows)
+	var out bytes.Buffer
+	if err := run([]string{"-floors", fp, "-dir", dir}, &out); err == nil {
+		t.Fatalf("a row without allocs_per_op must fail an alloc ceiling:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "records no allocs_per_op") {
+		t.Fatalf("missing vacuity FAIL detail:\n%s", out.String())
+	}
+}
+
+func TestCombinedFloorAndCeiling(t *testing.T) {
+	// A floor may gate speedup and allocations at once; either side
+	// alone failing fails the row.
+	dir, fp := writeBenchDir(t, `{"floors": [
+		{"file": "BENCH_x.json", "name": "steady", "min_speedup": 0.5, "max_allocs_per_op": 0}
+	]}`, allocRows)
+	var out bytes.Buffer
+	if err := run([]string{"-floors", fp, "-dir", dir}, &out); err != nil {
+		t.Fatalf("combined constraint should hold: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	dir2, fp2 := writeBenchDir(t, `{"floors": [
+		{"file": "BENCH_x.json", "name": "steady", "min_speedup": 2, "max_allocs_per_op": 0}
+	]}`, allocRows)
+	if err := run([]string{"-floors", fp2, "-dir", dir2}, &out); err == nil {
+		t.Fatalf("speedup side of a combined constraint must still gate:\n%s", out.String())
+	}
+}
+
 func TestBadInputs(t *testing.T) {
 	dir, fp := writeBenchDir(t, `{"floors": []}`, benchRows)
 	var out bytes.Buffer
@@ -122,6 +199,12 @@ func TestBadInputs(t *testing.T) {
 	]}`, benchRows)
 	if err := run([]string{"-floors", fp3, "-dir", dir3}, &out); err == nil {
 		t.Fatal("floor without a name must fail")
+	}
+	dir4, fp4 := writeBenchDir(t, `{"floors": [
+		{"file": "BENCH_x.json", "name": "fast-path"}
+	]}`, benchRows)
+	if err := run([]string{"-floors", fp4, "-dir", dir4}, &out); err == nil {
+		t.Fatal("floor with neither a min_speedup nor a ceiling must fail")
 	}
 }
 

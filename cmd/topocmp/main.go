@@ -47,6 +47,7 @@ func run(args []string, stdout io.Writer) error {
 	target := fs.String("target", "as", "reference target: as, asplus")
 	sources := fs.Int("path-sources", 300, "BFS sources for path stats (0 = exact)")
 	workers := fs.Int("workers", 1, "pool for sharded generation and the metrics engine; 1 = sequential generation, 0 = GOMAXPROCS, unset = sequential generation with an all-core engine")
+	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,6 +58,10 @@ func run(args []string, stdout io.Writer) error {
 	); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	tgt := refdata.ASMap2001
 	if *target == "asplus" {
 		tgt = refdata.ASPlusMap2001
@@ -91,7 +96,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(stdout, rep.String())
-		return nil
+		return prof.Stop()
 	case *all:
 		p := core.Pipeline{N: *n, Seed: *seed, Target: tgt, PathSources: *sources, Workers: pool}
 		results, err := p.RunAll()
@@ -106,7 +111,7 @@ func run(args []string, stdout io.Writer) error {
 		for rank, name := range compare.RankModels(reports) {
 			fmt.Fprintf(stdout, "%2d. %-12s score %6.1f%%\n", rank+1, name, 100*reports[name].Score)
 		}
-		return nil
+		return prof.Stop()
 	case *model != "":
 		p := core.Pipeline{N: *n, Seed: *seed, Target: tgt, PathSources: *sources, Workers: pool}
 		res, err := p.Run(*model)
@@ -114,7 +119,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		fmt.Fprint(stdout, res.Report.String())
-		return nil
+		return prof.Stop()
 	default:
 		return fmt.Errorf("one of -model, -file or -all is required")
 	}

@@ -62,6 +62,7 @@ func run(args []string, stdout io.Writer) error {
 	refine := fs.Int("refine", 8, "golden-section refinement steps")
 	sources := fs.Int("path-sources", 200, "BFS sources for path stats")
 	workers := fs.Int("workers", 1, "pool for sharded generation and the metrics engine; 1 = sequential generation, 0 = GOMAXPROCS, unset = sequential generation with an all-core engine")
+	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -73,6 +74,10 @@ func run(args []string, stdout io.Writer) error {
 	); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	// Same -workers resolution as topocmp: unset keeps sequential
 	// reference generation with the engine on every core; explicit
 	// values size both pools (0 = all cores for both).
@@ -115,5 +120,5 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "best %s = %.4f (score %.2f%%, %d evaluations)\n",
 		*name, res.X, 100*res.Cost, res.Evals)
-	return nil
+	return prof.Stop()
 }

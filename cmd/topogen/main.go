@@ -57,6 +57,7 @@ func run(args []string, stdout io.Writer) error {
 	pathSources := fs.Int("path-sources", 0, "pivot sample size for -paths (0 = exact)")
 	trajOut := fs.String("trajectory-out", "", "trajectory table destination (default stderr)")
 	list := fs.Bool("list", false, "list available models and exit")
+	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +69,10 @@ func run(args []string, stdout io.Writer) error {
 	); err != nil {
 		return err
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	if *paths && *measureEvery <= 0 {
 		return fmt.Errorf("-paths requires -measure-every > 0")
 	}
@@ -109,7 +114,7 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	return cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
+	if err := cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
 		switch *format {
 		case "edgelist":
 			return graphio.WriteEdgeList(w, top.G)
@@ -120,5 +125,8 @@ func run(args []string, stdout io.Writer) error {
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
-	})
+	}); err != nil {
+		return err
+	}
+	return prof.Stop()
 }

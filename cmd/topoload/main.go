@@ -95,6 +95,7 @@ func run(args []string, stdout io.Writer) error {
 	repairAt := fs.Int("repair-at", 0, "targeted failures: epoch the outage is repaired (0 = never)")
 	failRetries := fs.Int("fail-retries", 0, "retry budget for flows killed by an outage")
 	failRetryAfter := fs.Int("fail-retry-after", 1, "epochs between a kill and its retry")
+	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -183,11 +184,15 @@ func run(args []string, stdout io.Writer) error {
 			Failures:    failSpecs,
 		},
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	s, err := sweep.Run(g, *workers)
 	if err != nil {
 		return err
 	}
-	return cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
+	if err := cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
 		switch *format {
 		case "table":
 			return graphio.WriteWorkloadTable(w, s)
@@ -198,5 +203,8 @@ func run(args []string, stdout io.Writer) error {
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
-	})
+	}); err != nil {
+		return err
+	}
+	return prof.Stop()
 }

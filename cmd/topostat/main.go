@@ -50,6 +50,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	measureEvery := fs.Int("measure-every", 0, "replay the map as a growth trajectory, measuring every k edges")
 	paths := fs.Bool("paths", false, "add incremental path metrics to trajectory rows (needs -measure-every)")
 	workers := fs.Int("workers", 0, "analysis goroutines (0 = GOMAXPROCS)")
+	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +66,10 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if *paths && *measureEvery <= 0 {
 		return fmt.Errorf("-paths requires -measure-every > 0")
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	g, err := load(fs.Arg(0), stdin)
 	if err != nil {
 		return err
@@ -122,7 +127,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			fmt.Fprintf(stdout, "%d %.6g\n", k, pc[i])
 		}
 	}
-	return nil
+	return prof.Stop()
 }
 
 // replayTrajectory re-adds the map's sorted edge list to an accreting

@@ -63,6 +63,7 @@ func run(args []string, stdout io.Writer) error {
 	measureEvery := fs.Int("measure-every", 0, "record growth trajectories every k nodes (growth families)")
 	format := fs.String("format", "table", "output format: table, csv, json")
 	out := fs.String("o", "", "output file (default stdout)")
+	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -111,11 +112,15 @@ func run(args []string, stdout io.Writer) error {
 		g.CellWorkers = *cellWorkers
 		g.MeasureEvery = *measureEvery
 	}
+	if err := prof.Start(); err != nil {
+		return err
+	}
+	defer prof.Stop()
 	s, err := sweep.Run(g, *workers)
 	if err != nil {
 		return err
 	}
-	return cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
+	if err := cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
 		switch *format {
 		case "table":
 			_, err := io.WriteString(w, s.String())
@@ -127,5 +132,8 @@ func run(args []string, stdout io.Writer) error {
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}
-	})
+	}); err != nil {
+		return err
+	}
+	return prof.Stop()
 }

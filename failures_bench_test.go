@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"netmodel/internal/benchutil"
 	"netmodel/internal/gen"
 	"netmodel/internal/graph"
 	"netmodel/internal/metrics"
@@ -53,9 +54,10 @@ const failBenchM = 4
 // failed two epochs earlier, then hands the refrozen snapshot and its
 // delta to `maintain`, whose cost is the only thing accumulated. The
 // schedule is a pure function of the seed, so repair and rebuild arms
-// replay identical deltas.
+// replay identical deltas. Alongside the maintenance time it returns
+// the heap allocations (count, bytes) of the same windows.
 func failureChurn(tb testing.TB, n, epochs, links int,
-	maintain func(next *graph.Snapshot, d *graph.Delta) error) time.Duration {
+	maintain func(next *graph.Snapshot, d *graph.Delta) error) (time.Duration, uint64, uint64) {
 	tb.Helper()
 	top, err := gen.BA{N: n, M: failBenchM}.Generate(rng.New(1))
 	if err != nil {
@@ -69,6 +71,7 @@ func failureChurn(tb testing.TB, n, epochs, links int,
 	r := rng.New(7)
 	var downPrev, downCur []graph.Edge
 	var spent time.Duration
+	var allocs, bytes uint64
 	for epoch := 0; epoch < epochs; epoch++ {
 		// Revive the links failed two epochs ago...
 		for _, e := range downPrev {
@@ -94,20 +97,24 @@ func failureChurn(tb testing.TB, n, epochs, links int,
 			tb.Fatal(err)
 		}
 		prev = next
-		start := time.Now()
-		if err := maintain(next, d); err != nil {
-			tb.Fatal(err)
-		}
-		spent += time.Since(start)
+		a, b := benchutil.CountAllocs(func() {
+			start := time.Now()
+			if err := maintain(next, d); err != nil {
+				tb.Fatal(err)
+			}
+			spent += time.Since(start)
+		})
+		allocs += a
+		bytes += b
 	}
-	return spent
+	return spent, allocs, bytes
 }
 
 // runFailureRoutingBench keeps failBenchSources shortest-path trees
 // warm across the outage replay — by scoped Routing.Refresh (repair:
 // only trees that lost a parent arc are rebuilt) or by a cold
 // NewRouting + Ensure per failure epoch (rebuild).
-func runFailureRoutingBench(tb testing.TB, n, epochs, links, workers int, repair bool) time.Duration {
+func runFailureRoutingBench(tb testing.TB, n, epochs, links, workers int, repair bool) (time.Duration, uint64, uint64) {
 	tb.Helper()
 	sources := make([]int, failBenchSources)
 	for i := range sources {
@@ -134,7 +141,7 @@ func runFailureRoutingBench(tb testing.TB, n, epochs, links, workers int, repair
 // warm across the same replay — by the delta-scoped DistMap.Refresh
 // removal path (repair) or a cold NewDistMap per failure epoch
 // (rebuild).
-func runFailureDistMapBench(tb testing.TB, n, epochs, links, workers int, repair bool) time.Duration {
+func runFailureDistMapBench(tb testing.TB, n, epochs, links, workers int, repair bool) (time.Duration, uint64, uint64) {
 	tb.Helper()
 	var dm *metrics.DistMap
 	return failureChurn(tb, n, epochs, links, func(next *graph.Snapshot, d *graph.Delta) error {
@@ -190,25 +197,27 @@ func TestFailuresBenchJSON(t *testing.T) {
 	n, epochs, links := *failBenchN, *failBenchEpochs, *failBenchLinks
 	workers := genBenchWorkers
 
-	routRebuild := runFailureRoutingBench(t, n, epochs, links, workers, false)
-	routRepair := runFailureRoutingBench(t, n, epochs, links, workers, true)
+	routRebuild, routRebuildAllocs, routRebuildBytes := runFailureRoutingBench(t, n, epochs, links, workers, false)
+	routRepair, routRepairAllocs, routRepairBytes := runFailureRoutingBench(t, n, epochs, links, workers, true)
 	routSpeedup := float64(routRebuild) / float64(routRepair)
 
-	distRebuild := runFailureDistMapBench(t, n, epochs, links, workers, false)
-	distRepair := runFailureDistMapBench(t, n, epochs, links, workers, true)
+	distRebuild, distRebuildAllocs, distRebuildBytes := runFailureDistMapBench(t, n, epochs, links, workers, false)
+	distRepair, distRepairAllocs, distRepairBytes := runFailureDistMapBench(t, n, epochs, links, workers, true)
 	distSpeedup := float64(distRebuild) / float64(distRepair)
 
 	type row struct {
-		Name    string  `json:"name"`
-		Model   string  `json:"model"`
-		N       int     `json:"n"`
-		Epochs  int     `json:"epochs"`
-		Links   int     `json:"links"`
-		Workers int     `json:"workers"`
-		Cores   int     `json:"cores"`
-		NumCPU  int     `json:"num_cpu"`
-		NsPerOp int64   `json:"ns_per_op"`
-		Speedup float64 `json:"speedup,omitempty"`
+		Name        string  `json:"name"`
+		Model       string  `json:"model"`
+		N           int     `json:"n"`
+		Epochs      int     `json:"epochs"`
+		Links       int     `json:"links"`
+		Workers     int     `json:"workers"`
+		Cores       int     `json:"cores"`
+		NumCPU      int     `json:"num_cpu"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		Speedup     float64 `json:"speedup,omitempty"`
 		// SpeedupVs names the row the speedup is measured against, so
 		// every attribution in the file is explicit.
 		SpeedupVs string `json:"speedup_vs,omitempty"`
@@ -216,14 +225,18 @@ func TestFailuresBenchJSON(t *testing.T) {
 	cores, ncpu := runtime.GOMAXPROCS(0), runtime.NumCPU()
 	rows := []row{
 		{Name: "failure-routing-rebuild", Model: "ba", N: n, Epochs: epochs, Links: links,
-			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: routRebuild.Nanoseconds()},
+			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: routRebuild.Nanoseconds(),
+			AllocsPerOp: float64(routRebuildAllocs), BytesPerOp: float64(routRebuildBytes)},
 		{Name: "failure-routing-repair", Model: "ba", N: n, Epochs: epochs, Links: links,
 			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: routRepair.Nanoseconds(),
+			AllocsPerOp: float64(routRepairAllocs), BytesPerOp: float64(routRepairBytes),
 			Speedup: routSpeedup, SpeedupVs: "failure-routing-rebuild"},
 		{Name: "failure-distmap-rebuild", Model: "ba", N: n, Epochs: epochs, Links: links,
-			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: distRebuild.Nanoseconds()},
+			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: distRebuild.Nanoseconds(),
+			AllocsPerOp: float64(distRebuildAllocs), BytesPerOp: float64(distRebuildBytes)},
 		{Name: "failure-distmap-repair", Model: "ba", N: n, Epochs: epochs, Links: links,
 			Workers: workers, Cores: cores, NumCPU: ncpu, NsPerOp: distRepair.Nanoseconds(),
+			AllocsPerOp: float64(distRepairAllocs), BytesPerOp: float64(distRepairBytes),
 			Speedup: distSpeedup, SpeedupVs: "failure-distmap-rebuild"},
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")

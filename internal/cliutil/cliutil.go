@@ -1,9 +1,10 @@
 // Package cliutil holds the flag-handling conventions shared by the
 // netmodel command-line tools: comma-separated axis lists, flag-value
 // validation with clear one-line errors, the two -workers resolution
-// policies, and -o output redirection. Extracting them keeps the seven
-// CLIs (topogen, topostat, topocmp, topofit, toposweep, topoload,
-// benchcheck) answering the same flags the same way.
+// policies, -o output redirection, and the -cpuprofile / -memprofile
+// pair. Extracting them keeps the seven CLIs (topogen, topostat,
+// topocmp, topofit, toposweep, topoload, benchcheck) answering the
+// same flags the same way.
 package cliutil
 
 import (
@@ -13,6 +14,7 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 )
@@ -166,6 +168,87 @@ func Output(path string, stdout io.Writer) (io.Writer, func() error, error) {
 		return nil, nil, err
 	}
 	return f, f.Close, nil
+}
+
+// Profiler carries the shared -cpuprofile / -memprofile flags and the
+// in-flight CPU profile. Every CLI registers the pair via ProfileFlags,
+// starts it after flag validation, and stops it on the way out:
+//
+//	prof := cliutil.ProfileFlags(fs)
+//	...
+//	if err := prof.Start(); err != nil { return err }
+//	defer prof.Stop()
+//	...
+//	return prof.Stop()
+//
+// Stop is idempotent, so the deferred call covers error returns while
+// the explicit final call surfaces profile-write failures (full disk,
+// unwritable path) as command errors on the success path.
+type Profiler struct {
+	cpu, mem string
+	cpuFile  *os.File
+	stopped  bool
+}
+
+// ProfileFlags registers the -cpuprofile and -memprofile flags on fs.
+func ProfileFlags(fs *flag.FlagSet) *Profiler {
+	p := &Profiler{}
+	fs.StringVar(&p.cpu, "cpuprofile", "", "write a CPU profile of the run to this file")
+	fs.StringVar(&p.mem, "memprofile", "", "write an allocation profile to this file at exit")
+	return p
+}
+
+// Start begins CPU profiling when -cpuprofile was given; with neither
+// flag set it is a no-op.
+func (p *Profiler) Start() error {
+	p.stopped = false
+	if p.cpu == "" {
+		return nil
+	}
+	f, err := os.Create(p.cpu)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	p.cpuFile = f
+	return nil
+}
+
+// Stop flushes the CPU profile and, when -memprofile was given, writes
+// the allocation profile after a final GC (so the live-heap samples
+// reflect reachable memory, while alloc_objects/alloc_space still
+// carry every allocation). Safe to call more than once; only the first
+// call does the work.
+func (p *Profiler) Stop() error {
+	if p.stopped {
+		return nil
+	}
+	p.stopped = true
+	var first error
+	if p.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := p.cpuFile.Close(); err != nil {
+			first = err
+		}
+		p.cpuFile = nil
+	}
+	if p.mem != "" {
+		f, err := os.Create(p.mem)
+		if err == nil {
+			runtime.GC()
+			err = pprof.Lookup("allocs").WriteTo(f, 0)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // WriteOutput resolves the tool's output (Output), runs emit against

@@ -191,3 +191,85 @@ func TestValidators(t *testing.T) {
 		t.Fatalf("FirstError should surface the first violation, got %v", first)
 	}
 }
+
+func TestProfiler(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := ProfileFlags(fs)
+	if err := fs.Parse([]string{"-cpuprofile", cpu, "-memprofile", mem}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the CPU profiler something to sample and the heap profiler
+	// something to record before the profiles are flushed.
+	sink := make([]byte, 1<<16)
+	for i := range sink {
+		sink[i] = byte(i)
+	}
+	runtime.KeepAlive(sink)
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{cpu, mem} {
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if info.Size() == 0 {
+			t.Fatalf("%s: empty profile", path)
+		}
+	}
+	// Stop is idempotent: the deferred second call must not rewrite or
+	// truncate the already-flushed profiles.
+	if err := os.Truncate(mem, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if info, _ := os.Stat(mem); info.Size() != 1 {
+		t.Fatalf("second Stop rewrote the memory profile (size %d)", info.Size())
+	}
+}
+
+func TestProfilerNoFlags(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := ProfileFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProfilerBadPath(t *testing.T) {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	p := ProfileFlags(fs)
+	missing := filepath.Join(t.TempDir(), "no", "such", "dir", "x.pprof")
+	if err := fs.Parse([]string{"-cpuprofile", missing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Start(); err == nil {
+		p.Stop()
+		t.Fatal("Start should fail for an uncreatable -cpuprofile path")
+	}
+	fs2 := flag.NewFlagSet("t", flag.ContinueOnError)
+	p2 := ProfileFlags(fs2)
+	if err := fs2.Parse([]string{"-memprofile", missing}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Stop(); err == nil {
+		t.Fatal("Stop should surface an uncreatable -memprofile path")
+	}
+}

@@ -99,13 +99,16 @@ func (e *Engine) perNodeBFS(reduce func(dist []int32, n int) float64) []float64 
 	s := e.s
 	n := s.N()
 	out := make([]float64, n)
-	type bfsScratch struct{ dist, queue []int32 }
+	type bfsScratch struct {
+		dist []int32
+		sc   *metrics.BFSScratch
+	}
 	scratch := make([]*bfsScratch, e.workers)
 	e.parallelFor(n, func(w, u int) {
 		if scratch[w] == nil {
-			scratch[w] = &bfsScratch{dist: make([]int32, n), queue: make([]int32, n)}
+			scratch[w] = &bfsScratch{dist: make([]int32, n), sc: metrics.NewBFSScratch(n)}
 		}
-		metrics.BFSFrozen(s, u, scratch[w].dist, scratch[w].queue)
+		metrics.BFSHybrid(s, u, scratch[w].dist, scratch[w].sc)
 		out[u] = reduce(scratch[w].dist, n)
 	})
 	return out
@@ -140,15 +143,16 @@ func (e *Engine) pathLengths(r *rng.Rand, sources int) (metrics.PathStats, error
 		return metrics.PathStats{}, err
 	}
 	type pathScratch struct {
-		dist, queue []int32
-		hist        metrics.PathHistogram
+		dist []int32
+		sc   *metrics.BFSScratch
+		hist metrics.PathHistogram
 	}
 	scratch := make([]*pathScratch, e.workers)
 	e.parallelFor(len(srcs), func(w, i int) {
 		if scratch[w] == nil {
-			scratch[w] = &pathScratch{dist: make([]int32, n), queue: make([]int32, n)}
+			scratch[w] = &pathScratch{dist: make([]int32, n), sc: metrics.NewBFSScratch(n)}
 		}
-		metrics.BFSFrozen(s, srcs[i], scratch[w].dist, scratch[w].queue)
+		metrics.BFSHybrid(s, srcs[i], scratch[w].dist, scratch[w].sc)
 		scratch[w].hist.AccumulateDistances(srcs[i], scratch[w].dist)
 	})
 	var total metrics.PathHistogram

@@ -141,6 +141,16 @@ func (s *Snapshot) Weights(u int) []int32 {
 	return s.weights[s.offsets[u]:s.ends[u]]
 }
 
+// CSR exposes the raw row arrays backing Neighbors — offsets, ends,
+// and the arc-level neighbor arena — so traversal kernels can hold the
+// slice headers in locals across a whole sweep instead of re-deriving
+// them per node through the accessor methods. Row u spans
+// neighbors[offsets[u]:ends[u]]. All three slices alias the snapshot
+// and must not be modified.
+func (s *Snapshot) CSR() (offsets, ends, neighbors []int32) {
+	return s.offsets, s.ends, s.neighbors
+}
+
 // ArcRange returns the half-open arc index range of node u, for callers
 // indexing per-arc data (see ArcEdgeIDs). In refreshed snapshots rows
 // need not tile the arena, so arc indices are only valid within a row.
@@ -227,12 +237,19 @@ func (s *Snapshot) Edges(fn func(u, v, w int) bool) {
 // EdgeList returns all simple edges sorted by (U,V). The edge at index i
 // is the simple edge with id i as assigned by ArcEdgeIDs.
 func (s *Snapshot) EdgeList() []Edge {
-	out := make([]Edge, 0, s.m)
+	return s.AppendEdges(make([]Edge, 0, s.m))
+}
+
+// AppendEdges appends the snapshot's edges to buf in the same (u, v)
+// sorted order as EdgeList and returns the extended slice — EdgeList
+// without the fresh allocation, for refresh paths that walk the edge
+// list every epoch through a reusable buffer.
+func (s *Snapshot) AppendEdges(buf []Edge) []Edge {
 	s.Edges(func(u, v, w int) bool {
-		out = append(out, Edge{U: u, V: v, W: w})
+		buf = append(buf, Edge{U: u, V: v, W: w})
 		return true
 	})
-	return out
+	return buf
 }
 
 // ArcEdgeIDs returns, for every arc index, the id of its simple edge in
@@ -242,23 +259,40 @@ func (s *Snapshot) EdgeList() []Edge {
 // modified. Entries outside live row ranges are meaningless.
 func (s *Snapshot) ArcEdgeIDs() []int32 {
 	s.edgeOnce.Do(func() {
-		s.arcEdge = make([]int32, len(s.neighbors))
-		next := int32(0)
-		n := s.N()
-		for u := 0; u < n; u++ {
-			lo, hi := s.offsets[u], s.ends[u]
-			for a := lo; a < hi; a++ {
-				v := int(s.neighbors[a])
-				if v > u {
-					s.arcEdge[a] = next
-					next++
-				} else {
-					s.arcEdge[a] = s.arcEdge[s.arcOf(v, u)]
-				}
-			}
-		}
+		s.arcEdge = s.FillArcEdgeIDs(nil)
 	})
 	return s.arcEdge
+}
+
+// FillArcEdgeIDs computes the ArcEdgeIDs mapping into buf — grown when
+// too small, contents overwritten — without touching the snapshot's
+// lazy cache. Refresh paths that rebuild the mapping for every epoch's
+// new snapshot use it to cycle one buffer instead of leaving a cached
+// copy on each dead snapshot. The same caveat applies: entries outside
+// live row ranges are meaningless (here: stale).
+func (s *Snapshot) FillArcEdgeIDs(buf []int32) []int32 {
+	if cap(buf) < len(s.neighbors) {
+		// An eighth of headroom: churn refreezes let the arcs slab creep
+		// a few entries per epoch (removal holes are not compacted), and
+		// an exact-size buffer would re-allocate on every refresh.
+		buf = make([]int32, len(s.neighbors), len(s.neighbors)+len(s.neighbors)/8+64)
+	}
+	buf = buf[:len(s.neighbors)]
+	next := int32(0)
+	n := s.N()
+	for u := 0; u < n; u++ {
+		lo, hi := s.offsets[u], s.ends[u]
+		for a := lo; a < hi; a++ {
+			v := int(s.neighbors[a])
+			if v > u {
+				buf[a] = next
+				next++
+			} else {
+				buf[a] = buf[s.arcOf(v, u)]
+			}
+		}
+	}
+	return buf
 }
 
 // Components returns the connected components as sorted slices of node

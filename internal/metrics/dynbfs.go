@@ -50,13 +50,37 @@ type DistScratch struct {
 	queue   []int32
 	mark    []int32
 	mround  int32
+	bfs     *BFSScratch
+	// changes is the arena the relaxation kernels report into: each
+	// RelaxInserted/RelaxDelta call appends its DistChange records here
+	// and returns the subslice it wrote, so a warm scratch repairs
+	// without allocating. Subslices stay valid when a later call grows
+	// the arena (the old backing array survives under them); Reset
+	// truncates it once per refresh pass, after every retained subslice
+	// has been consumed.
+	changes []DistChange
 }
 
 // NewDistScratch allocates scratch for an n-node snapshot; ensure grows
 // it as the trajectory adds nodes.
 func NewDistScratch(n int) *DistScratch {
-	return &DistScratch{stamp: make([]int32, n), queue: make([]int32, n), mark: make([]int32, n)}
+	return &DistScratch{stamp: make([]int32, n), queue: make([]int32, n), mark: make([]int32, n),
+		bfs: NewBFSScratch(n)}
 }
+
+// BFS returns the scratch's hybrid-BFS state, for callers sharing the
+// scratch (routing-tree repair) that fall back to cold traversals.
+func (sc *DistScratch) BFS() *BFSScratch {
+	if sc.bfs == nil {
+		sc.bfs = NewBFSScratch(0)
+	}
+	return sc.bfs
+}
+
+// Reset truncates the change arena. Call it once per refresh pass,
+// before the pass's first repair — never between a repair and the
+// consumption of its returned changes, which alias the arena.
+func (sc *DistScratch) Reset() { sc.changes = sc.changes[:0] }
 
 func (sc *DistScratch) ensure(n int) {
 	if len(sc.stamp) < n {
@@ -91,15 +115,17 @@ func (sc *DistScratch) Queue(n int) []int32 {
 // RelaxInserted abandons the repair and returns ok == false with the
 // changes recorded so far; the caller must restore their Old values and
 // rebuild from scratch. Changes are reported one per touched node, in
-// first-touch order.
+// first-touch order; the returned slice aliases the scratch's change
+// arena and stays valid until the next DistScratch.Reset.
 func RelaxInserted(next *graph.Snapshot, ins []graph.DeltaEdge, dist []int32, sc *DistScratch, budget int) (changes []DistChange, ok bool) {
 	sc.ensure(len(dist))
 	sc.round++
+	start := len(sc.changes)
 	lo, hi := int32(1<<30), int32(-1)
 	relax := func(v, dv int32) {
 		if sc.stamp[v] != sc.round {
 			sc.stamp[v] = sc.round
-			changes = append(changes, DistChange{Node: v, Old: dist[v]})
+			sc.changes = append(sc.changes, DistChange{Node: v, Old: dist[v]})
 		}
 		dist[v] = dv
 		for int(dv) >= len(sc.buckets) {
@@ -141,7 +167,7 @@ func RelaxInserted(next *graph.Snapshot, ins []graph.DeltaEdge, dist []int32, sc
 				for x := d; x <= hi; x++ {
 					sc.buckets[x] = sc.buckets[x][:0]
 				}
-				return changes, false
+				return sc.changes[start:], false
 			}
 			nd := d + 1
 			for _, w := range row {
@@ -152,7 +178,7 @@ func RelaxInserted(next *graph.Snapshot, ins []graph.DeltaEdge, dist []int32, sc
 		}
 		sc.buckets[d] = sc.buckets[d][:0]
 	}
-	return changes, true
+	return sc.changes[start:], true
 }
 
 // RelaxDelta repairs one source's distance vector under a mixed
@@ -184,7 +210,9 @@ func RelaxInserted(next *graph.Snapshot, ins []graph.DeltaEdge, dist []int32, sc
 // returns ok == false and the caller must restore the recorded Old
 // values (the vector holds internal markers until then) and rebuild
 // from scratch. Changes are reported one per touched node, stamped at
-// first touch with the pre-repair value.
+// first touch with the pre-repair value; the returned slice aliases
+// the scratch's change arena and stays valid until the next
+// DistScratch.Reset.
 func RelaxDelta(next *graph.Snapshot, edges []graph.DeltaEdge, dist []int32, sc *DistScratch, budget int) (changes []DistChange, ok bool) {
 	hasRemoval := false
 	for _, e := range edges {
@@ -199,17 +227,18 @@ func RelaxDelta(next *graph.Snapshot, edges []graph.DeltaEdge, dist []int32, sc 
 	sc.ensure(len(dist))
 	sc.round++
 	round := sc.round
+	start := len(sc.changes)
 	touch := func(v int32) {
 		if sc.stamp[v] != round {
 			sc.stamp[v] = round
-			changes = append(changes, DistChange{Node: v, Old: dist[v]})
+			sc.changes = append(sc.changes, DistChange{Node: v, Old: dist[v]})
 		}
 	}
 	abort := func() ([]DistChange, bool) {
 		for i := range sc.buckets {
 			sc.buckets[i] = sc.buckets[i][:0]
 		}
-		return changes, false
+		return sc.changes[start:], false
 	}
 	lo, hi := int32(1<<30), int32(-1)
 	push := func(v, d int32) {
@@ -365,7 +394,7 @@ func RelaxDelta(next *graph.Snapshot, edges []graph.DeltaEdge, dist []int32, sc 
 		}
 		sc.buckets[d] = sc.buckets[d][:0]
 	}
-	return changes, true
+	return sc.changes[start:], true
 }
 
 // DistMap owns the per-source BFS distance rows of a snapshot plus the
@@ -392,6 +421,26 @@ type DistMap struct {
 	// maxScan overrides the repair budget when positive (test hook for
 	// forcing the rebuild fallback).
 	maxScan int
+
+	// Refresh scratch, persisted across epochs so a steady-state repair
+	// allocates nothing: one DistScratch per worker slot, the
+	// per-source repair results of the parallel phase, and the repair
+	// closure itself — created once, re-reading its per-call parameters
+	// (rfDes, rfBudget and the map's own fields) rather than capturing
+	// call locals, so no closure literal is allocated per Refresh.
+	scratch  []*DistScratch
+	repairs  []distRepair
+	rfDes    []graph.DeltaEdge
+	rfBudget int
+	rfBody   func(worker, i int)
+}
+
+// distRepair is one source's outcome of a Refresh parallel phase:
+// either a wave repair's aggregate patch list, or a rebuilt row — the
+// old one to retract (nil for new sources) and the new one to fold in.
+type distRepair struct {
+	changes []DistChange
+	old, nd []int32
 }
 
 // NewDistMap builds the distance rows of s from scratch. A nil sources
@@ -443,13 +492,13 @@ func (dm *DistMap) rebase(workers int) {
 	k := len(dm.sources)
 	dm.dist = make([][]int32, k)
 	w := par.Workers(workers)
-	queues := make([][]int32, w)
+	scratch := make([]*BFSScratch, w)
 	par.ForEach(k, w, func(worker, i int) {
-		if len(queues[worker]) < n {
-			queues[worker] = make([]int32, n)
+		if scratch[worker] == nil {
+			scratch[worker] = NewBFSScratch(n)
 		}
 		d := make([]int32, n)
-		BFSFrozen(dm.s, int(dm.sources[i]), d, queues[worker])
+		BFSHybrid(dm.s, int(dm.sources[i]), d, scratch[worker])
 		dm.dist[i] = d
 	})
 	dm.hist = PathHistogram{}
@@ -534,42 +583,55 @@ func (dm *DistMap) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 	if budget <= 0 {
 		budget = n + 2*next.M() + 4096
 	}
-	des := d.Edges()
-	type repair struct {
-		changes []DistChange // wave-repaired: aggregate patch list
-		old, nd []int32      // rebuilt: retract old (nil for new sources), fold nd
-	}
-	results := make([]repair, len(dm.sources))
 	w := par.Workers(workers)
-	scratch := make([]*DistScratch, w)
-	par.ForEach(len(dm.sources), w, func(worker, i int) {
-		sc := scratch[worker]
-		if sc == nil {
-			sc = NewDistScratch(n)
-			scratch[worker] = sc
+	for len(dm.scratch) < w {
+		dm.scratch = append(dm.scratch, nil)
+	}
+	for _, sc := range dm.scratch[:w] {
+		if sc != nil {
+			sc.Reset() // last epoch's change subslices are long consumed
 		}
-		sc.ensure(n)
-		old := dm.dist[i]
-		if old == nil { // new source: cold build, nothing to retract
-			nd := make([]int32, n)
-			BFSFrozen(next, int(dm.sources[i]), nd, sc.queue)
-			results[i] = repair{nd: nd}
-			return
-		}
-		dist := growDist(old, n)
-		dm.dist[i] = dist
-		changes, ok := RelaxDelta(next, des, dist, sc, budget)
-		if !ok {
-			for _, c := range changes {
-				dist[c.Node] = c.Old
+	}
+	if cap(dm.repairs) < len(dm.sources) {
+		dm.repairs = make([]distRepair, len(dm.sources))
+	}
+	results := dm.repairs[:len(dm.sources)]
+	for i := range results {
+		results[i] = distRepair{}
+	}
+	dm.rfDes, dm.rfBudget = d.Edges(), budget
+	if dm.rfBody == nil {
+		dm.rfBody = func(worker, i int) {
+			next, n := dm.s, dm.s.N()
+			sc := dm.scratch[worker]
+			if sc == nil {
+				sc = NewDistScratch(n)
+				dm.scratch[worker] = sc
 			}
-			nd := make([]int32, n)
-			BFSFrozen(next, int(dm.sources[i]), nd, sc.queue)
-			results[i] = repair{old: dist, nd: nd}
-			return
+			sc.ensure(n)
+			old := dm.dist[i]
+			if old == nil { // new source: cold build, nothing to retract
+				nd := make([]int32, n)
+				BFSHybrid(next, int(dm.sources[i]), nd, sc.BFS())
+				dm.repairs[i] = distRepair{nd: nd}
+				return
+			}
+			dist := growDist(old, n)
+			dm.dist[i] = dist
+			changes, ok := RelaxDelta(next, dm.rfDes, dist, sc, dm.rfBudget)
+			if !ok {
+				for _, c := range changes {
+					dist[c.Node] = c.Old
+				}
+				nd := make([]int32, n)
+				BFSHybrid(next, int(dm.sources[i]), nd, sc.BFS())
+				dm.repairs[i] = distRepair{old: dist, nd: nd}
+				return
+			}
+			dm.repairs[i] = distRepair{changes: changes}
 		}
-		results[i] = repair{changes: changes}
-	})
+	}
+	par.ForEach(len(dm.sources), w, dm.rfBody)
 	// Sequential merge in source order: integer aggregate patches, so
 	// the outcome is order-free anyway — the fixed order documents the
 	// determinism contract rather than carrying it.

@@ -80,9 +80,9 @@ func ClosenessFrozen(s *graph.Snapshot) []float64 {
 	n := s.N()
 	out := make([]float64, n)
 	dist := make([]int32, n)
-	queue := make([]int32, n)
+	sc := NewBFSScratch(n)
 	for u := 0; u < n; u++ {
-		BFSFrozen(s, u, dist, queue)
+		BFSHybrid(s, u, dist, sc)
 		out[u] = ClosenessOfDist(dist, n)
 	}
 	return out
@@ -96,9 +96,9 @@ func HarmonicClosenessFrozen(s *graph.Snapshot) []float64 {
 		return out
 	}
 	dist := make([]int32, n)
-	queue := make([]int32, n)
+	sc := NewBFSScratch(n)
 	for u := 0; u < n; u++ {
-		BFSFrozen(s, u, dist, queue)
+		BFSHybrid(s, u, dist, sc)
 		out[u] = HarmonicOfDist(dist, n)
 	}
 	return out
@@ -310,10 +310,10 @@ func PathLengthsFrozen(s *graph.Snapshot, r *rng.Rand, sources int) (PathStats, 
 		return PathStats{}, err
 	}
 	dist := make([]int32, n)
-	queue := make([]int32, n)
+	sc := NewBFSScratch(n)
 	var h PathHistogram
 	for _, src := range srcs {
-		BFSFrozen(s, src, dist, queue)
+		BFSHybrid(s, src, dist, sc)
 		h.AccumulateDistances(src, dist)
 	}
 	return h.ToStats(len(srcs)), nil
@@ -323,8 +323,7 @@ func PathLengthsFrozen(s *graph.Snapshot, r *rng.Rand, sources int) (PathStats, 
 func EccentricityFrozen(s *graph.Snapshot, u int) int {
 	n := s.N()
 	dist := make([]int32, n)
-	queue := make([]int32, n)
-	BFSFrozen(s, u, dist, queue)
+	BFSHybrid(s, u, dist, NewBFSScratch(n))
 	max := int32(0)
 	for _, d := range dist {
 		if d > max {

@@ -85,12 +85,18 @@ func ForEach(n, workers int, fn func(worker, i int)) {
 		}
 		return
 	}
+	// The goroutines stride by a local that is never reassigned: capturing
+	// the mutated workers parameter would capture it by reference, forcing
+	// a heap allocation at function entry — on every call, including the
+	// single-worker inline path above that per-epoch hot loops rely on
+	// being allocation-free.
+	stride := workers
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < n; i += workers {
+			for i := w; i < n; i += stride {
 				fn(w, i)
 			}
 		}(w)

@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"netmodel/internal/graph"
+	"netmodel/internal/metrics"
 	"netmodel/internal/rng"
 )
 
@@ -490,6 +491,9 @@ type failState struct {
 	fctPreSum, fctPostSum     float64
 	fctPreN, fctPostN         int
 	compMark                  []bool
+	compID                    []int32
+	compSizes                 []int32
+	compBFS                   *metrics.BFSScratch
 }
 
 // newFailState compiles the workload's failure spec and builds the
@@ -575,23 +579,36 @@ func (fs *failState) rebuildCurToBase() {
 
 // recomputeComponents refreshes the disconnected-OD fraction and the
 // giant-component capacity fraction from the current mirror snapshot.
+// The scan runs on the pooled hybrid component kernel: labels and sizes
+// instead of materialized node lists, so the per-failure-epoch refresh
+// allocates nothing once the buffers are warm. ComponentsHybrid assigns
+// the first maximal-size id to exactly the component Components() ranks
+// first, so the giant choice matches the old list-based code.
 func (fs *failState) recomputeComponents() {
-	comps := fs.cur.Components()
 	n := fs.cur.N()
+	if fs.compBFS == nil {
+		fs.compBFS = metrics.NewBFSScratch(n)
+	}
+	if len(fs.compID) < n {
+		fs.compID = append(fs.compID, make([]int32, n-len(fs.compID))...)
+	}
+	fs.compSizes = metrics.ComponentsHybrid(fs.cur, fs.compBFS, fs.compID[:n], fs.compSizes[:0])
 	var pairs float64
-	var giant []int
-	for _, c := range comps {
-		pairs += float64(len(c)) * float64(len(c)-1)
-		if len(c) > len(giant) {
-			giant = c
+	giant := int32(0)
+	for id, sz := range fs.compSizes {
+		pairs += float64(sz) * float64(sz-1)
+		if sz > fs.compSizes[giant] {
+			giant = int32(id)
 		}
 	}
 	fs.curDisc = 1 - pairs/(float64(n)*float64(n-1))
 	for i := range fs.compMark {
 		fs.compMark[i] = false
 	}
-	for _, u := range giant {
-		fs.compMark[u] = true
+	for v, id := range fs.compID[:n] {
+		if id == giant {
+			fs.compMark[v] = true
+		}
 	}
 	var giantCap float64
 	for i, e := range fs.curEdges {

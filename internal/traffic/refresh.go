@@ -98,7 +98,7 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 	oldN, n := rt.s.N(), next.N()
 
 	// Structural insertions and removals, in delta (U,V) order.
-	var ins, rem []graph.DeltaEdge
+	ins, rem := rt.rfIns[:0], rt.rfRem[:0]
 	for _, e := range d.Edges() {
 		switch {
 		case e.OldW == 0 && e.NewW != 0:
@@ -107,13 +107,18 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 			rem = append(rem, e)
 		}
 	}
+	rt.rfIns, rt.rfRem = ins, rem
 
 	// Edge ids follow (u,v)-sorted order, so a refresh shifts old id i
 	// up by the number of inserted edges sorting before it and down by
 	// the number of removed edges before it; removed ids map to -1. One
 	// merged walk of the old edge list against the sorted delta.
-	prevEdges := rt.s.EdgeList()
-	oldToNew := make([]int32, len(prevEdges))
+	prevEdges := rt.s.AppendEdges(rt.rfEdges[:0])
+	rt.rfEdges = prevEdges
+	if cap(rt.rfOldToNew) < len(prevEdges) {
+		rt.rfOldToNew = make([]int32, len(prevEdges))
+	}
+	oldToNew := rt.rfOldToNew[:len(prevEdges)]
 	insAt, remAt := 0, 0
 	for i, e := range prevEdges {
 		for insAt < len(ins) && (int(ins[insAt].U) < e.U ||
@@ -128,41 +133,66 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 		oldToNew[i] = int32(i - remAt + insAt)
 	}
 
-	arcEdge := next.ArcEdgeIDs()
-	budget := n + 2*next.M() + 4096
-	srcs := append([]int(nil), rt.fifo...)
-	changed := make([]bool, len(srcs))
+	// The refreshed arc→edge map cycles through rt's own buffer rather
+	// than populating each epoch's snapshot cache; rt.arcEdge below
+	// aliases it, which is safe because the previous map is never read
+	// once a refresh begins.
+	arcEdge := next.FillArcEdgeIDs(rt.rfArcEdge)
+	rt.rfArcEdge = arcEdge
+	srcs := append(rt.rfSrcs[:0], rt.fifo...)
+	rt.rfSrcs = srcs
+	if cap(rt.rfChanged) < len(srcs) {
+		rt.rfChanged = make([]bool, len(srcs))
+	}
+	changed := rt.rfChanged[:len(srcs)]
+	for i := range changed {
+		changed[i] = false
+	}
 	w := par.Workers(workers)
-	scratch := make([]*treeScratch, w)
-	par.ForEach(len(srcs), w, func(worker, i int) {
-		sc := scratch[worker]
-		if sc == nil {
-			sc = newTreeScratch(n)
-			scratch[worker] = sc
-		}
-		sc.ensure(n)
-		t := rt.trees[srcs[i]]
-		sc.orph = sc.orph[:0]
-		for _, e := range rem {
-			if t.parent[e.U] == e.V {
-				sc.orph = append(sc.orph, e.U)
-			} else if t.parent[e.V] == e.U {
-				sc.orph = append(sc.orph, e.V)
+	for len(rt.rfScratch) < w {
+		rt.rfScratch = append(rt.rfScratch, nil)
+	}
+	rt.rfNext, rt.rfBudget, rt.rfOldN = next, n+2*next.M()+4096, oldN
+	if rt.rfBody == nil {
+		// Created once per Routing and reused forever: the body reads
+		// every per-call parameter from rt's refresh fields, so the
+		// steady-state repair does not even pay a closure literal.
+		rt.rfBody = func(worker, i int) {
+			next, arcEdge := rt.rfNext, rt.rfArcEdge
+			ins, rem := rt.rfIns, rt.rfRem
+			srcs, changed := rt.rfSrcs, rt.rfChanged
+			n := next.N()
+			sc := rt.rfScratch[worker]
+			if sc == nil {
+				sc = newTreeScratch(n)
+				rt.rfScratch[worker] = sc
 			}
-		}
-		for _, v := range sc.orph {
-			if p, _ := selectParent(next, arcEdge, t.dist, int(v)); p < 0 {
-				// An orphan lost its last shortest-path predecessor: its
-				// subtree's distances can grow, which the shrink-only
-				// repair cannot express.
-				*t = *buildTree(next, arcEdge, srcs[i])
-				changed[i] = true
-				return
+			sc.ensure(n)
+			sc.ds.Reset() // repairTree consumes each repair's changes in place
+			t := rt.trees[srcs[i]]
+			sc.orph = sc.orph[:0]
+			for _, e := range rem {
+				if t.parent[e.U] == e.V {
+					sc.orph = append(sc.orph, e.U)
+				} else if t.parent[e.V] == e.U {
+					sc.orph = append(sc.orph, e.V)
+				}
 			}
+			for _, v := range sc.orph {
+				if p, _ := selectParent(next, arcEdge, t.dist, int(v)); p < 0 {
+					// An orphan lost its last shortest-path predecessor: its
+					// subtree's distances can grow, which the shrink-only
+					// repair cannot express.
+					buildTreeInto(t, next, arcEdge, srcs[i], sc.ds.BFS())
+					changed[i] = true
+					return
+				}
+			}
+			changed[i] = repairTree(next, arcEdge, t, srcs[i], ins, rt.rfOldToNew,
+				rt.rfOldN, sc, rt.rfBudget) || len(sc.orph) > 0
 		}
-		changed[i] = repairTree(next, arcEdge, t, srcs[i], ins, oldToNew, oldN, sc, budget) ||
-			len(sc.orph) > 0
-	})
+	}
+	par.ForEach(len(srcs), w, rt.rfBody)
 
 	max := routingTreeBudget / (12 * (n + 1))
 	if max < 16 {
@@ -178,15 +208,18 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 	// from the repaired tree, modulo the edge-id renumbering applied
 	// here. Entries of changed or evicted trees are dropped; a cold
 	// rebuild would re-resolve them anyway.
-	changedSrc := make(map[int]bool, len(srcs))
+	if len(rt.changedStamp) < n {
+		rt.changedStamp = append(rt.changedStamp, make([]int32, n-len(rt.changedStamp))...)
+	}
+	rt.changedRound++
 	for i, src := range srcs {
 		if changed[i] {
-			changedSrc[src] = true
+			rt.changedStamp[src] = rt.changedRound
 		}
 	}
 	for key, p := range rt.paths {
 		src := int(key >> 32)
-		if _, ok := rt.trees[src]; !ok || changedSrc[src] {
+		if _, ok := rt.trees[src]; !ok || rt.changedStamp[src] == rt.changedRound {
 			delete(rt.paths, key)
 			continue
 		}
@@ -240,7 +273,7 @@ func repairTree(next *graph.Snapshot, arcEdge []int32, t *rtree, src int, ins []
 	}
 	changes, ok := metrics.RelaxInserted(next, ins, t.dist, sc.ds, budget)
 	if !ok {
-		*t = *buildTree(next, arcEdge, src)
+		buildTreeInto(t, next, arcEdge, src, sc.ds.BFS())
 		return true
 	}
 	sc.round++

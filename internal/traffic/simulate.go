@@ -33,6 +33,36 @@ type Routing struct {
 	// origins inside one run — skip the BFS entirely even after the
 	// tree cache evicted the origin's tree.
 	paths map[int64][]int32
+
+	// Admission scratch, persisted so a steady-state epoch whose OD
+	// pairs are all memoized admits without allocating (admitPending).
+	admPaths   [][]int32
+	admUnreach []bool
+	admMiss    []int
+	admBatch   []int
+
+	// Refresh scratch, persisted so a steady-state tree repair at fixed
+	// n allocates nothing (Routing.Refresh). rfBody is the repair
+	// closure, created once and re-reading its per-call parameters
+	// (rfNext, rfBudget, rfOldN and the slices below) from these fields
+	// — a closure literal per Refresh would be the last allocation on
+	// an otherwise alloc-free repair.
+	rfIns, rfRem []graph.DeltaEdge
+	rfOldToNew   []int32
+	rfSrcs       []int
+	rfChanged    []bool
+	rfScratch    []*treeScratch
+	rfEdges      []graph.Edge
+	rfArcEdge    []int32
+	rfNext       *graph.Snapshot
+	rfBudget     int
+	rfOldN       int
+	rfBody       func(worker, i int)
+	// changedStamp[src] == changedRound marks sources whose tree
+	// changed this Refresh — the memo-invalidation set, a stamped array
+	// instead of a per-call map.
+	changedStamp []int32
+	changedRound int32
 }
 
 // routingPathBudget caps the memoized paths (entries, not bytes; a
@@ -112,17 +142,40 @@ func selectParent(s *graph.Snapshot, arcEdge []int32, dist []int32, v int) (pare
 	return -1, -1
 }
 
-// buildTree runs one BFS from src for the distances, then selects every
-// node's canonical parent. The tree — and every path read from it — is
-// deterministic and depends only on (snapshot, source).
-func buildTree(s *graph.Snapshot, arcEdge []int32, src int) *rtree {
+// buildTreeInto fills t with src's canonical tree over s — one hybrid
+// BFS for the distances, then every node's canonical parent — growing
+// t's arrays to the snapshot size. The tree — and every path read from
+// it — is deterministic and depends only on (snapshot, source):
+// selectParent is a pure function of the distance field, and the hybrid
+// kernel's distances are bit-identical to the classic BFS, so pooled
+// rebuilds, parallel cold builds and incremental repairs all produce
+// the same tree entry for entry. At fixed n a rebuild through a warm t
+// and scratch allocates nothing.
+func buildTreeInto(t *rtree, s *graph.Snapshot, arcEdge []int32, src int, sc *metrics.BFSScratch) {
 	n := s.N()
-	t := &rtree{dist: make([]int32, n), parent: make([]int32, n), edge: make([]int32, n)}
-	queue := make([]int32, n)
-	metrics.BFSFrozen(s, src, t.dist, queue)
+	t.dist = growRow(t.dist, n)
+	t.parent = growRow(t.parent, n)
+	t.edge = growRow(t.edge, n)
+	metrics.BFSHybrid(s, src, t.dist, sc)
 	for v := 0; v < n; v++ {
 		t.parent[v], t.edge[v] = selectParent(s, arcEdge, t.dist, v)
 	}
+}
+
+// growRow resizes a tree row to exactly n entries, reusing its backing
+// array when it is large enough (contents are overwritten by the
+// caller).
+func growRow(row []int32, n int) []int32 {
+	if cap(row) < n {
+		return make([]int32, n)
+	}
+	return row[:n]
+}
+
+// buildTree is the cold-allocation form of buildTreeInto.
+func buildTree(s *graph.Snapshot, arcEdge []int32, src int) *rtree {
+	t := &rtree{}
+	buildTreeInto(t, s, arcEdge, src, metrics.NewBFSScratch(s.N()))
 	return t
 }
 
@@ -145,8 +198,15 @@ func (rt *Routing) Ensure(sources []int, workers int) {
 		}
 	}
 	built := make([]*rtree, len(missing))
-	par.ForEach(len(missing), par.Workers(workers), func(_, i int) {
-		built[i] = buildTree(rt.s, rt.arcEdge, missing[i])
+	w := par.Workers(workers)
+	scratch := make([]*metrics.BFSScratch, w)
+	par.ForEach(len(missing), w, func(worker, i int) {
+		if scratch[worker] == nil {
+			scratch[worker] = metrics.NewBFSScratch(rt.s.N())
+		}
+		t := &rtree{}
+		buildTreeInto(t, rt.s, rt.arcEdge, missing[i], scratch[worker])
+		built[i] = t
 	})
 	// Move the batch to the young end of the FIFO, then evict the
 	// oldest entries beyond the budget (never a batch member: the
@@ -316,6 +376,7 @@ type simConfig struct {
 	linkCaps []float64
 	trace    bool
 	rt       *Routing
+	scratch  *SimScratch
 }
 
 // SimOption is a functional option of Simulate and SimulateWith.
@@ -432,6 +493,21 @@ func SimulateWith(eng *engine.Engine, masses []float64, spec WorkloadSpec, r *rn
 }
 
 func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpec, r *rng.Rand, workers int, opts ...SimOption) (*SimReport, error) {
+	ctx, err := newSimContext(s, rt, masses, spec, r, workers, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if ctx.spec.Engine == EngineEvent {
+		return simulateEvent(ctx)
+	}
+	return simulateEpoch(ctx)
+}
+
+// newSimContext validates the workload and assembles the
+// engine-independent simulation state both engines run from — split
+// from simulate so benchmarks can stage a context (and the event
+// engine's pre-drawn calendar) outside a measured region.
+func newSimContext(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpec, r *rng.Rand, workers int, opts ...SimOption) (*simContext, error) {
 	n := s.N()
 	if n < 2 {
 		return nil, errors.New("traffic: workload needs at least two nodes")
@@ -533,10 +609,7 @@ func simulate(s *graph.Snapshot, rt *Routing, masses []float64, spec WorkloadSpe
 		}
 		ctx.fail = fail
 	}
-	if spec.Engine == EngineEvent {
-		return simulateEvent(ctx)
-	}
-	return simulateEpoch(ctx)
+	return ctx, nil
 }
 
 // drawArrivals advances origin i's source by one epoch and appends its
@@ -567,11 +640,22 @@ func (ctx *simContext) drawArrivals(i int, dt float64, pend []pending) []pending
 // cache holds. Reachable flows go to admit in pend order; unreachable
 // ones are counted.
 func admitPending(rt *Routing, workers int, pend []pending, admit func(p pending, path []int32)) (undelivered int) {
-	paths := make([][]int32, len(pend))
-	unreach := make([]bool, len(pend))
+	// The index-parallel buffers persist on the routing state: an epoch
+	// whose OD pairs are all memoized — the steady state of a long run —
+	// admits its arrivals without a single allocation.
+	if cap(rt.admPaths) < len(pend) {
+		rt.admPaths = make([][]int32, len(pend))
+		rt.admUnreach = make([]bool, len(pend))
+	}
+	paths := rt.admPaths[:len(pend)]
+	unreach := rt.admUnreach[:len(pend)]
+	for i := range paths {
+		paths[i] = nil
+		unreach[i] = false
+	}
 	// miss holds the pend indexes whose OD pair is not memoized; pend
 	// is grouped by origin, so miss inherits the grouping.
-	var miss []int
+	miss := rt.admMiss[:0]
 	for i, p := range pend {
 		path, ok, unreachable := rt.cachedPath(p.src, p.dst)
 		switch {
@@ -583,8 +667,9 @@ func admitPending(rt *Routing, workers int, pend []pending, admit func(p pending
 			paths[i] = path
 		}
 	}
+	rt.admMiss = miss
 	for k := 0; k < len(miss); {
-		var batch []int
+		batch := rt.admBatch[:0]
 		j := k
 		for j < len(miss) {
 			src := pend[miss[j]].src
@@ -596,6 +681,7 @@ func admitPending(rt *Routing, workers int, pend []pending, admit func(p pending
 			}
 			j++
 		}
+		rt.admBatch = batch
 		rt.Ensure(batch, workers)
 		for ; k < j; k++ {
 			i := miss[k]
@@ -642,12 +728,20 @@ func utilOf(load, capacity float64) float64 {
 // event engine is validated against.
 func simulateEpoch(ctx *simContext) (*SimReport, error) {
 	spec, edges, capEdge := ctx.spec, ctx.edges, ctx.capEdge
-	rep := &SimReport{Spec: spec}
+	rep := &SimReport{Spec: spec, Epochs: make([]EpochStats, 0, spec.Epochs)}
 	dt := spec.EpochLen
+	scratch := ctx.cfg.scratch
+	if scratch == nil {
+		scratch = &SimScratch{} // private to this run
+	}
+	if scratch.wf == nil {
+		scratch.wf = newWFState(len(edges))
+	} else {
+		scratch.wf.ensure(len(edges))
+	}
 	var (
-		active     []*simFlow
-		nflows     = make([]int32, len(edges))
-		capRem     = make([]float64, len(edges))
+		active     = scratch.active[:0]
+		wf         = scratch.wf
 		avgLoad    = make([]float64, len(edges))
 		ccdfCounts = make([]int, len(utilCCDFThresholds))
 		fctSum     float64
@@ -655,9 +749,45 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 		activeSum  int
 		overloaded int
 		flowID     int32
+		pend       = scratch.pend[:0]
+		// freeFlows recycles departed simFlow entries; in steady state
+		// admissions draw from it instead of the heap. A shared scratch
+		// carries the pool across runs, so the population only grows
+		// when concurrency exceeds its all-time peak.
+		freeFlows = scratch.freeFlows
+		now       float64
+		admitted  int
 	)
+	newFlow := func() *simFlow {
+		if k := len(freeFlows); k > 0 {
+			f := freeFlows[k-1]
+			freeFlows = freeFlows[:k-1]
+			return f
+		}
+		return &simFlow{}
+	}
+	// One closure for every epoch's admissions: creating it per epoch
+	// would put one allocation in the steady state's marginal cost.
+	admitFlow := func(p pending, path []int32) {
+		if ctx.fail != nil {
+			path = ctx.fail.toBase(path)
+		}
+		admitted++
+		f := newFlow()
+		*f = simFlow{
+			src: int32(p.src), dst: int32(p.dst), id: flowID,
+			remaining: p.size, arrived: now, rate: -1, path: path,
+		}
+		active = append(active, f)
+		if ctx.cfg.trace {
+			rep.Flows = append(rep.Flows, FlowRecord{
+				Src: p.src, Dst: p.dst, Size: p.size, Arrived: now,
+			})
+		}
+		flowID++
+	}
 	for epoch := 0; epoch < spec.Epochs; epoch++ {
-		now := float64(epoch) * dt
+		now = float64(epoch) * dt
 
 		// Failure phase: apply this epoch's outage ops, then walk the
 		// active flows in admission order — a flow whose path lost a link
@@ -692,6 +822,7 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 					if ctx.cfg.trace {
 						rep.Flows[f.id].Killed = true
 					}
+					freeFlows = append(freeFlows, f)
 				}
 				active = keep
 			}
@@ -703,10 +834,12 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 					rep.Flows[rf.id].Retries++
 				}
 				if path, ok := fail.resolve(int(rf.src), int(rf.dst)); ok {
-					active = append(active, &simFlow{
+					f := newFlow()
+					*f = simFlow{
 						src: rf.src, dst: rf.dst, id: rf.id, retries: rf.retries,
 						remaining: rf.remaining, arrived: rf.arrived, rate: -1, path: path,
-					})
+					}
+					active = append(active, f)
 					if ctx.cfg.trace {
 						rep.Flows[rf.id].Killed = false
 					}
@@ -717,92 +850,26 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 		}
 
 		// Arrivals, in ascending origin order.
-		var pend []pending
+		pend = pend[:0]
 		for i := range ctx.srcNodes {
 			pend = ctx.drawArrivals(i, dt, pend)
 		}
 
-		admitted := 0
-		rep.Undelivered += admitPending(ctx.routing(), ctx.workers, pend, func(p pending, path []int32) {
-			if ctx.fail != nil {
-				path = ctx.fail.toBase(path)
-			}
-			admitted++
-			active = append(active, &simFlow{
-				src: int32(p.src), dst: int32(p.dst), id: flowID,
-				remaining: p.size, arrived: now, rate: -1, path: path,
-			})
-			if ctx.cfg.trace {
-				rep.Flows = append(rep.Flows, FlowRecord{
-					Src: p.src, Dst: p.dst, Size: p.size, Arrived: now,
-				})
-			}
-			flowID++
-		})
+		admitted = 0
+		rep.Undelivered += admitPending(ctx.routing(), ctx.workers, pend, admitFlow)
 		rep.Arrived += admitted
 
-		// Max-min fair rates: repeatedly find the bottleneck link
-		// (smallest equal share among links still carrying unallocated
-		// flows), fix its flows at that share, and release their claim on
-		// the rest of their paths. Sequential, fixed iteration order.
-		var links []int32 // links carrying active flows, first-use order
-		linkFlows := make(map[int32][]int32)
-		for fi, f := range active {
-			f.rate = -1
-			for _, e := range f.path {
-				if nflows[e] == 0 {
-					links = append(links, e)
-					capRem[e] = capEdge[e]
-				}
-				nflows[e]++
-				linkFlows[e] = append(linkFlows[e], int32(fi))
-			}
-		}
-		for unfixed := len(active); unfixed > 0; {
-			best := int32(-1)
-			var bestShare float64
-			for _, e := range links {
-				if nflows[e] == 0 {
-					continue
-				}
-				share := capRem[e] / float64(nflows[e])
-				if best < 0 || share < bestShare {
-					best, bestShare = e, share
-				}
-			}
-			if best < 0 {
-				break // unreachable: every flow crosses at least one link
-			}
-			if bestShare < 0 {
-				bestShare = 0 // floating-point slack
-			}
-			for _, fi := range linkFlows[best] {
-				f := active[fi]
-				if f.rate >= 0 {
-					continue
-				}
-				f.rate = bestShare
-				unfixed--
-				for _, e := range f.path {
-					capRem[e] -= bestShare
-					nflows[e]--
-				}
-			}
-			// The bottleneck's flows all just fixed at capRem/n, so its
-			// remaining capacity is exactly zero; snapping away the
-			// subtraction chain's ulp residue makes a saturated
-			// bottleneck read utilization 1.0 exactly — in both engines,
-			// which keeps the CCDF's knife-edge ≥1 bin agreeing.
-			capRem[best] = 0
-		}
+		// Max-min fair rates, solved by the pooled water-filler
+		// (waterfill.go). Sequential, fixed iteration order.
+		wf.fill(active, capEdge)
 
 		// Link observations under the epoch's rates.
 		var epochUtilSum, epochMaxUtil float64
 		epochOverloaded := 0
-		for _, e := range links {
+		for _, e := range wf.links {
 			// Max-min rates never exceed capacity; the subtraction chain
 			// can stray by an ulp in either direction, so clamp to [0, cap].
-			load := capEdge[e] - capRem[e]
+			load := capEdge[e] - wf.capRem[e]
 			if load < 0 {
 				load = 0
 			}
@@ -823,7 +890,7 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 				}
 			}
 			avgLoad[e] += load * dt
-			nflows[e] = 0 // reset for the next epoch
+			wf.nflows[e] = 0 // reset for the next epoch
 		}
 		utilSum += epochUtilSum
 		overloaded += epochOverloaded
@@ -849,6 +916,7 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 					rep.Flows[f.id].Done = true
 					rep.Flows[f.id].Finished = finish
 				}
+				freeFlows = append(freeFlows, f)
 				continue
 			}
 			f.remaining -= send
@@ -880,6 +948,11 @@ func simulateEpoch(ctx *simContext) (*SimReport, error) {
 	for _, f := range active {
 		rep.ResidualSize += f.remaining
 	}
+	// Park the buffers for the next run sharing this scratch; residual
+	// actives rejoin the freelist so the flow population stays a closed
+	// pool at its all-time peak.
+	freeFlows = append(freeFlows, active...)
+	scratch.active, scratch.pend, scratch.freeFlows = active[:0], pend[:0], freeFlows
 	finishReport(rep, ctx, fctSum, utilSum, activeSum, overloaded, ccdfCounts, avgLoad)
 	return rep, nil
 }
@@ -910,8 +983,13 @@ func finishReport(rep *SimReport, ctx *simContext, fctSum, utilSum float64, acti
 		rep.UtilCCDF[ti] = UtilBin{Util: thr, Frac: frac}
 	}
 
-	// Time-averaged link loads as a LoadReport, in edge-id order.
-	load := &LoadReport{}
+	// Time-averaged link loads as a LoadReport, in edge-id order. The
+	// row slice is sized by the topology, not grown to the carried-link
+	// count: every link can carry load, and the deterministic size
+	// keeps a steady-state run's report cost identical whatever the
+	// horizon — the allocation benchmarks difference two horizons and
+	// rely on the cancellation.
+	load := &LoadReport{Links: make([]LinkLoad, 0, len(edges))}
 	horizon := float64(spec.Epochs) * spec.EpochLen
 	var loadSum float64
 	for id, l := range avgLoad {

@@ -1,0 +1,101 @@
+package traffic
+
+// This file is the epoch engine's max-min water-filling allocator,
+// extracted behind a pooled scratch so a steady-state epoch allocates
+// nothing: per-link flow lists are index-truncated slabs instead of a
+// per-epoch map, and the link/capacity arrays persist across epochs.
+// The arithmetic — bottleneck selection by strict < over links in
+// first-use order, flows fixed in per-link admission order, the
+// exhausted bottleneck's residue snapped to exactly zero — is the
+// epoch engine's original, bit for bit; the event engine's lazy-heap
+// solver is validated against it. The ROADMAP's pluggable
+// SharingPolicy layer will slot alternative allocators beside this
+// one, which is why it lives behind its own seam.
+
+// wfState is the pooled state of the water-filling allocator.
+type wfState struct {
+	nflows []int32   // flows still unallocated across the link
+	capRem []float64 // capacity not yet claimed by fixed flows
+	links  []int32   // links carrying active flows, first-use order
+	lflows [][]int32 // per-link flow indexes, admission order
+}
+
+func newWFState(nlinks int) *wfState {
+	return &wfState{
+		nflows: make([]int32, nlinks),
+		capRem: make([]float64, nlinks),
+		lflows: make([][]int32, nlinks),
+	}
+}
+
+// ensure grows the per-link arrays to cover nlinks, for a state pooled
+// across runs on different snapshots. fill's invariant — nflows
+// all-zero between calls, every other entry initialized at first use —
+// holds across runs, so growth is the only work.
+func (wf *wfState) ensure(nlinks int) {
+	if n := len(wf.nflows); n < nlinks {
+		wf.nflows = append(wf.nflows, make([]int32, nlinks-n)...)
+		wf.capRem = append(wf.capRem, make([]float64, nlinks-n)...)
+		wf.lflows = append(wf.lflows, make([][]int32, nlinks-n)...)
+	}
+}
+
+// fill computes the epoch's max-min fair rates over the active flows:
+// repeatedly find the bottleneck link (smallest equal share among
+// links still carrying unallocated flows), fix its flows at that
+// share, and release their claim on the rest of their paths.
+// Afterwards wf.links lists the carrying links for the observation
+// pass, with wf.capRem holding their unclaimed capacity; the caller
+// zeroes wf.nflows as it consumes them.
+func (wf *wfState) fill(active []*simFlow, capEdge []float64) {
+	wf.links = wf.links[:0]
+	for fi, f := range active {
+		f.rate = -1
+		for _, e := range f.path {
+			if wf.nflows[e] == 0 {
+				wf.links = append(wf.links, e)
+				wf.capRem[e] = capEdge[e]
+				wf.lflows[e] = wf.lflows[e][:0]
+			}
+			wf.nflows[e]++
+			wf.lflows[e] = append(wf.lflows[e], int32(fi))
+		}
+	}
+	for unfixed := len(active); unfixed > 0; {
+		best := int32(-1)
+		var bestShare float64
+		for _, e := range wf.links {
+			if wf.nflows[e] == 0 {
+				continue
+			}
+			share := wf.capRem[e] / float64(wf.nflows[e])
+			if best < 0 || share < bestShare {
+				best, bestShare = e, share
+			}
+		}
+		if best < 0 {
+			break // unreachable: every flow crosses at least one link
+		}
+		if bestShare < 0 {
+			bestShare = 0 // floating-point slack
+		}
+		for _, fi := range wf.lflows[best] {
+			f := active[fi]
+			if f.rate >= 0 {
+				continue
+			}
+			f.rate = bestShare
+			unfixed--
+			for _, e := range f.path {
+				wf.capRem[e] -= bestShare
+				wf.nflows[e]--
+			}
+		}
+		// The bottleneck's flows all just fixed at capRem/n, so its
+		// remaining capacity is exactly zero; snapping away the
+		// subtraction chain's ulp residue makes a saturated bottleneck
+		// read utilization 1.0 exactly — in both engines, which keeps
+		// the CCDF's knife-edge ≥1 bin agreeing.
+		wf.capRem[best] = 0
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"netmodel/internal/benchutil"
 	"netmodel/internal/graphio"
 	"netmodel/internal/sweep"
 )
@@ -87,37 +88,50 @@ func TestSweepBenchJSON(t *testing.T) {
 		}
 		return buf.Bytes()
 	}
-	start := time.Now()
-	seq := runSweepBench(t, g, 1)
-	seqTime := time.Since(start)
-	start = time.Now()
-	par := runSweepBench(t, g, workers)
-	parTime := time.Since(start)
+	// Each timed run doubles as an allocation window; the settling GC
+	// runs before the timer starts, so ns_per_op stays clean and the op
+	// of allocs_per_op is the same whole-grid run.
+	var seq, par *sweep.Summary
+	var seqTime, parTime time.Duration
+	seqAllocs, seqBytes := benchutil.MeasureAllocs(func() {
+		start := time.Now()
+		seq = runSweepBench(t, g, 1)
+		seqTime = time.Since(start)
+	})
+	parAllocs, parBytes := benchutil.MeasureAllocs(func() {
+		start := time.Now()
+		par = runSweepBench(t, g, workers)
+		parTime = time.Since(start)
+	})
 	if !bytes.Equal(encode(seq), encode(par)) {
 		t.Fatalf("workers=%d summary diverged from sequential", workers)
 	}
 	speedup := float64(seqTime) / float64(parTime)
 
 	type row struct {
-		Name    string  `json:"name"`
-		Models  string  `json:"models"`
-		N       int     `json:"n"`
-		Seeds   int     `json:"seeds"`
-		Cells   int     `json:"cells"`
-		Workers int     `json:"workers"`
-		Cores   int     `json:"cores"`
-		NumCPU  int     `json:"num_cpu"`
-		NsPerOp int64   `json:"ns_per_op"`
-		Speedup float64 `json:"speedup,omitempty"`
+		Name        string  `json:"name"`
+		Models      string  `json:"models"`
+		N           int     `json:"n"`
+		Seeds       int     `json:"seeds"`
+		Cells       int     `json:"cells"`
+		Workers     int     `json:"workers"`
+		Cores       int     `json:"cores"`
+		NumCPU      int     `json:"num_cpu"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		Speedup     float64 `json:"speedup,omitempty"`
 	}
 	models := fmt.Sprintf("%v", g.Models)
 	rows := []row{
 		{Name: "sweep-sequential-cells", Models: models, N: *sweepBenchN, Seeds: *sweepBenchSeeds,
 			Cells: len(seq.Cells), Workers: 1, Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
-			NsPerOp: seqTime.Nanoseconds()},
+			NsPerOp:     seqTime.Nanoseconds(),
+			AllocsPerOp: float64(seqAllocs), BytesPerOp: float64(seqBytes)},
 		{Name: "sweep-parallel-cells", Models: models, N: *sweepBenchN, Seeds: *sweepBenchSeeds,
 			Cells: len(par.Cells), Workers: workers, Cores: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(),
-			NsPerOp: parTime.Nanoseconds(), Speedup: speedup},
+			NsPerOp:     parTime.Nanoseconds(),
+			AllocsPerOp: float64(parAllocs), BytesPerOp: float64(parBytes), Speedup: speedup},
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {

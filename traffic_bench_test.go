@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"netmodel/internal/benchutil"
 	"netmodel/internal/gen"
 	"netmodel/internal/graph"
 	"netmodel/internal/rng"
@@ -179,17 +180,19 @@ func TestTrafficBenchJSON(t *testing.T) {
 		t.Fatalf("-traffic-bench-engine=%q: want epoch, event or both", *trafficBenchEngine)
 	}
 	type row struct {
-		Name      string  `json:"name"`
-		Engine    string  `json:"engine"`
-		N         int     `json:"n"`
-		Epochs    int     `json:"epochs"`
-		Flows     int     `json:"flows_per_epoch"`
-		Workers   int     `json:"workers"`
-		Cores     int     `json:"cores"`
-		NumCPU    int     `json:"num_cpu"`
-		NsPerOp   int64   `json:"ns_per_op"`
-		Speedup   float64 `json:"speedup,omitempty"`
-		SpeedupVs string  `json:"speedup_vs,omitempty"`
+		Name        string  `json:"name"`
+		Engine      string  `json:"engine"`
+		N           int     `json:"n"`
+		Epochs      int     `json:"epochs"`
+		Flows       int     `json:"flows_per_epoch"`
+		Workers     int     `json:"workers"`
+		Cores       int     `json:"cores"`
+		NumCPU      int     `json:"num_cpu"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		Speedup     float64 `json:"speedup,omitempty"`
+		SpeedupVs   string  `json:"speedup_vs,omitempty"`
 	}
 	cores, ncpu := runtime.GOMAXPROCS(0), runtime.NumCPU()
 	// The 10k smoke row set accompanies the acceptance rows only when
@@ -212,15 +215,27 @@ func TestTrafficBenchJSON(t *testing.T) {
 		// Both engines always run — the agreement check is the point —
 		// but only the engines selected by -traffic-bench-engine are
 		// reported as timing rows.
-		start := time.Now()
-		epochRep, _ := runTrafficSim(t, snap, masses, spec, traffic.EngineEpoch, 1, rt)
-		epochTime := time.Since(start)
-		start = time.Now()
-		eventRep, eventSeq := runTrafficSim(t, snap, masses, spec, traffic.EngineEvent, 1, rt)
-		eventTime := time.Since(start)
-		start = time.Now()
-		_, eventPar := runTrafficSim(t, snap, masses, spec, traffic.EngineEvent, genBenchWorkers, rt)
-		eventParTime := time.Since(start)
+		// Each timed run doubles as an allocation window (the settling GC
+		// runs before the timer starts, so it never pollutes ns_per_op);
+		// the op of allocs_per_op is the same whole run ns_per_op times.
+		var epochRep, eventRep *traffic.SimReport
+		var eventSeq, eventPar []byte
+		var epochTime, eventTime, eventParTime time.Duration
+		epochAllocs, epochBytes := benchutil.MeasureAllocs(func() {
+			start := time.Now()
+			epochRep, _ = runTrafficSim(t, snap, masses, spec, traffic.EngineEpoch, 1, rt)
+			epochTime = time.Since(start)
+		})
+		eventAllocs, eventBytes := benchutil.MeasureAllocs(func() {
+			start := time.Now()
+			eventRep, eventSeq = runTrafficSim(t, snap, masses, spec, traffic.EngineEvent, 1, rt)
+			eventTime = time.Since(start)
+		})
+		eventParAllocs, eventParBytes := benchutil.MeasureAllocs(func() {
+			start := time.Now()
+			_, eventPar = runTrafficSim(t, snap, masses, spec, traffic.EngineEvent, genBenchWorkers, rt)
+			eventParTime = time.Since(start)
+		})
 		if !bytes.Equal(eventSeq, eventPar) {
 			t.Fatalf("n=%d: event engine at workers=%d diverged from workers=1", n, genBenchWorkers)
 		}
@@ -229,17 +244,20 @@ func TestTrafficBenchJSON(t *testing.T) {
 		if timeEpoch {
 			rows = append(rows, row{Name: "traffic-sim-epoch", Engine: traffic.EngineEpoch,
 				N: n, Epochs: *trafficBenchEpochs, Flows: *trafficBenchFlows,
-				Workers: 1, Cores: cores, NumCPU: ncpu, NsPerOp: epochTime.Nanoseconds()})
+				Workers: 1, Cores: cores, NumCPU: ncpu, NsPerOp: epochTime.Nanoseconds(),
+				AllocsPerOp: float64(epochAllocs), BytesPerOp: float64(epochBytes)})
 		}
 		if timeEvent {
 			rows = append(rows,
 				row{Name: "traffic-sim-event", Engine: traffic.EngineEvent,
 					N: n, Epochs: *trafficBenchEpochs, Flows: *trafficBenchFlows,
 					Workers: 1, Cores: cores, NumCPU: ncpu, NsPerOp: eventTime.Nanoseconds(),
+					AllocsPerOp: float64(eventAllocs), BytesPerOp: float64(eventBytes),
 					Speedup: eventVsEpoch, SpeedupVs: "traffic-sim-epoch"},
 				row{Name: "traffic-sim-event-parallel", Engine: traffic.EngineEvent,
 					N: n, Epochs: *trafficBenchEpochs, Flows: *trafficBenchFlows,
 					Workers: genBenchWorkers, Cores: cores, NumCPU: ncpu, NsPerOp: eventParTime.Nanoseconds(),
+					AllocsPerOp: float64(eventParAllocs), BytesPerOp: float64(eventParBytes),
 					Speedup: float64(eventTime) / float64(eventParTime), SpeedupVs: "traffic-sim-event"})
 		}
 		t.Logf("n=%d: epoch %v, event %v (%.2fx), event@%d %v (byte-identical, flows agree)",

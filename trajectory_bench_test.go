@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"netmodel/internal/benchutil"
 	"netmodel/internal/core"
 	"netmodel/internal/engine"
 	"netmodel/internal/gen"
@@ -143,10 +144,10 @@ const routingBenchSources = 24
 // runRoutingBench replays one BA map as a growth trajectory and keeps a
 // set of shortest-path trees warm at every epoch — by Routing.Refresh
 // on a shared state (refresh) or a cold NewRouting + Ensure per epoch
-// (rebuild). Only the routing maintenance is timed; the replay and
-// Refreeze cost is common to both arms and excluded, so the row is a
-// clean attribution of tree repair vs tree rebuild.
-func runRoutingBench(tb testing.TB, n, epochs, workers int, refresh bool) time.Duration {
+// (rebuild). Only the routing maintenance is timed and alloc-counted;
+// the replay and Refreeze cost is common to both arms and excluded, so
+// the row is a clean attribution of tree repair vs tree rebuild.
+func runRoutingBench(tb testing.TB, n, epochs, workers int, refresh bool) (time.Duration, uint64, uint64) {
 	tb.Helper()
 	top, err := gen.BA{N: n, M: 2}.Generate(rng.New(1))
 	if err != nil {
@@ -168,6 +169,7 @@ func runRoutingBench(tb testing.TB, n, epochs, workers int, refresh bool) time.D
 	}
 	var rt *traffic.Routing
 	var spent time.Duration
+	var allocs, bytes uint64
 	for i, e := range edges {
 		for g.N() <= e.V || g.N() <= e.U {
 			g.AddNode()
@@ -186,21 +188,25 @@ func runRoutingBench(tb testing.TB, n, epochs, workers int, refresh bool) time.D
 		if next.N() <= routingBenchSources {
 			continue
 		}
-		start := time.Now()
-		if refresh {
-			if rt == nil {
-				rt = traffic.NewRouting(next)
+		a, b := benchutil.CountAllocs(func() {
+			start := time.Now()
+			if refresh {
+				if rt == nil {
+					rt = traffic.NewRouting(next)
+				} else {
+					rt.Refresh(next, d, workers)
+				}
+				rt.Ensure(sources, workers)
 			} else {
-				rt.Refresh(next, d, workers)
+				cold := traffic.NewRouting(next)
+				cold.Ensure(sources, workers)
 			}
-			rt.Ensure(sources, workers)
-		} else {
-			cold := traffic.NewRouting(next)
-			cold.Ensure(sources, workers)
-		}
-		spent += time.Since(start)
+			spent += time.Since(start)
+		})
+		allocs += a
+		bytes += b
 	}
-	return spent
+	return spent, allocs, bytes
 }
 
 func benchTrajectory(b *testing.B, n, epochs int, refresh bool) {
@@ -259,44 +265,56 @@ func TestTrajectoryBenchJSON(t *testing.T) {
 	n, epochs := *trajBenchN, *trajBenchEpochs
 	workers := genBenchWorkers
 
-	time1 := func(refresh bool) time.Duration {
-		start := time.Now()
-		if got := runTrajectory(t, n, epochs, workers, refresh); got < epochs {
-			t.Fatalf("measured %d epochs, want >= %d", got, epochs)
-		}
-		return time.Since(start)
+	// Each whole-run timing doubles as an allocation window (the
+	// settling GC runs before the timer starts, so ns_per_op is clean).
+	time1 := func(refresh bool) (time.Duration, uint64, uint64) {
+		var spent time.Duration
+		allocs, bytes := benchutil.MeasureAllocs(func() {
+			start := time.Now()
+			if got := runTrajectory(t, n, epochs, workers, refresh); got < epochs {
+				t.Fatalf("measured %d epochs, want >= %d", got, epochs)
+			}
+			spent = time.Since(start)
+		})
+		return spent, allocs, bytes
 	}
-	refreeze := time1(false)
-	refresh := time1(true)
+	refreeze, refreezeAllocs, refreezeBytes := time1(false)
+	refresh, refreshAllocs, refreshBytes := time1(true)
 	speedup := float64(refreeze) / float64(refresh)
 
 	pivots := *trajBenchPivots
-	timePaths := func(refresh bool) time.Duration {
-		start := time.Now()
-		if got := runTrajectoryPaths(t, n, epochs, workers, pivots, refresh); got < epochs {
-			t.Fatalf("measured %d path epochs, want >= %d", got, epochs)
-		}
-		return time.Since(start)
+	timePaths := func(refresh bool) (time.Duration, uint64, uint64) {
+		var spent time.Duration
+		allocs, bytes := benchutil.MeasureAllocs(func() {
+			start := time.Now()
+			if got := runTrajectoryPaths(t, n, epochs, workers, pivots, refresh); got < epochs {
+				t.Fatalf("measured %d path epochs, want >= %d", got, epochs)
+			}
+			spent = time.Since(start)
+		})
+		return spent, allocs, bytes
 	}
-	pathsRecompute := timePaths(false)
-	pathsRefresh := timePaths(true)
+	pathsRecompute, pathsRecomputeAllocs, pathsRecomputeBytes := timePaths(false)
+	pathsRefresh, pathsRefreshAllocs, pathsRefreshBytes := timePaths(true)
 	pathsSpeedup := float64(pathsRecompute) / float64(pathsRefresh)
 
-	routRebuild := runRoutingBench(t, n, epochs, workers, false)
-	routRefresh := runRoutingBench(t, n, epochs, workers, true)
+	routRebuild, routRebuildAllocs, routRebuildBytes := runRoutingBench(t, n, epochs, workers, false)
+	routRefresh, routRefreshAllocs, routRefreshBytes := runRoutingBench(t, n, epochs, workers, true)
 	routSpeedup := float64(routRebuild) / float64(routRefresh)
 
 	type row struct {
-		Name    string  `json:"name"`
-		Model   string  `json:"model"`
-		N       int     `json:"n"`
-		Epochs  int     `json:"epochs"`
-		Workers int     `json:"workers"`
-		Pivots  int     `json:"pivots,omitempty"`
-		Cores   int     `json:"cores"`
-		NumCPU  int     `json:"num_cpu"`
-		NsPerOp int64   `json:"ns_per_op"`
-		Speedup float64 `json:"speedup,omitempty"`
+		Name        string  `json:"name"`
+		Model       string  `json:"model"`
+		N           int     `json:"n"`
+		Epochs      int     `json:"epochs"`
+		Workers     int     `json:"workers"`
+		Pivots      int     `json:"pivots,omitempty"`
+		Cores       int     `json:"cores"`
+		NumCPU      int     `json:"num_cpu"`
+		NsPerOp     int64   `json:"ns_per_op"`
+		AllocsPerOp float64 `json:"allocs_per_op"`
+		BytesPerOp  float64 `json:"bytes_per_op"`
+		Speedup     float64 `json:"speedup,omitempty"`
 		// SpeedupVs names the row the speedup is measured against, so
 		// every attribution in the file is explicit.
 		SpeedupVs string `json:"speedup_vs,omitempty"`
@@ -304,19 +322,25 @@ func TestTrajectoryBenchJSON(t *testing.T) {
 	cores, ncpu := runtime.GOMAXPROCS(0), runtime.NumCPU()
 	rows := []row{
 		{Name: "trajectory-refreeze", Model: "ba", N: n, Epochs: epochs, Workers: workers,
-			Cores: cores, NumCPU: ncpu, NsPerOp: refreeze.Nanoseconds()},
+			Cores: cores, NumCPU: ncpu, NsPerOp: refreeze.Nanoseconds(),
+			AllocsPerOp: float64(refreezeAllocs), BytesPerOp: float64(refreezeBytes)},
 		{Name: "trajectory-refresh", Model: "ba", N: n, Epochs: epochs, Workers: workers,
 			Cores: cores, NumCPU: ncpu, NsPerOp: refresh.Nanoseconds(),
+			AllocsPerOp: float64(refreshAllocs), BytesPerOp: float64(refreshBytes),
 			Speedup: speedup, SpeedupVs: "trajectory-refreeze"},
 		{Name: "trajectory-paths-recompute", Model: "ba", N: n, Epochs: epochs, Workers: workers,
-			Pivots: pivots, Cores: cores, NumCPU: ncpu, NsPerOp: pathsRecompute.Nanoseconds()},
+			Pivots: pivots, Cores: cores, NumCPU: ncpu, NsPerOp: pathsRecompute.Nanoseconds(),
+			AllocsPerOp: float64(pathsRecomputeAllocs), BytesPerOp: float64(pathsRecomputeBytes)},
 		{Name: "trajectory-paths-refresh", Model: "ba", N: n, Epochs: epochs, Workers: workers,
 			Pivots: pivots, Cores: cores, NumCPU: ncpu, NsPerOp: pathsRefresh.Nanoseconds(),
+			AllocsPerOp: float64(pathsRefreshAllocs), BytesPerOp: float64(pathsRefreshBytes),
 			Speedup: pathsSpeedup, SpeedupVs: "trajectory-paths-recompute"},
 		{Name: "routing-rebuild", Model: "ba", N: n, Epochs: epochs, Workers: workers,
-			Cores: cores, NumCPU: ncpu, NsPerOp: routRebuild.Nanoseconds()},
+			Cores: cores, NumCPU: ncpu, NsPerOp: routRebuild.Nanoseconds(),
+			AllocsPerOp: float64(routRebuildAllocs), BytesPerOp: float64(routRebuildBytes)},
 		{Name: "routing-refresh", Model: "ba", N: n, Epochs: epochs, Workers: workers,
 			Cores: cores, NumCPU: ncpu, NsPerOp: routRefresh.Nanoseconds(),
+			AllocsPerOp: float64(routRefreshAllocs), BytesPerOp: float64(routRefreshBytes),
 			Speedup: routSpeedup, SpeedupVs: "routing-rebuild"},
 	}
 	data, err := json.MarshalIndent(rows, "", "  ")

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-traffic bench-failures bench-kernels bench-check staticcheck lint fmt ci
+.PHONY: all build test bench bench-gen bench-trajectory bench-sweep bench-cache bench-traffic bench-failures bench-kernels bench-check staticcheck lint fmt ci
 
 all: build
 
@@ -41,6 +41,15 @@ bench-trajectory:
 # smaller grid; for real speedups raise -sweep-bench-n.
 bench-sweep:
 	$(GO) test -run TestSweepBenchJSON -sweep-bench-out BENCH_sweep.json .
+
+# Cache acceptance: one BA topology fanned out to 8 workload variants,
+# swept cold (artifact cache disabled) vs warm (all stages served from
+# a primed cache), summaries asserted byte-identical, cold/warm rows
+# merged into BENCH_sweep.json at the 10k smoke and 100k acceptance
+# sizes. The warm row's speedup is gated by the sweep-cache-warm floor;
+# the CI smoke runs a 2k variant under -race.
+bench-cache:
+	$(GO) test -run TestCacheBenchJSON -cache-bench-out BENCH_sweep.json .
 
 # Workload acceptance: the flow-level simulator over a frozen BA map
 # at 10k (smoke) and 100k (acceptance) nodes, epoch engine vs event

@@ -50,6 +50,7 @@ import (
 	"os"
 
 	"netmodel/internal/cliutil"
+	"netmodel/internal/core"
 	"netmodel/internal/graphio"
 	"netmodel/internal/sweep"
 	"netmodel/internal/traffic"
@@ -95,8 +96,14 @@ func run(args []string, stdout io.Writer) error {
 	repairAt := fs.Int("repair-at", 0, "targeted failures: epoch the outage is repaired (0 = never)")
 	failRetries := fs.Int("fail-retries", 0, "retry budget for flows killed by an outage")
 	failRetryAfter := fs.Int("fail-retry-after", 1, "epochs between a kill and its retry")
+	cacheBudget := fs.String("cache-budget", "0", "artifact-cache byte budget (e.g. 256M, 1G; -1 = unbounded, 0 = off); reuses topology/metrics/routing artifacts across cells, never changing results")
+	cacheStats := fs.Bool("cache-stats", false, "report per-stage artifact-cache hit/miss/eviction counters")
 	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	budget, err := cliutil.ParseByteSize("-cache-budget", *cacheBudget)
+	if err != nil {
 		return err
 	}
 	loadFactors, err := cliutil.ParseFloats(*loads)
@@ -188,9 +195,16 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer prof.Stop()
-	s, err := sweep.Run(g, *workers)
+	s, err := sweep.RunWith(g, sweep.Options{
+		Workers:    *workers,
+		Cache:      core.NewArtifactCache(budget),
+		CacheStats: *cacheStats,
+	})
 	if err != nil {
 		return err
+	}
+	if s.DuplicateCells > 0 {
+		fmt.Fprintf(os.Stderr, "topoload: warning: %d duplicate cells deduplicated\n", s.DuplicateCells)
 	}
 	if err := cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
 		switch *format {

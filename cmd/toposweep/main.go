@@ -39,6 +39,7 @@ import (
 	"strings"
 
 	"netmodel/internal/cliutil"
+	"netmodel/internal/core"
 	"netmodel/internal/graphio"
 	"netmodel/internal/sweep"
 )
@@ -63,8 +64,14 @@ func run(args []string, stdout io.Writer) error {
 	measureEvery := fs.Int("measure-every", 0, "record growth trajectories every k nodes (growth families)")
 	format := fs.String("format", "table", "output format: table, csv, json")
 	out := fs.String("o", "", "output file (default stdout)")
+	cacheBudget := fs.String("cache-budget", "0", "artifact-cache byte budget (e.g. 256M, 1G; -1 = unbounded, 0 = off); reuses topology/metrics/routing artifacts across cells, never changing results")
+	cacheStats := fs.Bool("cache-stats", false, "report per-stage artifact-cache hit/miss/eviction counters")
 	prof := cliutil.ProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	budget, err := cliutil.ParseByteSize("-cache-budget", *cacheBudget)
+	if err != nil {
 		return err
 	}
 	if err := cliutil.FirstError(
@@ -116,9 +123,16 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	defer prof.Stop()
-	s, err := sweep.Run(g, *workers)
+	s, err := sweep.RunWith(g, sweep.Options{
+		Workers:    *workers,
+		Cache:      core.NewArtifactCache(budget),
+		CacheStats: *cacheStats,
+	})
 	if err != nil {
 		return err
+	}
+	if s.DuplicateCells > 0 {
+		fmt.Fprintf(os.Stderr, "toposweep: warning: %d duplicate cells deduplicated\n", s.DuplicateCells)
 	}
 	if err := cliutil.WriteOutput(*out, stdout, func(w io.Writer) error {
 		switch *format {

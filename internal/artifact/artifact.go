@@ -1,0 +1,267 @@
+// Package artifact is the budgeted in-process cache of pipeline stage
+// outputs: frozen snapshots, warm metric engines, routing state — the
+// expensive intermediates a sweep rebuilds from scratch on every run
+// even when consecutive runs share most of their topology cells. A
+// Cache is content-keyed (the caller derives a canonical string from
+// the inputs that determine the artifact), memory-budgeted (the caller
+// declares each entry's byte cost; a single LRU list across all stages
+// evicts the coldest entries when the budget is exceeded), and counts
+// hits, misses and evictions per stage.
+//
+// Determinism contract: every operation mutates the cache under one
+// mutex, and the LRU order, the eviction sequence and all counters are
+// pure functions of the operation sequence — so callers that probe and
+// commit sequentially (the sweep runner does both in grid order, outside
+// its worker fan-out) observe identical stats and evictions at every
+// worker count. The mutex also makes a shared cache safe for concurrent
+// runs; mutable artifacts (routing state) must then be checked out
+// exclusively with Take and returned with Put, never shared via Get.
+package artifact
+
+import "sync"
+
+// Stats is a point-in-time snapshot of the cache counters, in stage
+// registration order.
+type Stats struct {
+	// Budget echoes the configured byte budget (< 0 = unbounded).
+	Budget int64 `json:"budget"`
+	// Used is the declared byte total of the resident entries.
+	Used int64 `json:"used"`
+	// Entries is the resident entry count.
+	Entries int `json:"entries"`
+	// Stages are the per-stage counters, in registration order.
+	Stages []StageStats `json:"stages"`
+}
+
+// StageStats are one stage's lifetime counters.
+type StageStats struct {
+	Stage string `json:"stage"`
+	// Hits counts Get/Take probes that found a usable entry.
+	Hits uint64 `json:"hits"`
+	// Misses counts probes that found none — including forced misses
+	// recorded with Miss when a dependent artifact was unusable.
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped under budget pressure, including
+	// oversized entries rejected at Put.
+	Evictions uint64 `json:"evictions"`
+}
+
+type ckey struct{ stage, key string }
+
+// entry is one resident artifact on the intrusive LRU list.
+type entry struct {
+	ckey
+	val        any
+	bytes      int64
+	prev, next *entry // LRU neighbors; head side is most recent
+}
+
+// Cache is the budgeted LRU artifact store. The zero value is not
+// usable; construct with New. A nil *Cache is valid and inert: every
+// probe misses without counting, every Put is a no-op — the "budget 0 =
+// caching disabled" configuration.
+type Cache struct {
+	mu      sync.Mutex
+	budget  int64 // < 0 = unbounded; always != 0 (New maps 0 to nil)
+	used    int64
+	entries map[ckey]*entry
+	head    *entry // most recently used
+	tail    *entry // least recently used
+	stats   map[string]*StageStats
+	order   []string
+}
+
+// New returns a cache holding at most budget declared bytes (< 0 =
+// unbounded). A budget of 0 returns nil — the inert cache, so callers
+// thread the configured value straight through without a disabled flag.
+// Stage names registered here define the Stats order; unknown stages
+// used later are appended in first-use order.
+func New(budget int64, stages ...string) *Cache {
+	if budget == 0 {
+		return nil
+	}
+	c := &Cache{
+		budget:  budget,
+		entries: make(map[ckey]*entry),
+		stats:   make(map[string]*StageStats),
+	}
+	for _, st := range stages {
+		c.stage(st)
+	}
+	return c
+}
+
+// stage returns the counters of a stage, registering it on first use.
+// Callers hold c.mu (or run before the cache is shared).
+func (c *Cache) stage(name string) *StageStats {
+	if s, ok := c.stats[name]; ok {
+		return s
+	}
+	s := &StageStats{Stage: name}
+	c.stats[name] = s
+	c.order = append(c.order, name)
+	return s
+}
+
+// detach unlinks e from the LRU list.
+func (c *Cache) detach(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// push links e at the most-recently-used end.
+func (c *Cache) push(e *entry) {
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+// remove drops e from the cache entirely.
+func (c *Cache) remove(e *entry) {
+	c.detach(e)
+	delete(c.entries, e.ckey)
+	c.used -= e.bytes
+}
+
+// Get returns the cached value under (stage, key) and refreshes its
+// recency, or (nil, false) on a miss. Values returned by Get may be
+// shared with other concurrent readers — only artifacts that are safe
+// for concurrent use belong in Get/Put stages; use Take for mutable
+// ones.
+func (c *Cache) Get(stage, key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stage(stage)
+	e, ok := c.entries[ckey{stage, key}]
+	if !ok {
+		st.Misses++
+		return nil, false
+	}
+	st.Hits++
+	c.detach(e)
+	c.push(e)
+	return e.val, true
+}
+
+// Take is the exclusive-checkout probe: a hit removes the entry and
+// hands its value to the caller alone, so mutable artifacts are never
+// shared between concurrent consumers. The caller returns the artifact
+// with Put when done; the removal is a checkout, not an eviction, and
+// does not count as one.
+func (c *Cache) Take(stage, key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stage(stage)
+	e, ok := c.entries[ckey{stage, key}]
+	if !ok {
+		st.Misses++
+		return nil, false
+	}
+	st.Hits++
+	c.remove(e)
+	return e.val, true
+}
+
+// Miss records a forced miss: the stage's artifact was needed but could
+// not be probed or used (e.g. routing state whose parent snapshot
+// missed). Keeps the miss counters a pure function of the demand
+// sequence rather than of which probes were expressible.
+func (c *Cache) Miss(stage string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.stage(stage).Misses++
+}
+
+// Put inserts (or replaces) the value under (stage, key) at the
+// most-recent end, charging the declared byte cost, then evicts
+// least-recently-used entries until the budget holds. An entry larger
+// than the whole budget is rejected immediately and counted as an
+// eviction of its stage.
+func (c *Cache) Put(stage, key string, val any, bytes int64) {
+	if c == nil {
+		return
+	}
+	if bytes < 0 {
+		bytes = 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.stage(stage)
+	if e, ok := c.entries[ckey{stage, key}]; ok {
+		c.remove(e)
+	}
+	if c.budget > 0 && bytes > c.budget {
+		st.Evictions++
+		return
+	}
+	e := &entry{ckey: ckey{stage, key}, val: val, bytes: bytes}
+	c.entries[e.ckey] = e
+	c.push(e)
+	c.used += bytes
+	if c.budget > 0 {
+		for c.used > c.budget && c.tail != nil && c.tail != e {
+			victim := c.tail
+			c.stats[victim.stage].Evictions++
+			c.remove(victim)
+		}
+	}
+}
+
+// Len returns the resident entry count.
+func (c *Cache) Len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Used returns the declared byte total of the resident entries.
+func (c *Cache) Used() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// Stats returns a copy of the counters, stages in registration order.
+// A nil cache returns the zero Stats.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Stats{Budget: c.budget, Used: c.used, Entries: len(c.entries)}
+	out.Stages = make([]StageStats, 0, len(c.order))
+	for _, name := range c.order {
+		out.Stages = append(out.Stages, *c.stats[name])
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package artifact
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestNilAndZeroBudgetAreInert(t *testing.T) {
+	for _, c := range []*Cache{nil, New(0, "a")} {
+		if c != nil {
+			t.Fatalf("New(0) must return nil, got %v", c)
+		}
+		c.Put("a", "k", 1, 10)
+		if _, ok := c.Get("a", "k"); ok {
+			t.Fatal("nil cache must miss")
+		}
+		if _, ok := c.Take("a", "k"); ok {
+			t.Fatal("nil cache must miss on Take")
+		}
+		c.Miss("a")
+		if got := c.Stats(); !reflect.DeepEqual(got, Stats{}) {
+			t.Fatalf("nil cache stats = %+v", got)
+		}
+		if c.Len() != 0 || c.Used() != 0 {
+			t.Fatal("nil cache must be empty")
+		}
+	}
+}
+
+func TestGetPutAndCounters(t *testing.T) {
+	c := New(-1, "snapshot", "engine")
+	if _, ok := c.Get("snapshot", "k1"); ok {
+		t.Fatal("unexpected hit on empty cache")
+	}
+	c.Put("snapshot", "k1", "v1", 100)
+	c.Put("engine", "k1", "v2", 50)
+	if v, ok := c.Get("snapshot", "k1"); !ok || v != "v1" {
+		t.Fatalf("Get = %v, %v", v, ok)
+	}
+	c.Miss("engine")
+	got := c.Stats()
+	want := Stats{Budget: -1, Used: 150, Entries: 2, Stages: []StageStats{
+		{Stage: "snapshot", Hits: 1, Misses: 1},
+		{Stage: "engine", Misses: 1},
+	}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("stats = %+v, want %+v", got, want)
+	}
+}
+
+func TestReplaceAdjustsUsed(t *testing.T) {
+	c := New(1000, "s")
+	c.Put("s", "k", "v1", 400)
+	c.Put("s", "k", "v2", 100)
+	if c.Used() != 100 || c.Len() != 1 {
+		t.Fatalf("used=%d len=%d after replace", c.Used(), c.Len())
+	}
+	if v, _ := c.Get("s", "k"); v != "v2" {
+		t.Fatalf("Get = %v after replace", v)
+	}
+}
+
+func TestTakeIsExclusiveCheckout(t *testing.T) {
+	c := New(-1, "routing")
+	c.Put("routing", "k", "rt", 10)
+	if v, ok := c.Take("routing", "k"); !ok || v != "rt" {
+		t.Fatalf("Take = %v, %v", v, ok)
+	}
+	if _, ok := c.Take("routing", "k"); ok {
+		t.Fatal("second Take must miss")
+	}
+	st := c.Stats()
+	if st.Used != 0 || st.Entries != 0 {
+		t.Fatalf("taken entry still resident: %+v", st)
+	}
+	// A checkout is not an eviction.
+	if ev := st.Stages[0].Evictions; ev != 0 {
+		t.Fatalf("Take counted %d evictions", ev)
+	}
+}
+
+// TestEvictionOrderDeterminism pins the LRU semantics: for a scripted
+// operation sequence the eviction order is exactly the recency order,
+// and replaying the script yields identical stats every time.
+func TestEvictionOrderDeterminism(t *testing.T) {
+	script := func() (*Cache, []string) {
+		c := New(300, "s")
+		var evicted []string
+		// Wrap eviction observation via entry count differences: run the
+		// script and record which keys disappear, in probe order.
+		keys := []string{"a", "b", "c"}
+		for _, k := range keys {
+			c.Put("s", k, k, 100)
+		}
+		// Touch "a": recency order now b < c < a.
+		c.Get("s", "a")
+		// Inserting d (100) overflows by 100: b must go, then c stays.
+		c.Put("s", "d", "d", 100)
+		for _, k := range []string{"a", "b", "c", "d"} {
+			if _, ok := c.entries[ckey{"s", k}]; !ok {
+				evicted = append(evicted, k)
+			}
+		}
+		return c, evicted
+	}
+	c1, ev1 := script()
+	if !reflect.DeepEqual(ev1, []string{"b"}) {
+		t.Fatalf("evicted %v, want [b]", ev1)
+	}
+	for i := 0; i < 5; i++ {
+		c2, ev2 := script()
+		if !reflect.DeepEqual(ev1, ev2) || !reflect.DeepEqual(c1.Stats(), c2.Stats()) {
+			t.Fatalf("replay diverged: %v vs %v, %+v vs %+v", ev1, ev2, c1.Stats(), c2.Stats())
+		}
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	c := New(100, "s")
+	c.Put("s", "big", "v", 101)
+	if c.Len() != 0 {
+		t.Fatal("oversized entry must not be resident")
+	}
+	if ev := c.Stats().Stages[0].Evictions; ev != 1 {
+		t.Fatalf("oversized Put counted %d evictions, want 1", ev)
+	}
+	// An entry exactly at budget fits.
+	c.Put("s", "fit", "v", 100)
+	if c.Len() != 1 {
+		t.Fatal("at-budget entry must fit")
+	}
+}
+
+func TestEvictionNeverDropsFreshInsert(t *testing.T) {
+	c := New(100, "s")
+	c.Put("s", "a", "a", 60)
+	c.Put("s", "b", "b", 60)
+	if _, ok := c.Get("s", "b"); !ok {
+		t.Fatal("fresh insert evicted")
+	}
+	if _, ok := c.Get("s", "a"); ok {
+		t.Fatal("LRU survivor wrong")
+	}
+}
+
+// TestConcurrentAccess exercises the mutex under -race: many goroutines
+// mixing Get/Take/Put/Stats over overlapping keys.
+func TestConcurrentAccess(t *testing.T) {
+	c := New(1<<16, "snapshot", "engine", "routing")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			stages := []string{"snapshot", "engine", "routing"}
+			for i := 0; i < 500; i++ {
+				st := stages[i%len(stages)]
+				key := fmt.Sprintf("k%d", i%17)
+				switch i % 4 {
+				case 0:
+					c.Put(st, key, g*1000+i, int64(64*(i%9)))
+				case 1:
+					c.Get(st, key)
+				case 2:
+					c.Take(st, key)
+				default:
+					c.Stats()
+					c.Miss(st)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if used, budget := c.Used(), int64(1<<16); used > budget {
+		t.Fatalf("used %d exceeds budget %d after concurrent churn", used, budget)
+	}
+	st := c.Stats()
+	if len(st.Stages) != 3 {
+		t.Fatalf("stage registration order lost: %+v", st.Stages)
+	}
+}

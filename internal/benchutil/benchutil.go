@@ -7,7 +7,12 @@
 // steady-state contract.
 package benchutil
 
-import "runtime"
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
 
 // MeasureAllocs runs f once and returns the heap allocations (count and
 // bytes) it performed, measured by differencing runtime.MemStats before
@@ -65,4 +70,55 @@ func MarginalAllocs(ops1, ops2 int, run func(ops int)) (allocsPerOp, bytesPerOp 
 		b1 = b2
 	}
 	return float64(a2-a1) / span, float64(b2-b1) / span
+}
+
+// MergeBenchRows writes freshly measured rows into the JSON array at
+// path without clobbering rows other emitters own: existing rows whose
+// "name" matches an incoming row are replaced in place, new names
+// append, everything else survives untouched. This lets several
+// emitters (the sweep scaling rows and the artifact-cache rows, say)
+// share one BENCH file while each refreshes only its own entries. A
+// missing or empty file starts from an empty array; a file that does
+// not parse as a JSON array is an error rather than silently replaced.
+func MergeBenchRows(path string, rows any) error {
+	raw, err := json.Marshal(rows)
+	if err != nil {
+		return fmt.Errorf("benchutil: encoding rows: %w", err)
+	}
+	var fresh []map[string]any
+	if err := json.Unmarshal(raw, &fresh); err != nil {
+		return fmt.Errorf("benchutil: rows must be a JSON array of objects: %w", err)
+	}
+	var existing []map[string]any
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		if err := json.Unmarshal(data, &existing); err != nil {
+			return fmt.Errorf("benchutil: merging into %s: %w", path, err)
+		}
+	} else if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	// Replacement is keyed on (name, n) so one emitter can publish the
+	// same row name at several scales (smoke and acceptance) without the
+	// scales overwriting each other.
+	key := func(m map[string]any) string {
+		return fmt.Sprintf("%v|%v", m["name"], m["n"])
+	}
+	index := make(map[string]int, len(existing))
+	for i, row := range existing {
+		index[key(row)] = i
+	}
+	merged := existing
+	for _, row := range fresh {
+		if i, ok := index[key(row)]; ok {
+			merged[i] = row
+		} else {
+			index[key(row)] = len(merged)
+			merged = append(merged, row)
+		}
+	}
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

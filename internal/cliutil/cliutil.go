@@ -110,6 +110,51 @@ func PositiveFloats(name string, vs []float64) error {
 	return nil
 }
 
+// ParseByteSize parses a byte-size flag value: a plain integer counts
+// bytes, an integer or decimal with a K/M/G/T suffix (case-insensitive,
+// optional trailing "B" or "iB") scales by powers of 1024, and "-1"
+// means unbounded. "0" disables whatever the size budgets. The name is
+// echoed in errors so the caller can pass the flag name directly.
+func ParseByteSize(name, s string) (int64, error) {
+	v := strings.TrimSpace(s)
+	if v == "" {
+		return 0, fmt.Errorf("%s: empty size", name)
+	}
+	if v == "-1" {
+		return -1, nil
+	}
+	num, shift := v, 0
+	upper := strings.ToUpper(v)
+	upper = strings.TrimSuffix(upper, "IB")
+	upper = strings.TrimSuffix(upper, "B")
+	if n := len(upper); n > 0 {
+		switch upper[n-1] {
+		case 'K':
+			shift = 10
+		case 'M':
+			shift = 20
+		case 'G':
+			shift = 30
+		case 'T':
+			shift = 40
+		}
+		if shift > 0 {
+			num = upper[:n-1]
+		} else {
+			num = upper
+		}
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f < 0 {
+		return 0, fmt.Errorf("%s: invalid size %q (want e.g. 65536, 64K, 1.5G, or -1 for unbounded)", name, s)
+	}
+	b := f * float64(int64(1)<<shift)
+	if b > math.MaxInt64 {
+		return 0, fmt.Errorf("%s: size %q overflows", name, s)
+	}
+	return int64(b), nil
+}
+
 // OneOf rejects values outside the allowed set, echoing the choices.
 func OneOf(name, v string, allowed ...string) error {
 	for _, a := range allowed {

@@ -7,7 +7,7 @@ import (
 	"netmodel/internal/compare"
 	"netmodel/internal/engine"
 	"netmodel/internal/gen"
-	"netmodel/internal/par"
+	"netmodel/internal/metrics"
 	"netmodel/internal/refdata"
 	"netmodel/internal/rng"
 	"netmodel/internal/traffic"
@@ -194,6 +194,29 @@ func RunCellWorkloads(c Cell, specs []*traffic.WorkloadSpec) (*PipelineResult, [
 // a cell, returning the warm engine alongside the result so workload
 // stages can reuse its snapshot and memoized routing state.
 func (c Cell) runTopology() (*PipelineResult, *engine.Engine, error) {
+	ta, eng, err := c.buildTopology()
+	if err != nil {
+		return nil, nil, err
+	}
+	if eng == nil {
+		eng = engine.New(ta.snap, engine.WithWorkers(c.Workers))
+	}
+	snap, rep, err := c.measureTopology(eng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &PipelineResult{Model: c.Model, Topology: ta.top, Snapshot: snap,
+		Report: rep, Trajectory: ta.trajectory}, eng, nil
+}
+
+// buildTopology runs the generation stage: build the generator,
+// generate (observing epochs when MeasureEvery > 0) and freeze. It
+// returns the warm trajectory engine when trajectory mode created one
+// (nil otherwise — the caller makes a fresh engine over the snapshot;
+// engine.Measure recomputes every metric from the snapshot and its
+// stream, so a fresh engine and a trajectory-warm engine measure
+// byte-identically).
+func (c Cell) buildTopology() (*topoArtifact, *engine.Engine, error) {
 	if c.N <= 0 {
 		return nil, nil, fmt.Errorf("core: cell needs a positive size, got %d", c.N)
 	}
@@ -201,50 +224,53 @@ func (c Cell) runTopology() (*PipelineResult, *engine.Engine, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	gr, mr, cr, _ := c.streams()
-	var (
-		top        *gen.Topology
-		eng        *engine.Engine
-		trajectory []TrajectoryPoint
-	)
+	gr, _, _, _ := c.streams()
 	if c.MeasureEvery > 0 {
 		// Trajectory mode: one engine advances along delta-refreshed
 		// snapshots; the final epoch's warm engine then serves the full
-		// measurement below.
+		// measurement.
 		obs := NewTrajectoryObserver(c.Workers)
 		if c.TrajectoryPaths {
 			obs.EnablePathMetrics(c.PathSources, c.Seed)
 		}
-		top, err = gen.GenerateTrajectoryWith(g, gr, c.Workers,
+		top, err := gen.GenerateTrajectoryWith(g, gr, c.Workers,
 			gen.Trajectory{Every: c.MeasureEvery, Observe: obs.Observe})
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: generating %s trajectory: %w", c.Model, err)
 		}
-		eng = obs.Engine()
-		trajectory = obs.Points()
-	} else {
-		top, err = gen.GenerateWith(g, gr, c.Workers)
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: generating %s: %w", c.Model, err)
-		}
-		// Freeze once; measurement and validation share one engine so
-		// the memoized whole-graph metrics (triangles, k-core, giant
-		// component) are computed a single time.
-		snap, err := top.G.FreezeChecked()
-		if err != nil {
-			return nil, nil, fmt.Errorf("core: freezing %s: %w", c.Model, err)
-		}
-		eng = engine.New(snap, engine.WithWorkers(c.Workers))
+		eng := obs.Engine()
+		return &topoArtifact{top: top, snap: eng.Snapshot(), trajectory: obs.Points()}, eng, nil
 	}
+	top, err := gen.GenerateWith(g, gr, c.Workers)
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: generating %s: %w", c.Model, err)
+	}
+	// Freeze once; measurement and validation share one engine so the
+	// memoized whole-graph metrics (triangles, k-core, giant component)
+	// are computed a single time.
+	snap, err := top.G.FreezeChecked()
+	if err != nil {
+		return nil, nil, fmt.Errorf("core: freezing %s: %w", c.Model, err)
+	}
+	return &topoArtifact{top: top, snap: snap}, nil, nil
+}
+
+// measureTopology runs the measurement and validation stages over an
+// engine holding the cell's frozen snapshot. Both stages draw from
+// cell-seed-split streams and from the snapshot alone, so the outputs
+// are a pure function of (cell, topology) regardless of which engine —
+// fresh, trajectory-warm or cached — carries the snapshot.
+func (c Cell) measureTopology(eng *engine.Engine) (metrics.Snapshot, *compare.Report, error) {
+	_, mr, cr, _ := c.streams()
 	snap, err := eng.Measure(mr, c.PathSources)
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: measuring %s: %w", c.Model, err)
+		return metrics.Snapshot{}, nil, fmt.Errorf("core: measuring %s: %w", c.Model, err)
 	}
 	rep, err := compare.AgainstFrozen(eng, c.Target, compare.Options{PathSources: c.PathSources, Rand: cr})
 	if err != nil {
-		return nil, nil, fmt.Errorf("core: comparing %s: %w", c.Model, err)
+		return metrics.Snapshot{}, nil, fmt.Errorf("core: comparing %s: %w", c.Model, err)
 	}
-	return &PipelineResult{Model: c.Model, Topology: top, Snapshot: snap, Report: rep, Trajectory: trajectory}, eng, nil
+	return snap, rep, nil
 }
 
 // runWorkload simulates one flow-level workload over the cell's warm
@@ -268,24 +294,13 @@ func (c Cell) runWorkload(eng *engine.Engine, spec traffic.WorkloadSpec) (*traff
 }
 
 // RunCells executes cells across a pool of the given width (<= 0 means
-// GOMAXPROCS, 1 runs them in order on the caller's goroutine). This is
-// the one execution engine behind both Pipeline.RunAll (a degenerate
-// 1×N sweep at pool width 1) and the sweep driver. Each slot of the
-// result slice is written only by the worker that ran that cell, and
-// RunCell draws exclusively from cell-seed-split streams, so the output
-// — including which error surfaces, always the lowest-index failure —
-// is invariant to the worker count.
+// GOMAXPROCS, 1 runs every group in order on the caller's goroutine).
+// This is the one execution engine behind both Pipeline.RunAll (a
+// degenerate 1×N sweep at pool width 1) and the sweep driver; it is
+// RunCellsWith without an artifact cache. The output — including which
+// error surfaces, always the lowest-index failure — is invariant to
+// the worker count.
 func RunCells(cells []Cell, workers int) ([]*PipelineResult, error) {
-	results := make([]*PipelineResult, len(cells))
-	errs := make([]error, len(cells))
-	par.ForEach(len(cells), workers, func(_, i int) {
-		results[i], errs[i] = RunCell(cells[i])
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("core: cell %d (%s, n=%d, seed=%d): %w",
-				i, cells[i].Model, cells[i].N, cells[i].Seed, err)
-		}
-	}
-	return results, nil
+	results, _, err := RunCellsWith(cells, workers, nil)
+	return results, err
 }

@@ -56,6 +56,15 @@ func (g *Graph) M() int { return g.m }
 // the total bandwidth B of the network. TotalStrength >= M always.
 func (g *Graph) TotalStrength() int { return g.strength }
 
+// MemEstimate approximates the heap bytes the mutable graph holds: the
+// per-node adjacency maps dominate, at roughly a map header per node
+// plus bucket storage for each of the 2m directed arcs. An estimate for
+// cache accounting, not an exact census — Go map internals are not
+// introspectable.
+func (g *Graph) MemEstimate() int64 {
+	return int64(len(g.adj))*56 + int64(2*g.m)*40
+}
+
 // AddNode appends an isolated node and returns its index.
 func (g *Graph) AddNode() int {
 	g.adj = append(g.adj, make(map[int]int))

@@ -118,6 +118,24 @@ func (s *Snapshot) Version() uint64 { return s.version }
 // N returns the number of nodes.
 func (s *Snapshot) N() int { return len(s.offsets) - 1 }
 
+// MemBytes returns the heap bytes held by the snapshot's arrays — the
+// cost an artifact cache should charge for keeping it resident. The
+// ends row is skipped when it aliases offsets (tight snapshots), and
+// the lazy arc→edge cache is charged as materialized (routing
+// materializes it on first use) without touching its once-guard, so
+// the accounting is race-free against concurrent readers.
+func (s *Snapshot) MemBytes() int64 {
+	b := int64(cap(s.offsets)) * 4
+	if len(s.offsets) < 2 || len(s.ends) == 0 || &s.ends[0] != &s.offsets[1] {
+		b += int64(cap(s.ends)) * 4
+	}
+	b += int64(cap(s.caps)) * 4
+	b += int64(cap(s.neighbors)) * 4
+	b += int64(cap(s.weights)) * 4
+	b += int64(len(s.neighbors)) * 4 // arc→edge cache
+	return b
+}
+
 // M returns the number of simple edges.
 func (s *Snapshot) M() int { return s.m }
 

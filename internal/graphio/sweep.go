@@ -62,8 +62,41 @@ func WriteSweepCSV(w io.Writer, s *sweep.Summary) error {
 			}
 		}
 	}
+	if err := writeCacheRows(cw, s, len(header)); err != nil {
+		return err
+	}
 	cw.Flush()
 	return cw.Error()
+}
+
+// writeCacheRows appends the artifact-cache counters to a summary CSV
+// when the sweep recorded them (Summary.Cache, -cache-stats): a
+// "cache:total" row carrying budget, bytes used and resident entries,
+// then one "cache:<stage>" row per stage carrying hits, misses and
+// evictions — all in the three columns after the label, padded to the
+// table's width so the record shape stays rectangular.
+func writeCacheRows(cw *csv.Writer, s *sweep.Summary, width int) error {
+	if s.Cache == nil {
+		return nil
+	}
+	pad := func(rec []string) []string {
+		for len(rec) < width {
+			rec = append(rec, "")
+		}
+		return rec
+	}
+	c := s.Cache
+	if err := cw.Write(pad([]string{"cache:total", strconv.FormatInt(c.Budget, 10),
+		strconv.FormatInt(c.Used, 10), strconv.Itoa(c.Entries)})); err != nil {
+		return err
+	}
+	for _, st := range c.Stages {
+		if err := cw.Write(pad([]string{"cache:" + st.Stage, strconv.FormatUint(st.Hits, 10),
+			strconv.FormatUint(st.Misses, 10), strconv.FormatUint(st.Evictions, 10)})); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteSweepJSON encodes the full summary — grid, per-cell reports and

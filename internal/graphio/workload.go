@@ -76,6 +76,9 @@ func WriteWorkloadCSV(w io.Writer, s *sweep.Summary) error {
 			}
 		}
 	}
+	if err := writeCacheRows(cw, s, len(workloadHeader())); err != nil {
+		return err
+	}
 	cw.Flush()
 	return cw.Error()
 }

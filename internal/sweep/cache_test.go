@@ -1,0 +1,193 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sync"
+	"testing"
+
+	"netmodel/internal/artifact"
+	"netmodel/internal/core"
+)
+
+// summaryBytes renders a summary the way graphio.WriteSweepJSON does
+// (indented JSON) — the representation the byte-identity properties
+// below are stated over. Cache diagnostics are stripped first: the
+// properties compare what the sweep computed, not how the computation
+// was amortized.
+func summaryBytes(t *testing.T, s *Summary) []byte {
+	t.Helper()
+	clean := *s
+	clean.Cache = nil
+	data, err := json.MarshalIndent(&clean, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// cacheBudgets are the three regimes every identity property sweeps:
+// disabled, tiny (a budget smaller than one topology artifact at these
+// sizes, forcing evictions on every commit), and unbounded.
+var cacheBudgets = []int64{0, 32 << 10, -1}
+
+// TestCachedSweepByteIdentical pins the tentpole contract: for both a
+// plain grid and a workload grid, the summary is byte-identical across
+// every (worker count × cache budget) combination, including the
+// cache-disabled baseline.
+func TestCachedSweepByteIdentical(t *testing.T) {
+	for name, g := range map[string]Grid{"plain": testGrid(), "workload": workloadGrid()} {
+		t.Run(name, func(t *testing.T) {
+			base, err := Run(g, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := summaryBytes(t, base)
+			for _, workers := range []int{1, 2, 4, 8} {
+				for _, budget := range cacheBudgets {
+					s, err := RunWith(g, Options{Workers: workers, Cache: core.NewArtifactCache(budget), CacheStats: true})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(want, summaryBytes(t, s)) {
+						t.Fatalf("workers=%d budget=%d: summary diverged from cache-disabled baseline",
+							workers, budget)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWarmCacheRerunByteIdentical pins cross-sweep reuse: a second run
+// over a shared unbounded cache hits every stage and still reproduces
+// the cold summary byte for byte.
+func TestWarmCacheRerunByteIdentical(t *testing.T) {
+	g := workloadGrid()
+	ac := core.NewArtifactCache(-1)
+	cold, err := RunWith(g, Options{Workers: 2, Cache: ac, CacheStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := RunWith(g, Options{Workers: 2, Cache: ac, CacheStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(summaryBytes(t, cold), summaryBytes(t, warm)) {
+		t.Fatal("warm rerun diverged from cold run")
+	}
+	groups := len(g.Sizes) * len(g.Models) * len(g.Seeds)
+	st := warm.Cache
+	if st == nil {
+		t.Fatal("CacheStats requested but Summary.Cache is nil")
+	}
+	for _, stage := range st.Stages {
+		if got := stage.Hits; got != uint64(groups) {
+			t.Fatalf("stage %s: %d hits after warm rerun, want %d (one per topology group)",
+				stage.Stage, got, groups)
+		}
+	}
+	// Cold stats attached to the first summary must show pure misses.
+	if cold.Cache.Stages[0].Hits != 0 || cold.Cache.Stages[0].Misses != uint64(groups) {
+		t.Fatalf("cold run counters = %+v", cold.Cache.Stages[0])
+	}
+}
+
+// TestCacheStatsDeterministic pins the counter determinism contract:
+// for a fixed grid and budget, the full Stats block — hits, misses,
+// evictions, bytes used, resident entries — is identical at every
+// worker count and across repeated fresh runs, because probes and
+// commits are sequential passes in group order.
+func TestCacheStatsDeterministic(t *testing.T) {
+	g := workloadGrid()
+	for _, budget := range cacheBudgets[1:] { // stats need a live cache
+		var want *artifact.Stats
+		for _, workers := range []int{1, 2, 4, 8, 1} {
+			s, err := RunWith(g, Options{Workers: workers, Cache: core.NewArtifactCache(budget), CacheStats: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = s.Cache
+			} else if !reflect.DeepEqual(want, s.Cache) {
+				t.Fatalf("budget=%d workers=%d: stats diverged:\n%+v\n%+v",
+					budget, workers, want, s.Cache)
+			}
+		}
+	}
+}
+
+// TestTinyBudgetForcesEvictions sanity-checks the tiny regime really
+// exercises eviction: with a budget below one topology artifact, every
+// commit evicts and a rerun cannot hit.
+func TestTinyBudgetForcesEvictions(t *testing.T) {
+	g := testGrid()
+	ac := core.NewArtifactCache(cacheBudgets[1])
+	s, err := RunWith(g, Options{Workers: 2, Cache: ac, CacheStats: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evictions uint64
+	for _, stage := range s.Cache.Stages {
+		evictions += stage.Evictions
+	}
+	if evictions == 0 {
+		t.Fatalf("tiny budget evicted nothing: %+v", s.Cache)
+	}
+	if used, budget := ac.Used(), cacheBudgets[1]; used > budget {
+		t.Fatalf("used %d exceeds budget %d", used, budget)
+	}
+}
+
+// TestConcurrentSweepsSharedCache runs two sweeps concurrently over one
+// cache (the toposerve-style usage) and checks both still reproduce the
+// baseline byte for byte. Run under -race this also proves the cache
+// and the exclusively-checked-out routing artifacts are data-race-free.
+func TestConcurrentSweepsSharedCache(t *testing.T) {
+	g := workloadGrid()
+	base, err := Run(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := summaryBytes(t, base)
+	ac := core.NewArtifactCache(-1)
+	var wg sync.WaitGroup
+	outs := make([]*Summary, 4)
+	errs := make([]error, 4)
+	for i := range outs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = RunWith(g, Options{Workers: 2, Cache: ac})
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, summaryBytes(t, outs[i])) {
+			t.Fatalf("concurrent run %d diverged from baseline", i)
+		}
+	}
+}
+
+// TestDefaultSummaryEncodingUnchanged pins backwards compatibility of
+// the wire format: without cache stats or duplicates the new Summary
+// fields must vanish from the JSON encoding entirely.
+func TestDefaultSummaryEncodingUnchanged(t *testing.T) {
+	s, err := Run(testGrid(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"duplicate_cells", "\"cache\""} {
+		if bytes.Contains(data, []byte(field)) {
+			t.Fatalf("default summary encoding leaks %s", field)
+		}
+	}
+}

@@ -20,10 +20,10 @@ import (
 	"io"
 	"strings"
 
+	"netmodel/internal/artifact"
 	"netmodel/internal/compare"
 	"netmodel/internal/core"
 	"netmodel/internal/metrics"
-	"netmodel/internal/par"
 	"netmodel/internal/refdata"
 	"netmodel/internal/stats"
 	"netmodel/internal/traffic"
@@ -327,106 +327,76 @@ type Ranking struct {
 
 // Summary is the folded outcome of a sweep: per-cell reports in grid
 // order, cross-seed aggregates per (size, model), and a ranking per
-// size tier.
+// size tier. DuplicateCells and Cache report execution diagnostics —
+// both are omitted from the JSON encoding in their default states, so
+// a summary's serialized form is untouched by the diagnostics unless
+// they have something to say.
 type Summary struct {
 	Target     string       `json:"target"`
 	Grid       Grid         `json:"grid"`
 	Cells      []CellResult `json:"cells"`
 	Aggregates []Aggregate  `json:"aggregates"`
 	Rankings   []Ranking    `json:"rankings"`
+	// DuplicateCells counts expanded cells that were exact duplicates of
+	// an earlier cell and were served from its result (core.RunStats).
+	// Always zero for a grid that passes Validate; non-zero only for
+	// hand-built degenerate grids.
+	DuplicateCells int `json:"duplicate_cells,omitempty"`
+	// Cache holds the artifact-cache counters when the sweep ran with
+	// Options.CacheStats set and a live cache; nil otherwise.
+	Cache *artifact.Stats `json:"cache,omitempty"`
+}
+
+// Options configure RunWith beyond the grid itself.
+type Options struct {
+	// Workers is the sweep pool width (<= 0 means GOMAXPROCS).
+	Workers int
+	// Cache, when non-nil, reuses pipeline stage outputs across
+	// topology-identical cells and across successive sweeps sharing the
+	// cache (core.RunCellsWith). It never changes a byte of the summary
+	// — only how much work producing it costs.
+	Cache *artifact.Cache
+	// CacheStats attaches the cache's hit/miss/eviction counters to the
+	// summary (Summary.Cache) after the run.
+	CacheStats bool
 }
 
 // Run expands the grid, executes every cell across a pool of the given
 // width (<= 0 means GOMAXPROCS) and folds the results. The returned
-// Summary is bit-identical at every pool width.
-//
-// Workload grids are executed one topology per (size, model, seed): the
-// generate/measure/compare stages run once and every (load factor, tail
-// index) combo simulates over that cell's warm engine, reusing its
-// memoized routing state (core.RunCellWorkloads). The summary is
-// bit-identical to expanding one full cell per combo — each combo draws
-// from the same seed-split workload stream a dedicated cell would — at
-// a fraction of the cost.
+// Summary is bit-identical at every pool width. It is RunWith without
+// an artifact cache.
 func Run(g Grid, workers int) (*Summary, error) {
+	return RunWith(g, Options{Workers: workers})
+}
+
+// RunWith is Run with explicit options. Execution is stage-keyed
+// (core.RunCellsWith): cells sharing a topology — for workload grids,
+// every (load factor × tail index × failure) combo of one (size, model,
+// seed) — generate, freeze, measure and compare once, and the workload
+// specs fan out sequentially over the warm state. With Options.Cache
+// the stage outputs additionally persist across sweeps sharing the
+// cache. Both layers of reuse are exact: every cached artifact is a
+// pure function of its key, so the summary is bit-identical to
+// expanding one full cell per combo at every pool width and every
+// cache budget — the cache moves work, never answers.
+func RunWith(g Grid, o Options) (*Summary, error) {
 	cells, err := g.Cells()
 	if err != nil {
 		return nil, err
 	}
-	if g.Workload != nil {
-		return runWorkloadGrid(g, cells, workers)
-	}
-	results, err := core.RunCells(cells, workers)
+	results, st, err := core.RunCellsWith(cells, o.Workers, o.Cache)
 	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
-	return fold(g, cells, results)
-}
-
-// runWorkloadGrid executes a workload grid: the combo axis of the
-// expanded cells is collapsed back to one topology cell per (size,
-// model, seed) — combo index 0 of each group, which differs from its
-// siblings only in Cell.Workload — and every combo simulates over that
-// topology. Results merge by index and the fold below is sequential, so
-// the summary stays a pure function of the grid at every pool width;
-// the first failing topology cell (lowest grid index) is the error
-// surfaced, mirroring core.RunCells.
-func runWorkloadGrid(g Grid, cells []core.Cell, workers int) (*Summary, error) {
-	specs := g.workloadSpecs()
-	nw, ns := len(specs), len(g.Seeds)
-	topo := make([]core.Cell, 0, len(cells)/nw)
-	for base := 0; base < len(cells); base += nw * ns {
-		for ki := 0; ki < ns; ki++ {
-			topo = append(topo, cells[base+ki])
-		}
-	}
-	type cellOut struct {
-		res *core.PipelineResult
-		wls []*traffic.SimReport
-	}
-	outs := make([]cellOut, len(topo))
-	errs := make([]error, len(topo))
-	par.ForEach(len(topo), workers, func(_, i int) {
-		outs[i].res, outs[i].wls, errs[i] = core.RunCellWorkloads(topo[i], specs)
-	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sweep: cell %d (%s, n=%d, seed=%d): %w",
-				i, topo[i].Model, topo[i].N, topo[i].Seed, err)
-		}
-	}
-	tgt, err := g.target()
+	s, err := fold(g, cells, results)
 	if err != nil {
 		return nil, err
 	}
-	s := &Summary{Target: tgt.Name, Grid: g, Cells: make([]CellResult, len(cells))}
-	nm := len(g.Models)
-	for si, n := range g.Sizes {
-		for mi, model := range g.Models {
-			for wi := range specs {
-				for ki, seed := range g.Seeds {
-					t := outs[(si*nm+mi)*ns+ki]
-					wl := t.wls[wi]
-					cell := CellResult{
-						Model:      model,
-						N:          n,
-						Seed:       seed,
-						LoadFactor: wl.Spec.LoadFactor,
-						TailIndex:  wl.Spec.TailIndex,
-						Score:      t.res.Report.Score,
-						Report:     t.res.Report,
-						Snapshot:   t.res.Snapshot,
-						Trajectory: t.res.Trajectory,
-						Workload:   wl,
-					}
-					if wl.Spec.Failures != nil {
-						cell.Failure = wl.Spec.Failures.Label()
-					}
-					s.Cells[((si*nm+mi)*nw+wi)*ns+ki] = cell
-				}
-			}
-		}
+	s.DuplicateCells = st.DuplicateCells
+	if o.CacheStats && o.Cache != nil {
+		cs := o.Cache.Stats()
+		s.Cache = &cs
 	}
-	s.aggregateAndRank()
 	return s, nil
 }
 
@@ -618,7 +588,37 @@ func (s *Summary) String() string {
 			}
 		}
 	}
+	if s.DuplicateCells > 0 {
+		fmt.Fprintf(&b, "\nwarning: %d duplicate cells deduplicated (identical coordinates and workload)\n",
+			s.DuplicateCells)
+	}
+	if s.Cache != nil {
+		fmt.Fprintf(&b, "\nartifact cache: budget %s, %d entries, %s used\n",
+			formatBytes(s.Cache.Budget), s.Cache.Entries, formatBytes(s.Cache.Used))
+		fmt.Fprintf(&b, "%-10s %8s %8s %10s\n", "stage", "hits", "misses", "evictions")
+		for _, st := range s.Cache.Stages {
+			fmt.Fprintf(&b, "%-10s %8d %8d %10d\n", st.Stage, st.Hits, st.Misses, st.Evictions)
+		}
+	}
 	return b.String()
+}
+
+// formatBytes renders a byte budget for the cache section: -1 (or any
+// negative) is unbounded, otherwise a power-of-1024 suffix.
+func formatBytes(b int64) string {
+	if b < 0 {
+		return "unbounded"
+	}
+	const unit = 1024
+	if b < unit {
+		return fmt.Sprintf("%dB", b)
+	}
+	div, exp := int64(unit), 0
+	for n := b / unit; n >= unit; n /= unit {
+		div *= unit
+		exp++
+	}
+	return fmt.Sprintf("%.1f%ciB", float64(b)/float64(div), "KMGTPE"[exp])
 }
 
 // FindMetric returns the named aggregate row (zero value if absent) —

@@ -330,6 +330,72 @@ func kernelsRefreshRows(t *testing.T, rows []kernelsRow) []kernelsRow {
 			AllocsPerOp: fptr(float64(rtAllocs) / measure), BytesPerOp: fptr(float64(rtBytes) / measure)})
 }
 
+// kernelsRoutingResetRow measures the marginal allocations of moving a
+// Routing between topologies with Reset: alternate two same-size frozen
+// maps, Reset to the other map and Ensure a fixed source set each
+// cycle. After a warmup phase has the tree freelist, the Ensure
+// staging buffers and the BFS scratch at their high-water marks, a
+// Reset/Ensure cycle must allocate nothing — the property that lets
+// sweeps recycle one Routing across every topology of a group instead
+// of paying NewRouting per cell.
+func kernelsRoutingResetRow(t *testing.T, rows []kernelsRow) []kernelsRow {
+	t.Helper()
+	const (
+		n       = 4000
+		trees   = 24
+		warmup  = 8
+		measure = 12
+	)
+	snaps := []*graph.Snapshot{kernelsFreezeBA(t, n, 1), kernelsFreezeBA(t, n, 2)}
+	srcs := make([]int, trees)
+	for i := range srcs {
+		srcs[i] = i * n / trees
+	}
+	rt := NewRouting(snaps[0])
+	rt.Ensure(srcs, 1)
+	for cycle := 0; cycle < warmup; cycle++ {
+		rt.Reset(snaps[(cycle+1)%2])
+		rt.Ensure(srcs, 1)
+	}
+	var resetAllocs, resetBytes uint64
+	var resetTime time.Duration
+	for cycle := 0; cycle < measure; cycle++ {
+		next := snaps[(warmup+cycle+1)%2]
+		start := time.Now()
+		a, b := benchutil.MeasureAllocs(func() {
+			rt.Reset(next)
+			rt.Ensure(srcs, 1)
+		})
+		resetTime += time.Since(start)
+		resetAllocs += a
+		resetBytes += b
+	}
+	// Pin correctness alongside the allocation claim: the recycled
+	// routing must route exactly like a fresh one over the same map.
+	cur := snaps[(warmup+measure)%2]
+	fresh := NewRouting(cur)
+	fresh.Ensure(srcs, 1)
+	for _, src := range srcs {
+		a, okA := rt.trees[src]
+		b, okB := fresh.trees[src]
+		if !okA || !okB {
+			t.Fatalf("src %d: tree missing after reset cycle (reused %v, fresh %v)", src, okA, okB)
+		}
+		for v := 0; v < n; v++ {
+			if a.dist[v] != b.dist[v] {
+				t.Fatalf("src %d: reused tree dist[%d]=%d, fresh %d", src, v, a.dist[v], b.dist[v])
+			}
+		}
+	}
+	cores, ncpu := runtime.GOMAXPROCS(0), runtime.NumCPU()
+	t.Logf("routing reset: %d allocs / %d cycles (%d trees each)", resetAllocs, measure, trees)
+	return append(rows, kernelsRow{
+		Name: "kernels-routing-reset", N: n, Epochs: measure, Sources: trees, Workers: 1,
+		Cores: cores, NumCPU: ncpu, NsPerOp: resetTime.Nanoseconds() / measure,
+		AllocsPerOp: fptr(float64(resetAllocs) / measure), BytesPerOp: fptr(float64(resetBytes) / measure),
+	})
+}
+
 // TestKernelsBenchJSON emits BENCH_kernels.json: cold-tree-build
 // speedup rows (hybrid vs classic BFS, 10k smoke plus the acceptance
 // size) and the steady-state allocation rows both benchcheck ceilings
@@ -350,6 +416,7 @@ func TestKernelsBenchJSON(t *testing.T) {
 	rows = kernelsEngineSteadyRow(t, EngineEpoch, rows)
 	rows = kernelsEngineSteadyRow(t, EngineEvent, rows)
 	rows = kernelsRefreshRows(t, rows)
+	rows = kernelsRoutingResetRow(t, rows)
 	data, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		t.Fatal(err)

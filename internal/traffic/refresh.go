@@ -27,19 +27,28 @@ import (
 // Snapshot returns the snapshot the routing state currently describes.
 func (rt *Routing) Snapshot() *graph.Snapshot { return rt.s }
 
-// reset rebases the routing state onto next with everything dropped —
-// the cold path of Refresh, equivalent to NewRouting(next) in place.
-func (rt *Routing) reset(next *graph.Snapshot) {
-	max := routingTreeBudget / (12 * (next.N() + 1))
-	if max < 16 {
-		max = 16
-	}
+// Reset rebases the routing state onto an arbitrary snapshot with every
+// cached tree and memoized path dropped — NewRouting(next) in place,
+// but reusing the allocated storage: tree arrays are recycled through
+// the internal pool and handed to the next builds, the tree and path
+// maps keep their buckets, and the arc→edge mapping refills the
+// state's own buffer instead of populating the snapshot's lazy cache.
+// A warm Routing swept across same-sized topologies (the artifact-cache
+// and per-worker-pool patterns) therefore rebuilds its trees without
+// allocating; the kernels-routing-reset ceiling in bench_floors.json
+// enforces that. Unlike Refresh, Reset assumes nothing about the
+// relationship between the old and new snapshots.
+func (rt *Routing) Reset(next *graph.Snapshot) {
 	rt.s = next
-	rt.arcEdge = next.ArcEdgeIDs()
-	rt.max = max
-	rt.trees = make(map[int]*rtree)
+	rt.rfArcEdge = next.FillArcEdgeIDs(rt.rfArcEdge)
+	rt.arcEdge = rt.rfArcEdge
+	rt.max = RoutingTreeBudget(next.N())
+	for src, t := range rt.trees {
+		rt.free = append(rt.free, t)
+		delete(rt.trees, src)
+	}
 	rt.fifo = rt.fifo[:0]
-	rt.paths = make(map[int64][]int32)
+	clear(rt.paths)
 }
 
 // treeScratch is the reusable per-worker state of one tree repair: the
@@ -92,7 +101,7 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 		return
 	}
 	if d == nil || d.BaseVersion() != rt.s.Version() {
-		rt.reset(next)
+		rt.Reset(next)
 		return
 	}
 	oldN, n := rt.s.N(), next.N()
@@ -194,13 +203,9 @@ func (rt *Routing) Refresh(next *graph.Snapshot, d *graph.Delta, workers int) {
 	}
 	par.ForEach(len(srcs), w, rt.rfBody)
 
-	max := routingTreeBudget / (12 * (n + 1))
-	if max < 16 {
-		max = 16
-	}
 	rt.s = next
 	rt.arcEdge = arcEdge
-	rt.max = max
+	rt.max = RoutingTreeBudget(n)
 
 	// Memo policy: an entry survives exactly when its origin's tree is
 	// cached and unchanged on pre-existing nodes — then the memoized

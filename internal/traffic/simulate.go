@@ -41,6 +41,19 @@ type Routing struct {
 	admMiss    []int
 	admBatch   []int
 
+	// Tree-storage pool: evicted and Reset trees park here and hand
+	// their arrays to the next build, and Ensure's batch buffers
+	// persist — so a warm Routing swept across same-sized topologies
+	// (Routing.Reset) rebuilds its trees without allocating.
+	free      []*rtree
+	enMissing []int
+	enBuilt   []*rtree
+	enScratch []*metrics.BFSScratch
+	// enStamp[src] == enRound marks batch membership during Ensure, a
+	// stamped array instead of a per-call map.
+	enStamp []int32
+	enRound int32
+
 	// Refresh scratch, persisted so a steady-state tree repair at fixed
 	// n allocates nothing (Routing.Refresh). rfBody is the repair
 	// closure, created once and re-reading its per-call parameters
@@ -101,14 +114,45 @@ type rtree struct {
 // per node per tree).
 const routingTreeBudget = 32 << 20
 
-// NewRouting returns empty routing state over the snapshot.
-func NewRouting(s *graph.Snapshot) *Routing {
-	max := routingTreeBudget / (12 * (s.N() + 1))
+// RoutingTreeBudget returns the tree-cache entry budget NewRouting
+// configures at n nodes — a pure function of the node count under the
+// fixed byte budget, and the "routing budget" component of artifact
+// cache keys.
+func RoutingTreeBudget(n int) int {
+	max := routingTreeBudget / (12 * (n + 1))
 	if max < 16 {
 		max = 16
 	}
-	return &Routing{s: s, arcEdge: s.ArcEdgeIDs(), max: max,
+	return max
+}
+
+// NewRouting returns empty routing state over the snapshot.
+func NewRouting(s *graph.Snapshot) *Routing {
+	return &Routing{s: s, arcEdge: s.ArcEdgeIDs(), max: RoutingTreeBudget(s.N()),
 		trees: make(map[int]*rtree), paths: make(map[int64][]int32)}
+}
+
+// TreeBudget returns the configured tree-cache entry budget.
+func (rt *Routing) TreeBudget() int { return rt.max }
+
+// MemBytes estimates the heap bytes the routing state holds live: the
+// three int32 rows of each cached tree plus the memoized OD paths —
+// the byte cost an artifact cache should charge for a warm Routing.
+func (rt *Routing) MemBytes() int64 {
+	n := int64(rt.s.N())
+	return int64(len(rt.trees))*12*(n+1) + int64(len(rt.paths))*48
+}
+
+// newTree pops a pooled tree (arrays intact, contents stale) or
+// allocates a fresh one.
+func (rt *Routing) newTree() *rtree {
+	if k := len(rt.free); k > 0 {
+		t := rt.free[k-1]
+		rt.free[k-1] = nil
+		rt.free = rt.free[:k-1]
+		return t
+	}
+	return &rtree{}
 }
 
 // RoutingOf returns the routing state memoized in the engine's
@@ -189,37 +233,64 @@ func (rt *Routing) Ensure(sources []int, workers int) {
 	if len(sources) == 0 {
 		return
 	}
-	missing := make([]int, 0, len(sources))
-	inBatch := make(map[int]bool, len(sources))
+	n := rt.s.N()
+	if len(rt.enStamp) < n {
+		rt.enStamp = append(rt.enStamp, make([]int32, n-len(rt.enStamp))...)
+	}
+	rt.enRound++
+	missing := rt.enMissing[:0]
 	for _, src := range sources {
-		inBatch[src] = true
+		rt.enStamp[src] = rt.enRound
 		if _, ok := rt.trees[src]; !ok {
 			missing = append(missing, src)
 		}
 	}
-	built := make([]*rtree, len(missing))
+	rt.enMissing = missing
+	for len(rt.enBuilt) < len(missing) {
+		rt.enBuilt = append(rt.enBuilt, nil)
+	}
+	built := rt.enBuilt[:len(missing)]
+	// Trees come off the pool sequentially (the freelist is not
+	// concurrency-safe); the parallel builds then fill index-private
+	// slots, so the batch stays worker-count invariant.
+	for i := range built {
+		built[i] = rt.newTree()
+	}
 	w := par.Workers(workers)
-	scratch := make([]*metrics.BFSScratch, w)
-	par.ForEach(len(missing), w, func(worker, i int) {
-		if scratch[worker] == nil {
-			scratch[worker] = metrics.NewBFSScratch(rt.s.N())
+	for len(rt.enScratch) < w {
+		rt.enScratch = append(rt.enScratch, nil)
+	}
+	if w <= 1 {
+		// Inline, closure-free: the sequential path is the steady state of
+		// sweep cells (Workers=1) and must stay allocation-free once the
+		// scratch exists (see the kernels-routing-reset ceiling).
+		if rt.enScratch[0] == nil {
+			rt.enScratch[0] = metrics.NewBFSScratch(n)
 		}
-		t := &rtree{}
-		buildTreeInto(t, rt.s, rt.arcEdge, missing[i], scratch[worker])
-		built[i] = t
-	})
+		for i := range built {
+			buildTreeInto(built[i], rt.s, rt.arcEdge, missing[i], rt.enScratch[0])
+		}
+	} else {
+		par.ForEach(len(missing), w, func(worker, i int) {
+			if rt.enScratch[worker] == nil {
+				rt.enScratch[worker] = metrics.NewBFSScratch(n)
+			}
+			buildTreeInto(built[i], rt.s, rt.arcEdge, missing[i], rt.enScratch[worker])
+		})
+	}
 	// Move the batch to the young end of the FIFO, then evict the
 	// oldest entries beyond the budget (never a batch member: the
 	// effective budget covers the whole batch).
 	keep := rt.fifo[:0]
 	for _, src := range rt.fifo {
-		if !inBatch[src] {
+		if rt.enStamp[src] != rt.enRound {
 			keep = append(keep, src)
 		}
 	}
 	rt.fifo = append(keep, sources...)
 	for i, src := range missing {
 		rt.trees[src] = built[i]
+		built[i] = nil
 	}
 	budget := rt.max
 	if budget < len(sources) {
@@ -228,7 +299,10 @@ func (rt *Routing) Ensure(sources []int, workers int) {
 	for len(rt.trees) > budget && len(rt.fifo) > 0 {
 		old := rt.fifo[0]
 		rt.fifo = rt.fifo[1:]
-		delete(rt.trees, old)
+		if t, ok := rt.trees[old]; ok {
+			rt.free = append(rt.free, t)
+			delete(rt.trees, old)
+		}
 	}
 }
 

@@ -2,10 +2,8 @@ package netmodel
 
 import (
 	"bytes"
-	"encoding/json"
 	"flag"
 	"fmt"
-	"os"
 	"runtime"
 	"testing"
 	"time"
@@ -133,11 +131,7 @@ func TestSweepBenchJSON(t *testing.T) {
 			NsPerOp:     parTime.Nanoseconds(),
 			AllocsPerOp: float64(parAllocs), BytesPerOp: float64(parBytes), Speedup: speedup},
 	}
-	data, err := json.MarshalIndent(rows, "", "  ")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := os.WriteFile(*sweepBenchOut, append(data, '\n'), 0o644); err != nil {
+	if err := benchutil.MergeBenchRows(*sweepBenchOut, rows); err != nil {
 		t.Fatal(err)
 	}
 	t.Logf("n=%d seeds=%d cells=%d: sequential %v, %d workers %v, speedup %.2fx",
